@@ -1,0 +1,73 @@
+"""Simulator throughput — not a paper experiment, but the practical
+figure a user of this reproduction cares about: how many simulated
+instructions per wall-clock second the behavioral simulator delivers,
+sequentially and under TLS."""
+
+import pytest
+
+from repro.hydra.config import HydraConfig
+from repro.hydra.machine import Machine
+from repro.jit.compiler import compile_program
+from repro.minijava import compile_source
+from repro.core.pipeline import Jrpm
+
+from harness import write_result
+
+KERNEL = """
+class Main {
+    static int main() {
+        int[] a = new int[1024];
+        int s = 0;
+        for (int i = 0; i < 1024; i++) { a[i] = (i * 33 + 7) & 1023; }
+        for (int r = 0; r < 20; r++) {
+            for (int i = 0; i < 1024; i++) {
+                s = (s + a[i] * 3) & 0xFFFFF;
+            }
+        }
+        Sys.printInt(s);
+        return s;
+    }
+}
+"""
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_sequential_simulation_throughput(benchmark):
+    config = HydraConfig()
+    compiled = compile_program(compile_source(KERNEL), config)
+
+    def run_once():
+        machine = Machine(compiled, config)
+        return machine.run()
+
+    result = benchmark(run_once)
+    rate = result.instructions / benchmark.stats["mean"]
+    write_result("throughput_sequential", [
+        "sequential simulator throughput",
+        "  %d simulated instructions / run" % result.instructions,
+        "  ~%.0f simulated instructions / wall second" % rate,
+    ])
+    assert result.guest_exception is None
+    assert rate > 10_000     # sanity floor for pure-Python simulation
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_full_pipeline_throughput(benchmark):
+    program = compile_source(KERNEL)
+
+    def run_pipeline():
+        return Jrpm().run(program, name="throughput")
+
+    report = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    simulated = (report.sequential.instructions
+                 + report.profiling.instructions
+                 + report.tls.instructions)
+    write_result("throughput_pipeline", [
+        "full-pipeline cost for the throughput kernel",
+        "  sequential: %d instructions" % report.sequential.instructions,
+        "  profiled:   %d instructions" % report.profiling.instructions,
+        "  speculative: %d instructions" % report.tls.instructions,
+        "  total simulated: %d" % simulated,
+        "  TLS speedup: %.2fx" % report.tls_speedup,
+    ])
+    assert report.outputs_match()

@@ -1,0 +1,68 @@
+"""Run any of the paper's 26 benchmarks through the full pipeline.
+
+    python examples/run_benchmark.py                 # list benchmarks
+    python examples/run_benchmark.py monteCarlo      # run one
+    python examples/run_benchmark.py fft --size large
+    python examples/run_benchmark.py db --manual     # Table 4 variant
+"""
+
+import argparse
+
+from repro import Jrpm
+from repro.minijava import compile_source
+from repro.workloads import all_workloads, lookup
+
+
+def list_benchmarks():
+    print("%-14s %-14s %s" % ("name", "category", "description"))
+    print("-" * 72)
+    for workload in all_workloads():
+        star = " *" if workload.has_manual_variant else ""
+        print("%-14s %-14s %s%s" % (workload.name, workload.category,
+                                    workload.description, star))
+    print("\n(* has a Table 4 manual-transformation variant: --manual)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("name", nargs="?", help="benchmark name")
+    parser.add_argument("--size", default="default",
+                        choices=["small", "default", "large"])
+    parser.add_argument("--manual", action="store_true",
+                        help="run the manually-transformed variant")
+    args = parser.parse_args()
+
+    if args.name is None:
+        list_benchmarks()
+        return
+
+    workload = lookup(args.name)
+    source = (workload.manual_source(args.size) if args.manual
+              else workload.source(args.size))
+    if source is None:
+        raise SystemExit("%s has no manual variant" % workload.name)
+
+    print("running %s (%s, %s size%s)..."
+          % (workload.name, workload.category, args.size,
+             ", manual variant" if args.manual else ""))
+    report = Jrpm().run(compile_source(source), name=workload.name)
+
+    print()
+    print("sequential:          %10.0f cycles" % report.sequential.cycles)
+    print("profiling slowdown:  %10.1f%%"
+          % ((report.profiling_slowdown - 1) * 100))
+    print("selected STLs:       %10d  (of %d loops)"
+          % (len(report.plans), len(report.loop_table)))
+    print("predicted speedup:   %10.2fx" % report.predicted_speedup)
+    print("actual TLS speedup:  %10.2fx" % report.tls_speedup)
+    print("total speedup:       %10.2fx  (with all overheads)"
+          % report.total_speedup)
+    print("violations/commits:  %6d / %d"
+          % (report.breakdown.violations, report.breakdown.commits))
+    print("outputs match:       %10s" % report.outputs_match())
+    if workload.paper.get("note"):
+        print("\npaper note: %s" % workload.paper["note"])
+
+
+if __name__ == "__main__":
+    main()

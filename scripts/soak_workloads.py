@@ -1,0 +1,43 @@
+"""Developer soak: run the full Jrpm pipeline over every workload."""
+import sys
+import time
+
+from repro import Jrpm
+from repro.bytecode import run_program
+from repro.minijava import compile_source
+from repro.workloads import all_workloads
+
+size = sys.argv[1] if len(sys.argv) > 1 else "small"
+only = set(sys.argv[2:])
+
+failures = 0
+for w in all_workloads():
+    if only and w.name not in only:
+        continue
+    start = time.time()
+    try:
+        prog = compile_source(w.source(size))
+        oracle = run_program(prog)
+        rep = Jrpm().run(prog, name=w.name)
+        ok = (rep.sequential.output == oracle.output) and rep.outputs_match()
+        took = time.time() - start
+        b = rep.breakdown
+        print(f"{'OK ' if ok else 'FAIL'} {w.name:14s} {took:5.1f}s "
+              f"seq={rep.sequential.cycles:8.0f} stls={len(rep.plans)} "
+              f"pred={rep.predicted_speedup:4.2f} act={rep.tls_speedup:4.2f} "
+              f"prof={rep.profiling_slowdown:4.2f} viol={b.violations:4d} "
+              f"ovf={b.overflow_stalls:3d} serial%={rep.serial_fraction:.2f}",
+              flush=True)
+        if not ok:
+            failures += 1
+            print("   oracle:", oracle.output)
+            print("   seq:   ", rep.sequential.output)
+            print("   tls:   ", rep.tls.output)
+    except Exception as exc:
+        failures += 1
+        took = time.time() - start
+        print(f"ERR  {w.name:14s} {took:5.1f}s {type(exc).__name__}: {exc}",
+              flush=True)
+
+print("failures:", failures)
+sys.exit(1 if failures else 0)

@@ -1,0 +1,26 @@
+"""Jrpm: dynamic parallelization of Java-like programs with TLS.
+
+A faithful behavioral reproduction of *The Jrpm System for Dynamically
+Parallelizing Java Programs* (Chen & Olukotun, ISCA 2003): a MiniJava
+frontend, JVM-like bytecode, the microJIT compiler, the Hydra CMP
+simulator with thread-level speculation, the TEST hardware profiler,
+and the full annotate -> profile -> select -> recompile -> speculate
+pipeline.
+
+Quickstart::
+
+    from repro import Jrpm
+    report = Jrpm().run(source_text, name="my-benchmark")
+    print(report.tls_speedup)
+"""
+
+from .core.pipeline import Jrpm, JrpmReport, VmOptions, run_jrpm
+from .hydra.config import DEFAULT_CONFIG, HydraConfig, SpeculationOverheads
+from .jit.stl import StlOptions
+from .minijava import compile_source
+
+__version__ = "1.0.0"
+
+__all__ = ["Jrpm", "JrpmReport", "run_jrpm", "VmOptions", "StlOptions",
+           "HydraConfig", "DEFAULT_CONFIG", "SpeculationOverheads",
+           "compile_source", "__version__"]

@@ -1,0 +1,79 @@
+"""Bytecode and IR disassemblers (debugging / teaching aids)."""
+
+from .opcodes import Op
+
+
+def disassemble_method(method):
+    """Render one bytecode method as readable text."""
+    qualifiers = []
+    if method.is_static:
+        qualifiers.append("static")
+    if method.is_synchronized:
+        qualifiers.append("synchronized")
+    qualifiers.append(method.qualified_name)
+    lines = ["%s (%d locals)" % (" ".join(qualifiers), method.max_locals)]
+    targets = {instr.arg for instr in method.code if instr.is_branch()}
+    for pc, instr in enumerate(method.code):
+        marker = ">" if pc in targets else " "
+        name = method.local_names.get(instr.arg) \
+            if instr.op in (Op.LOAD, Op.STORE) else None
+        suffix = ("   ; %s" % name) if name else ""
+        lines.append("%s %4d: %s%s" % (marker, pc, instr, suffix))
+    return "\n".join(lines)
+
+
+def disassemble_program(program):
+    """Render every method of a program."""
+    program.seal()
+    chunks = []
+    for cls in sorted(program.classes.values(), key=lambda c: c.name):
+        fields = ", ".join(str(f) for f in cls.fields.values())
+        header = "class %s" % cls.name
+        if cls.superclass is not None:
+            header += " extends %s" % cls.superclass.name
+        if fields:
+            header += "  { %s }" % fields
+        chunks.append(header)
+        for name in sorted(cls.methods):
+            chunks.append(disassemble_method(cls.methods[name]))
+            chunks.append("")
+    return "\n".join(chunks)
+
+
+def disassemble_ir(code, title="ir"):
+    """Render finalized IR with branch-target markers."""
+    from ..jit.ir import BRANCH_IR_OPS
+    targets = {instr.target for instr in code
+               if instr.op in BRANCH_IR_OPS
+               and isinstance(instr.target, int)}
+    lines = [title]
+    for index, instr in enumerate(code):
+        marker = ">" if index in targets else " "
+        lines.append("%s %4d: %s" % (marker, index, instr))
+    return "\n".join(lines)
+
+
+def disassemble_stl(descriptor):
+    """Render an STL descriptor: slots, plumbing, and thread code."""
+    lines = ["STL %d in %s" % (descriptor.stl_id, descriptor.method_name),
+             "  frame: %d words, fp=r%d, iter=r%d, warm entry @%d"
+             % (descriptor.frame_words, descriptor.fp_reg,
+                descriptor.iter_reg, descriptor.warm_entry)]
+    if descriptor.general_slots:
+        lines.append("  communicated locals: "
+                     + ", ".join("r%d@+%d" % (reg, off)
+                                 for reg, off
+                                 in sorted(descriptor.general_slots.items())))
+    if descriptor.reductions:
+        lines.append("  reductions: "
+                     + ", ".join("r%d (%s, tmp r%d)"
+                                 % (s.acc_reg, s.op_name, s.tmp_reg)
+                                 for s in descriptor.reductions))
+    if descriptor.resetables:
+        lines.append("  reset-able inductors: "
+                     + ", ".join("r%d step %d" % (s.reg, s.step)
+                                 for s in descriptor.resetables))
+    if descriptor.sync_lock_off is not None:
+        lines.append("  sync lock slot: +%d" % descriptor.sync_lock_off)
+    lines.append(disassemble_ir(descriptor.thread_code, "  thread code:"))
+    return "\n".join(lines)

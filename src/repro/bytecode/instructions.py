@@ -1,0 +1,74 @@
+"""Bytecode instruction objects and 32-bit integer helpers."""
+
+from .opcodes import Op, BRANCH_OPS
+
+_U32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+def i32(value):
+    """Wrap an arbitrary Python int to Java 32-bit signed semantics."""
+    value &= _U32
+    return value - 0x100000000 if value & _SIGN else value
+
+
+def u32(value):
+    """View a 32-bit value as unsigned (for IUSHR)."""
+    return value & _U32
+
+
+def idiv(a, b):
+    """Java integer division: truncates toward zero."""
+    q = abs(a) // abs(b)
+    return i32(-q if (a < 0) != (b < 0) else q)
+
+
+def irem(a, b):
+    """Java integer remainder: sign follows the dividend."""
+    r = abs(a) % abs(b)
+    return i32(-r if a < 0 else r)
+
+
+def f2i(value):
+    """Java (int) cast of a float: truncate toward zero, saturate."""
+    if value != value:  # NaN
+        return 0
+    if value >= 2147483647.0:
+        return 2147483647
+    if value <= -2147483648.0:
+        return -2147483648
+    return int(value)
+
+
+class Instr:
+    """One bytecode instruction: an opcode and an optional argument."""
+
+    __slots__ = ("op", "arg", "line")
+
+    def __init__(self, op, arg=None, line=None):
+        self.op = op
+        self.arg = arg
+        self.line = line
+
+    def is_branch(self):
+        return self.op in BRANCH_OPS
+
+    def __repr__(self):
+        if self.arg is None:
+            return self.op.name
+        return "%s %r" % (self.op.name, self.arg)
+
+    def __eq__(self, other):
+        return (isinstance(other, Instr) and self.op == other.op
+                and self.arg == other.arg)
+
+    def __hash__(self):
+        arg = self.arg
+        if isinstance(arg, list):
+            arg = tuple(arg)
+        return hash((self.op, arg))
+
+
+def make(op, arg=None, line=None):
+    """Convenience constructor used by the code generator."""
+    return Instr(Op(op), arg, line)

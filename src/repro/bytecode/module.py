@@ -1,0 +1,286 @@
+"""Container model for compiled guest programs.
+
+A :class:`Program` holds :class:`ClassDef` objects, which hold fields and
+:class:`Method` objects.  This is the unit handed from the MiniJava
+frontend to the microJIT compiler and to the reference interpreter.
+"""
+
+from ..errors import VerifyError
+
+
+class Type:
+    """A guest type: ``int``, ``float``, ``boolean``, a class, or an array."""
+
+    __slots__ = ("base", "dims")
+
+    def __init__(self, base, dims=0):
+        self.base = base
+        self.dims = dims
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def parse(text):
+        dims = 0
+        while text.endswith("[]"):
+            text = text[:-2]
+            dims += 1
+        return Type(text, dims)
+
+    def element(self):
+        if self.dims == 0:
+            raise ValueError("not an array type: %s" % self)
+        return Type(self.base, self.dims - 1)
+
+    def array_of(self):
+        return Type(self.base, self.dims + 1)
+
+    # -- predicates --------------------------------------------------------
+    def is_int(self):
+        return self.dims == 0 and self.base in ("int", "boolean")
+
+    def is_float(self):
+        return self.dims == 0 and self.base == "float"
+
+    def is_numeric(self):
+        return self.is_int() or self.is_float()
+
+    def is_void(self):
+        return self.dims == 0 and self.base == "void"
+
+    def is_reference(self):
+        return self.dims > 0 or self.base not in (
+            "int", "float", "boolean", "void")
+
+    def is_array(self):
+        return self.dims > 0
+
+    def __eq__(self, other):
+        return (isinstance(other, Type) and self.base == other.base
+                and self.dims == other.dims)
+
+    def __hash__(self):
+        return hash((self.base, self.dims))
+
+    def __repr__(self):
+        return self.base + "[]" * self.dims
+
+
+INT = Type("int")
+FLOAT = Type("float")
+BOOLEAN = Type("boolean")
+VOID = Type("void")
+NULL = Type("null")
+
+
+class Field:
+    """A class field: name, type, static flag, and its word offset."""
+
+    __slots__ = ("name", "type", "is_static", "offset", "owner")
+
+    def __init__(self, name, ftype, is_static=False):
+        self.name = name
+        self.type = ftype
+        self.is_static = is_static
+        self.offset = None   # assigned by ClassDef.layout()
+        self.owner = None
+
+    def __repr__(self):
+        kind = "static " if self.is_static else ""
+        return "%s%s %s" % (kind, self.type, self.name)
+
+
+class Method:
+    """A compiled guest method."""
+
+    __slots__ = ("name", "owner", "param_types", "return_type", "is_static",
+                 "is_synchronized", "max_locals", "code", "local_names")
+
+    def __init__(self, name, owner, param_types, return_type,
+                 is_static=False, is_synchronized=False):
+        self.name = name
+        self.owner = owner          # ClassDef
+        self.param_types = param_types
+        self.return_type = return_type
+        self.is_static = is_static
+        self.is_synchronized = is_synchronized
+        self.max_locals = 0
+        self.code = []              # list[Instr]
+        self.local_names = {}       # local index -> source name (debug)
+
+    @property
+    def num_params(self):
+        """Number of local slots consumed by parameters (incl. ``this``)."""
+        return len(self.param_types) + (0 if self.is_static else 1)
+
+    @property
+    def qualified_name(self):
+        return "%s.%s" % (self.owner.name, self.name)
+
+    def __repr__(self):
+        return "<Method %s/%d>" % (self.qualified_name, len(self.code))
+
+
+# Word size of the simulated machine, and object header size in bytes.
+WORD = 4
+HEADER_WORDS = 2          # [lock word, meta word (class id or array length)]
+HEADER_BYTES = HEADER_WORDS * WORD
+
+
+class ClassDef:
+    """A guest class: fields, methods, optional superclass."""
+
+    def __init__(self, name, superclass=None):
+        self.name = name
+        self.superclass = superclass          # ClassDef or None
+        self.fields = {}                      # name -> Field (own only)
+        self.methods = {}                     # name -> Method (own only)
+        self.class_id = None                  # assigned by Program.seal()
+        self._layout_done = False
+        self.instance_size = HEADER_BYTES     # bytes, set by layout()
+
+    # -- construction -------------------------------------------------------
+    def add_field(self, field):
+        if field.name in self.fields:
+            raise VerifyError("duplicate field %s.%s" % (self.name, field.name))
+        field.owner = self
+        self.fields[field.name] = field
+        return field
+
+    def add_method(self, method):
+        if method.name in self.methods:
+            raise VerifyError(
+                "duplicate method %s.%s" % (self.name, method.name))
+        method.owner = self
+        self.methods[method.name] = method
+        return method
+
+    # -- lookup (walks the superclass chain) ---------------------------------
+    def find_field(self, name):
+        cls = self
+        while cls is not None:
+            field = cls.fields.get(name)
+            if field is not None:
+                return field
+            cls = cls.superclass
+        return None
+
+    def find_method(self, name):
+        cls = self
+        while cls is not None:
+            method = cls.methods.get(name)
+            if method is not None:
+                return method
+            cls = cls.superclass
+        return None
+
+    def is_subclass_of(self, other):
+        cls = self
+        while cls is not None:
+            if cls is other:
+                return True
+            cls = cls.superclass
+        return False
+
+    # -- layout ---------------------------------------------------------------
+    def layout(self):
+        """Assign word offsets to instance fields (after the header)."""
+        if self._layout_done:
+            return
+        if self.superclass is not None:
+            self.superclass.layout()
+            offset = self.superclass.instance_size
+        else:
+            offset = HEADER_BYTES
+        for field in self.fields.values():
+            if field.is_static:
+                continue
+            field.offset = offset
+            offset += WORD
+        self.instance_size = offset
+        self._layout_done = True
+
+    def all_instance_fields(self):
+        """Instance fields including inherited ones, in offset order."""
+        chain = []
+        cls = self
+        while cls is not None:
+            chain.append(cls)
+            cls = cls.superclass
+        fields = []
+        for cls in reversed(chain):
+            fields.extend(f for f in cls.fields.values() if not f.is_static)
+        return fields
+
+    def __repr__(self):
+        return "<ClassDef %s>" % self.name
+
+
+class Program:
+    """A complete guest program: a set of classes plus an entry point."""
+
+    def __init__(self):
+        self.classes = {}
+        self.entry_class = None
+        self.entry_method = "main"
+        self._sealed = False
+
+    def add_class(self, cls):
+        if cls.name in self.classes:
+            raise VerifyError("duplicate class %s" % cls.name)
+        self.classes[cls.name] = cls
+        return cls
+
+    def get_class(self, name):
+        cls = self.classes.get(name)
+        if cls is None:
+            raise VerifyError("unknown class %s" % name)
+        return cls
+
+    def resolve_method(self, class_name, method_name):
+        method = self.get_class(class_name).find_method(method_name)
+        if method is None:
+            raise VerifyError(
+                "unknown method %s.%s" % (class_name, method_name))
+        return method
+
+    def resolve_field(self, class_name, field_name):
+        field = self.get_class(class_name).find_field(field_name)
+        if field is None:
+            raise VerifyError(
+                "unknown field %s.%s" % (class_name, field_name))
+        return field
+
+    def seal(self):
+        """Finalize layouts and class ids; must run before execution."""
+        if self._sealed:
+            return self
+        for class_id, cls in enumerate(sorted(self.classes.values(),
+                                              key=lambda c: c.name), start=1):
+            cls.class_id = class_id
+            cls.layout()
+        self._class_by_id = {c.class_id: c for c in self.classes.values()}
+        if self.entry_class is None:
+            for cls in self.classes.values():
+                method = cls.methods.get(self.entry_method)
+                if method is not None and method.is_static:
+                    self.entry_class = cls.name
+                    break
+        self._sealed = True
+        return self
+
+    def class_by_id(self, class_id):
+        return self._class_by_id[class_id]
+
+    def entry(self):
+        self.seal()
+        if self.entry_class is None:
+            raise VerifyError("program has no static main method")
+        return self.resolve_method(self.entry_class, self.entry_method)
+
+    def all_methods(self):
+        for cls in sorted(self.classes.values(), key=lambda c: c.name):
+            for name in sorted(cls.methods):
+                yield cls.methods[name]
+
+    def bytecode_size(self):
+        return sum(len(m.code) for m in self.all_methods())

@@ -1,0 +1,161 @@
+"""The bytecode instruction set.
+
+The ISA is a JVM-like stack machine: operands live on a per-frame operand
+stack, locals in a per-frame local-variable array.  Values are 32-bit
+signed integers (booleans are ints), floats, or references (represented
+as heap addresses; ``null`` is address 0).
+"""
+
+from enum import IntEnum, unique
+
+
+@unique
+class Op(IntEnum):
+    # -- stack / constants ------------------------------------------------
+    NOP = 0
+    POP = 1
+    DUP = 2
+    DUP_X1 = 3          # duplicate top value below the second value
+    SWAP = 4
+    ICONST = 5          # arg: int constant
+    FCONST = 6          # arg: float constant
+    ACONST_NULL = 7
+
+    # -- locals -----------------------------------------------------------
+    LOAD = 10           # arg: local index (untyped)
+    STORE = 11          # arg: local index
+    IINC = 12           # arg: (local index, signed increment)
+
+    # -- integer arithmetic (32-bit wrapping, Java semantics) --------------
+    IADD = 20
+    ISUB = 21
+    IMUL = 22
+    IDIV = 23
+    IREM = 24
+    INEG = 25
+    IAND = 26
+    IOR = 27
+    IXOR = 28
+    ISHL = 29
+    ISHR = 30
+    IUSHR = 31
+
+    # -- float arithmetic ---------------------------------------------------
+    FADD = 40
+    FSUB = 41
+    FMUL = 42
+    FDIV = 43
+    FNEG = 44
+    FREM = 45
+
+    # -- conversions / comparison ------------------------------------------
+    I2F = 50
+    F2I = 51            # truncates toward zero (Java (int) cast)
+    FCMP = 52           # pushes -1/0/1 like Java fcmpl
+
+    # -- control flow (arg: target bytecode index) ---------------------------
+    GOTO = 60
+    IFEQ = 61           # branch if int == 0
+    IFNE = 62
+    IFLT = 63
+    IFGE = 64
+    IFGT = 65
+    IFLE = 66
+    IF_ICMPEQ = 67      # branch comparing two ints
+    IF_ICMPNE = 68
+    IF_ICMPLT = 69
+    IF_ICMPGE = 70
+    IF_ICMPGT = 71
+    IF_ICMPLE = 72
+    IF_ACMPEQ = 73      # branch comparing two refs
+    IF_ACMPNE = 74
+    IFNULL = 75
+    IFNONNULL = 76
+
+    # -- arrays -------------------------------------------------------------
+    NEWARRAY_I = 80     # length on stack -> int[] ref
+    NEWARRAY_F = 81
+    NEWARRAY_A = 82     # array of references
+    ARRAYLENGTH = 83
+    IALOAD = 84         # arrayref, index -> value
+    IASTORE = 85        # arrayref, index, value ->
+    FALOAD = 86
+    FASTORE = 87
+    AALOAD = 88
+    AASTORE = 89
+
+    # -- objects ------------------------------------------------------------
+    NEW = 90            # arg: class name
+    GETFIELD = 91       # arg: (class name, field name); objref -> value
+    PUTFIELD = 92       # arg: (class name, field name); objref, value ->
+    GETSTATIC = 93      # arg: (class name, field name)
+    PUTSTATIC = 94
+
+    # -- calls --------------------------------------------------------------
+    INVOKESTATIC = 100  # arg: (class name, method name)
+    INVOKEVIRTUAL = 101  # arg: (class name, method name); receiver under args
+    RETURN = 102        # return void
+    RETURN_VALUE = 103  # return top of stack
+
+    # -- synchronization -----------------------------------------------------
+    MONITORENTER = 110  # objref ->
+    MONITOREXIT = 111
+
+    # -- intrinsics -----------------------------------------------------------
+    INTRINSIC = 120     # arg: (name, nargs); pops nargs, pushes result or not
+
+
+#: Branch opcodes whose argument is a bytecode target index.
+BRANCH_OPS = frozenset({
+    Op.GOTO, Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFGE, Op.IFGT, Op.IFLE,
+    Op.IF_ICMPEQ, Op.IF_ICMPNE, Op.IF_ICMPLT, Op.IF_ICMPGE,
+    Op.IF_ICMPGT, Op.IF_ICMPLE, Op.IF_ACMPEQ, Op.IF_ACMPNE,
+    Op.IFNULL, Op.IFNONNULL,
+})
+
+#: Conditional branches (fall through on the false path).
+COND_BRANCH_OPS = BRANCH_OPS - {Op.GOTO}
+
+#: Opcodes that never fall through to the next instruction.
+TERMINATOR_OPS = frozenset({Op.GOTO, Op.RETURN, Op.RETURN_VALUE})
+
+#: Comparisons taking two int operands, keyed to a python comparison tag.
+ICMP_CONDITIONS = {
+    Op.IF_ICMPEQ: "eq", Op.IF_ICMPNE: "ne", Op.IF_ICMPLT: "lt",
+    Op.IF_ICMPGE: "ge", Op.IF_ICMPGT: "gt", Op.IF_ICMPLE: "le",
+}
+
+#: Comparisons of one int operand against zero.
+IFZERO_CONDITIONS = {
+    Op.IFEQ: "eq", Op.IFNE: "ne", Op.IFLT: "lt",
+    Op.IFGE: "ge", Op.IFGT: "gt", Op.IFLE: "le",
+}
+
+#: Net operand-stack effect of each opcode (pops negative, pushes positive).
+#: Call/intrinsic effects depend on the callee and are computed separately.
+STACK_EFFECTS = {
+    Op.NOP: 0, Op.POP: -1, Op.DUP: 1, Op.DUP_X1: 1, Op.SWAP: 0,
+    Op.ICONST: 1, Op.FCONST: 1, Op.ACONST_NULL: 1,
+    Op.LOAD: 1, Op.STORE: -1, Op.IINC: 0,
+    Op.IADD: -1, Op.ISUB: -1, Op.IMUL: -1, Op.IDIV: -1, Op.IREM: -1,
+    Op.INEG: 0, Op.IAND: -1, Op.IOR: -1, Op.IXOR: -1,
+    Op.ISHL: -1, Op.ISHR: -1, Op.IUSHR: -1,
+    Op.FADD: -1, Op.FSUB: -1, Op.FMUL: -1, Op.FDIV: -1, Op.FNEG: 0,
+    Op.FREM: -1,
+    Op.I2F: 0, Op.F2I: 0, Op.FCMP: -1,
+    Op.GOTO: 0,
+    Op.IFEQ: -1, Op.IFNE: -1, Op.IFLT: -1, Op.IFGE: -1,
+    Op.IFGT: -1, Op.IFLE: -1,
+    Op.IF_ICMPEQ: -2, Op.IF_ICMPNE: -2, Op.IF_ICMPLT: -2,
+    Op.IF_ICMPGE: -2, Op.IF_ICMPGT: -2, Op.IF_ICMPLE: -2,
+    Op.IF_ACMPEQ: -2, Op.IF_ACMPNE: -2,
+    Op.IFNULL: -1, Op.IFNONNULL: -1,
+    Op.NEWARRAY_I: 0, Op.NEWARRAY_F: 0, Op.NEWARRAY_A: 0,
+    Op.ARRAYLENGTH: 0,
+    Op.IALOAD: -1, Op.IASTORE: -3, Op.FALOAD: -1, Op.FASTORE: -3,
+    Op.AALOAD: -1, Op.AASTORE: -3,
+    Op.NEW: 1, Op.GETFIELD: 0, Op.PUTFIELD: -2,
+    Op.GETSTATIC: 1, Op.PUTSTATIC: -1,
+    Op.RETURN: 0, Op.RETURN_VALUE: -1,
+    Op.MONITORENTER: -1, Op.MONITOREXIT: -1,
+}

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE [--verbose]``      — run the full pipeline on a MiniJava file
+* ``bench NAME [--size S]``     — run one of the 26 paper benchmarks
+* ``suite [--size S]``          — run the whole suite, print the summary
+* ``list``                      — list the available benchmarks
+* ``profile FILE``              — show only the TEST profile + verdicts
+"""
+
+import argparse
+import sys
+
+from .core.pipeline import Jrpm
+from .core.report import format_report, format_suite_summary
+from .hydra.config import HydraConfig
+from .minijava import compile_source
+
+
+def _add_hw_flags(parser):
+    parser.add_argument("--cpus", type=int, default=4,
+                        help="number of simulated CPUs (default 4)")
+    parser.add_argument("--old-handlers", action="store_true",
+                        help="use the paper's 'Old' handler overheads")
+
+
+def _config_from(args):
+    config = HydraConfig(num_cpus=args.cpus)
+    if getattr(args, "old_handlers", False):
+        from .hydra.config import SpeculationOverheads
+        config.overheads = SpeculationOverheads.old_handlers()
+    return config
+
+
+def cmd_run(args):
+    with open(args.file) as fh:
+        source = fh.read()
+    report = Jrpm(config=_config_from(args)).run(source, name=args.file)
+    print(format_report(report, verbose=args.verbose))
+    return 0 if report.outputs_match() else 1
+
+
+def cmd_bench(args):
+    from .workloads import lookup
+    workload = lookup(args.name)
+    source = (workload.manual_source(args.size) if args.manual
+              else workload.source(args.size))
+    if source is None:
+        print("%s has no manual variant" % workload.name, file=sys.stderr)
+        return 2
+    report = Jrpm(config=_config_from(args)).run(
+        compile_source(source), name=workload.name)
+    print(format_report(report, verbose=args.verbose))
+    return 0 if report.outputs_match() else 1
+
+
+def cmd_suite(args):
+    from .workloads import all_workloads
+    reports = {}
+    for workload in all_workloads():
+        print("running %s..." % workload.name, file=sys.stderr)
+        reports[workload.name] = Jrpm(config=_config_from(args)).run(
+            compile_source(workload.source(args.size)), name=workload.name)
+    print(format_suite_summary(reports))
+    return 0
+
+
+def cmd_list(args):
+    from .workloads import all_workloads
+    for workload in all_workloads():
+        star = " *" if workload.has_manual_variant else ""
+        print("%-14s %-14s %s%s" % (workload.name, workload.category,
+                                    workload.description, star))
+    return 0
+
+
+def cmd_profile(args):
+    from .hydra.machine import Machine
+    from .jit.compiler import compile_annotated
+    from .tracer import Selector, TestProfiler
+    with open(args.file) as fh:
+        source = fh.read()
+    config = _config_from(args)
+    program = compile_source(source)
+    annotated = compile_annotated(program, config)
+    profiler = TestProfiler(config, annotated.loop_table)
+    Machine(annotated, config, profiler=profiler).run()
+    selector = Selector(config, annotated.loop_table)
+    plans = selector.select(profiler.stats, profiler.dynamic_nesting)
+    print("%-5s %-6s %8s %9s %8s %8s  %s"
+          % ("loop", "line", "threads", "avg cyc", "arcfreq", "pred",
+             "verdict"))
+    for loop_id in sorted(profiler.stats):
+        stats = profiler.stats[loop_id]
+        meta = annotated.loop_table[loop_id]
+        prediction = selector.predict(stats)
+        if loop_id in plans:
+            verdict = "SELECTED"
+            if plans[loop_id].sync:
+                verdict += " +sync"
+            if plans[loop_id].multilevel_inner:
+                verdict += " (multilevel)"
+        elif not meta.candidate:
+            verdict = "not a candidate: %s" % meta.reject_reason
+        else:
+            verdict = "rejected"
+        print("%-5d %-6s %8d %9.1f %8.2f %7.2fx  %s"
+              % (loop_id, meta.line, stats.threads,
+                 stats.avg_thread_cycles, stats.arc_frequency,
+                 prediction.speedup, verdict))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run the pipeline on a MiniJava file")
+    p_run.add_argument("file")
+    p_run.add_argument("--verbose", "-v", action="store_true")
+    _add_hw_flags(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_bench = sub.add_parser("bench", help="run one paper benchmark")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--size", default="default",
+                         choices=["small", "default", "large"])
+    p_bench.add_argument("--manual", action="store_true")
+    p_bench.add_argument("--verbose", "-v", action="store_true")
+    _add_hw_flags(p_bench)
+    p_bench.set_defaults(fn=cmd_bench)
+
+    p_suite = sub.add_parser("suite", help="run the whole 26-benchmark "
+                                           "suite")
+    p_suite.add_argument("--size", default="small",
+                         choices=["small", "default", "large"])
+    _add_hw_flags(p_suite)
+    p_suite.set_defaults(fn=cmd_suite)
+
+    p_list = sub.add_parser("list", help="list the benchmarks")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_prof = sub.add_parser("profile", help="show the TEST profile of a "
+                                            "MiniJava file")
+    p_prof.add_argument("file")
+    _add_hw_flags(p_prof)
+    p_prof.set_defaults(fn=cmd_profile)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Jrpm core: the dynamic parallelization pipeline."""
+
+from .pipeline import Jrpm, JrpmReport, RunMeasurement, VmOptions, run_jrpm
+
+__all__ = ["Jrpm", "JrpmReport", "RunMeasurement", "VmOptions", "run_jrpm"]

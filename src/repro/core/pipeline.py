@@ -1,0 +1,315 @@
+"""The Jrpm pipeline (paper Figure 1).
+
+1. Compile bytecodes natively with annotation instructions.
+2. Run the annotated program sequentially while TEST collects
+   statistics on prospective thread decompositions.
+3. Post-process the statistics and choose the decompositions with the
+   best predicted speedups.
+4. Recompile the selected loops into speculative threads.
+5. Run the native TLS code.
+
+:class:`Jrpm` drives all five steps and packages every measurement the
+benchmark harness needs into a :class:`JrpmReport`.
+"""
+
+from dataclasses import dataclass, field
+
+from ..hydra.config import HydraConfig
+from ..hydra.machine import Machine
+from ..jit.compiler import (annotation_count, compile_annotated,
+                            compile_program)
+from ..jit.stl import StlOptions, recompile_with_stls
+from ..minijava import compile_source
+from ..tls.runtime import TlsRuntime
+from ..tracer.profiler import TestProfiler
+from ..tracer.selector import Selector
+
+
+@dataclass
+class VmOptions:
+    """VM-level modifications from paper §5 (Table 3 columns t, u)."""
+
+    parallel_allocator: bool = True       # §5.2 private free lists
+    speculation_aware_locks: bool = True  # §5.3 non-serializing locks
+
+
+@dataclass
+class RunMeasurement:
+    """One simulated run of the program."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    gc_cycles: float = 0.0
+    output: list = field(default_factory=list)
+    return_value: object = None
+    guest_exception: object = None
+
+    @staticmethod
+    def from_result(result):
+        return RunMeasurement(
+            cycles=result.cycles,
+            instructions=result.instructions,
+            gc_cycles=result.gc_cycles,
+            output=result.output,
+            return_value=result.return_value,
+            guest_exception=result.guest_exception,
+        )
+
+
+class JrpmReport:
+    """Everything measured across the pipeline for one benchmark run."""
+
+    def __init__(self, name="program"):
+        self.name = name
+        self.config = None
+        # runs
+        self.sequential = None           # RunMeasurement (plain native)
+        self.profiling = None            # RunMeasurement (annotated)
+        self.tls = None                  # RunMeasurement (speculative)
+        # pipeline artifacts
+        self.loop_table = {}
+        self.loop_stats = {}
+        self.plans = {}
+        self.predicted_tls_cycles = 0.0
+        self.annotations = 0
+        self.compile_cycles = 0
+        self.recompile_cycles = 0
+        self.breakdown = None            # TlsStateBreakdown
+        self.stl_run_stats = {}
+        self.profiler = None
+        self.dynamic_nesting = set()
+        self.max_dynamic_depth = 0
+
+    # -- headline numbers ----------------------------------------------------
+    @property
+    def profiling_slowdown(self):
+        if not self.sequential or not self.sequential.cycles:
+            return 0.0
+        return self.profiling.cycles / self.sequential.cycles
+
+    @property
+    def tls_speedup(self):
+        """Speedup of the speculative run over sequential (Fig. 8)."""
+        if not self.tls or not self.tls.cycles:
+            return 1.0
+        return self.sequential.cycles / self.tls.cycles
+
+    @property
+    def predicted_speedup(self):
+        if not self.predicted_tls_cycles:
+            return 1.0
+        return self.sequential.cycles / self.predicted_tls_cycles
+
+    @property
+    def serial_fraction(self):
+        """Fraction of sequential execution not covered by any candidate
+        STL (Table 3 column i)."""
+        if not self.sequential or not self.sequential.cycles:
+            return 1.0
+        covered = 0.0
+        for loop_id, stats in self.loop_stats.items():
+            meta = self.loop_table.get(loop_id)
+            if meta is None or not meta.candidate:
+                continue
+            if self._has_candidate_ancestor(loop_id):
+                continue
+            covered += stats.coverage_cycles
+        covered = min(covered, self.profiling.cycles)
+        return max(0.0, 1.0 - covered / self.profiling.cycles)
+
+    def _has_candidate_ancestor(self, loop_id):
+        meta = self.loop_table.get(loop_id)
+        while meta is not None and meta.parent_id is not None:
+            parent = self.loop_table.get(meta.parent_id)
+            if parent is not None and parent.candidate \
+                    and meta.parent_id in self.loop_stats:
+                return True
+            meta = parent
+        # Dynamic (cross-method) nesting counts too.
+        for outer, inner in self.dynamic_nesting:
+            if inner == loop_id and outer in self.loop_stats:
+                outer_meta = self.loop_table.get(outer)
+                if outer_meta is not None and outer_meta.candidate:
+                    return True
+        return False
+
+    @property
+    def profile_fraction(self):
+        """Fraction of the run executed under profiling before TEST has
+        enough data to recompile (§3.1).
+
+        The comparator banks profile every active loop concurrently, so
+        the iteration budget accumulates across all selected loops: a
+        program whose outermost loop runs only a few large iterations
+        still supplies thousands of inner-loop samples per unit time.
+        """
+        if not self.plans:
+            return 1.0
+        target = self.config.profile_iteration_target if self.config else 100
+        total_threads = sum(stats.threads
+                            for stats in self.loop_stats.values())
+        if total_threads == 0:
+            return 1.0
+        return min(1.0, target / total_threads)
+
+    @property
+    def total_cycles_with_overheads(self):
+        """End-to-end cycles including compile, profiling, selection,
+        recompilation and GC (Fig. 9 model)."""
+        fraction = self.profile_fraction
+        total = self.compile_cycles
+        total += fraction * self.profiling.cycles
+        if self.plans:
+            total += self.recompile_cycles
+            total += (1.0 - fraction) * self.tls.cycles
+        return total
+
+    @property
+    def total_speedup(self):
+        total = self.total_cycles_with_overheads
+        if not total:
+            return 1.0
+        return self.sequential.cycles / total
+
+    def phase_cycles(self):
+        """Cycle breakdown for the Fig. 9 stacked bars."""
+        fraction = self.profile_fraction
+        tls_cycles = (1.0 - fraction) * self.tls.cycles if self.plans \
+            else 0.0
+        profiling_extra = fraction * max(
+            0.0, self.profiling.cycles - self.sequential.cycles)
+        application = (fraction * self.sequential.cycles + tls_cycles
+                       - (self.tls.gc_cycles if self.plans else 0.0)
+                       - self.sequential.gc_cycles * fraction)
+        return {
+            "application": max(0.0, application),
+            "gc": (self.sequential.gc_cycles * fraction
+                   + (self.tls.gc_cycles if self.plans else 0.0)),
+            "compile": self.compile_cycles,
+            "profiling": profiling_extra,
+            "recompile": self.recompile_cycles if self.plans else 0.0,
+        }
+
+    def outputs_match(self, tolerance=1e-6):
+        """Check sequential vs TLS output equality (floats approximately:
+        reductions are re-associated across CPUs)."""
+        a = self.sequential.output
+        b = self.tls.output
+        if len(a) != len(b):
+            return False
+        for left, right in zip(a, b):
+            if isinstance(left, float) or isinstance(right, float):
+                scale = max(abs(left), abs(right), 1.0)
+                if abs(left - right) > tolerance * scale:
+                    return False
+            elif left != right:
+                return False
+        return True
+
+
+class Jrpm:
+    """The complete Java runtime parallelizing machine."""
+
+    def __init__(self, config=None, stl_options=None, vm_options=None):
+        self.config = config or HydraConfig()
+        self.stl_options = stl_options or StlOptions()
+        self.vm_options = vm_options or VmOptions()
+
+    # -- pipeline ------------------------------------------------------------
+    def run(self, source_or_program, name="program", args=()):
+        """Run the full five-step pipeline; returns a JrpmReport."""
+        program = self._program_of(source_or_program)
+        report = JrpmReport(name)
+        report.config = self.config
+
+        # Baseline: plain native code, sequential.
+        plain = compile_program(program, self.config)
+        machine = Machine(plain, self.config)
+        report.sequential = RunMeasurement.from_result(machine.run(*args))
+        report.compile_cycles = plain.compile_cycles
+
+        # Steps 1-2: annotated run under TEST.
+        annotated = compile_annotated(program, self.config)
+        profiler = TestProfiler(self.config, annotated.loop_table)
+        machine = Machine(annotated, self.config, profiler=profiler)
+        report.profiling = RunMeasurement.from_result(machine.run(*args))
+        report.loop_table = annotated.loop_table
+        report.loop_stats = profiler.stats
+        report.annotations = annotation_count(annotated)
+        report.profiler = profiler
+        report.dynamic_nesting = profiler.dynamic_nesting
+        report.max_dynamic_depth = profiler.max_dynamic_depth
+
+        # Step 3: choose decompositions.
+        selector = Selector(
+            self.config, annotated.loop_table,
+            ignore_allocator_arcs=self.vm_options.parallel_allocator)
+        plans = selector.select(profiler.stats, profiler.dynamic_nesting)
+        report.plans = plans
+        report.predicted_tls_cycles = self._predict_total(report, plans)
+
+        # Steps 4-5: recompile + speculative run.
+        if plans:
+            tls_compiled = recompile_with_stls(program, self.config, plans,
+                                               self.stl_options)
+            report.recompile_cycles = tls_compiled.compile_cycles
+            machine = Machine(
+                tls_compiled, self.config,
+                parallel_allocator=self.vm_options.parallel_allocator,
+                speculation_aware_locks=(
+                    self.vm_options.speculation_aware_locks))
+            runtime = TlsRuntime(machine)
+            report.tls = RunMeasurement.from_result(machine.run(*args))
+            report.breakdown = runtime.breakdown
+            report.breakdown.serial = max(
+                0.0, report.tls.cycles
+                - self._stl_wall_cycles(runtime))
+            report.stl_run_stats = runtime.stl_stats
+        else:
+            report.tls = report.sequential
+            from ..tls.stats import TlsStateBreakdown
+            report.breakdown = TlsStateBreakdown()
+            report.breakdown.serial = report.sequential.cycles
+        return report
+
+    @staticmethod
+    def _stl_wall_cycles(runtime):
+        """Approximate master wall-cycles spent inside STL regions: the
+        committed/violated CPU time divided by the CPU count plus the
+        serial handler overheads."""
+        breakdown = runtime.breakdown
+        num_cpus = runtime.config.num_cpus
+        return (breakdown.run_used + breakdown.wait_used
+                + breakdown.run_violated + breakdown.wait_violated
+                ) / num_cpus + breakdown.overhead / num_cpus
+
+    def _predict_total(self, report, plans):
+        """TEST's predicted whole-program TLS time (Fig. 8 'Predicted').
+
+        Coverage was measured on the annotated run, which is slower than
+        plain native code; rescale it to the sequential baseline.
+        """
+        predicted = report.sequential.cycles
+        scale = 1.0
+        if report.profiling.cycles:
+            scale = report.sequential.cycles / report.profiling.cycles
+        for plan in plans.values():
+            if plan.multilevel_inner:
+                continue    # counted inside the parent's coverage
+            prediction = plan.prediction
+            if prediction.speedup > 1.0:
+                saved = scale * prediction.coverage_cycles * (
+                    1.0 - 1.0 / prediction.speedup)
+                predicted -= saved
+        return max(predicted, report.sequential.cycles * 0.05)
+
+    @staticmethod
+    def _program_of(source_or_program):
+        if isinstance(source_or_program, str):
+            return compile_source(source_or_program)
+        return source_or_program
+
+
+def run_jrpm(source, name="program", config=None, **kwargs):
+    """Convenience one-shot pipeline run."""
+    return Jrpm(config=config, **kwargs).run(source, name=name)

@@ -1,0 +1,8 @@
+"""Hydra CMP behavioral simulator."""
+
+from .config import DEFAULT_CONFIG, HydraConfig, SpeculationOverheads
+from .machine import CpuContext, Machine, RunResult
+from .memory import Memory
+
+__all__ = ["HydraConfig", "DEFAULT_CONFIG", "SpeculationOverheads",
+           "Machine", "CpuContext", "RunResult", "Memory"]

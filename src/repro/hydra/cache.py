@@ -1,0 +1,98 @@
+"""Set-associative cache models for latency accounting.
+
+The caches model *timing only* — data always comes from the flat
+:class:`Memory` (or a speculative store buffer).  Each CPU has a private
+L1 data cache; all CPUs share the on-chip L2 (paper Fig. 2).  Writes are
+write-through with a write buffer, so stores cost one cycle and
+allocate/update the line in both levels (the paper's write-through bus
+keeps L1s coherent; we model coherence by invalidating peer L1 lines on
+remote writes).
+"""
+
+from .config import CACHE_LINE_SHIFT
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache tracking which line addresses are present."""
+
+    def __init__(self, size_bytes, assoc, line_bytes=32):
+        self.num_sets = max(1, size_bytes // (line_bytes * assoc))
+        self.assoc = assoc
+        # Each set is a dict line_addr -> last-use tick (LRU via counter).
+        self.sets = [dict() for __ in range(self.num_sets)]
+        self.tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, line):
+        return self.sets[line % self.num_sets]
+
+    def lookup(self, line):
+        """Returns True on hit (and touches the line)."""
+        self.tick += 1
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set[line] = self.tick
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line):
+        """Insert the line, evicting LRU if needed."""
+        self.tick += 1
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set[line] = self.tick
+            return
+        if len(cache_set) >= self.assoc:
+            victim = min(cache_set, key=cache_set.get)
+            del cache_set[victim]
+        cache_set[line] = self.tick
+
+    def invalidate(self, line):
+        cache_set = self._set_for(line)
+        cache_set.pop(line, None)
+
+    def flush(self):
+        for cache_set in self.sets:
+            cache_set.clear()
+
+
+class MemoryHierarchy:
+    """Per-CPU L1s over a shared L2 over main memory; returns latencies."""
+
+    def __init__(self, config):
+        self.config = config
+        self.l1 = [SetAssociativeCache(config.l1_size_bytes, config.l1_assoc,
+                                       config.line_bytes)
+                   for __ in range(config.num_cpus)]
+        self.l2 = SetAssociativeCache(config.l2_size_bytes, config.l2_assoc,
+                                      config.line_bytes)
+
+    def load_latency(self, cpu, addr):
+        line = addr >> CACHE_LINE_SHIFT
+        config = self.config
+        if self.l1[cpu].lookup(line):
+            return config.l1_hit_cycles
+        if self.l2.lookup(line):
+            self.l1[cpu].fill(line)
+            return config.l2_hit_cycles
+        self.l2.fill(line)
+        self.l1[cpu].fill(line)
+        return config.memory_cycles
+
+    def store_latency(self, cpu, addr):
+        """Write-through with write buffering: one cycle from the CPU's
+        point of view; the line is updated in this L1 and L2, and peer
+        L1 copies are invalidated (write-bus coherence)."""
+        line = addr >> CACHE_LINE_SHIFT
+        self.l1[cpu].fill(line)
+        self.l2.fill(line)
+        for other, l1 in enumerate(self.l1):
+            if other != cpu:
+                l1.invalidate(line)
+        return 1
+
+    def flush_l1(self, cpu):
+        self.l1[cpu].flush()

@@ -1,0 +1,33 @@
+"""Flat word-addressed memory for the simulated machine.
+
+Values are Python ints or floats at word (4-byte) granularity; sparse
+storage keeps multi-megabyte address spaces cheap.  All guest-visible
+state (heap objects, static fields, allocator metadata, STL stack
+slots) lives here so the TLS machinery sees every dependency.
+"""
+
+from ..errors import VMError
+
+
+class Memory:
+    __slots__ = ("words",)
+
+    def __init__(self):
+        self.words = {}
+
+    def load(self, addr):
+        if addr <= 0 or addr & 3:
+            raise VMError("bad load address 0x%x" % addr)
+        return self.words.get(addr, 0)
+
+    def store(self, addr, value):
+        if addr <= 0 or addr & 3:
+            raise VMError("bad store address 0x%x" % addr)
+        self.words[addr] = value
+
+    def snapshot(self, base, count):
+        """Read *count* words starting at *base* (for tests/debugging)."""
+        return [self.words.get(base + 4 * k, 0) for k in range(count)]
+
+    def __len__(self):
+        return len(self.words)

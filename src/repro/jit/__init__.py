@@ -1,0 +1,8 @@
+"""microJIT: bytecode -> IR compiler with TEST annotation and STL support."""
+
+from .compiler import (CompiledMethod, CompiledProgram, compile_annotated,
+                       compile_program)
+from .ir import IRInstr, IRMethod, IROp, Label
+
+__all__ = ["compile_program", "compile_annotated", "CompiledProgram",
+           "CompiledMethod", "IROp", "IRInstr", "IRMethod", "Label"]

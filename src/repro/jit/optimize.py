@@ -1,0 +1,266 @@
+"""microJIT optimizer.
+
+The paper's microJIT performs common sub-expression elimination, copy
+propagation, constant propagation and dead-code elimination while
+interleaving compilation stages.  We run the same local optimizations
+over the label-form IR; they matter here because the translator's
+slot-pinned register scheme produces many redundant MOVs.
+"""
+
+from ..bytecode.instructions import i32
+from .cfg import build_cfg
+from .ir import DEF_OPS, IRInstr, IROp
+
+#: Pure ops whose result can be deleted when dead / reused by CSE.
+_PURE_OPS = frozenset({
+    IROp.LI, IROp.MOV, IROp.ADD, IROp.SUB, IROp.MUL, IROp.NEG, IROp.AND,
+    IROp.OR, IROp.XOR, IROp.SHL, IROp.SHR, IROp.USHR, IROp.ADDI, IROp.SLLI,
+    IROp.FADD, IROp.FSUB, IROp.FMUL, IROp.FNEG, IROp.SEQ, IROp.SNE,
+    IROp.SLT, IROp.SLE, IROp.SGT, IROp.SGE, IROp.FCMP, IROp.I2F, IROp.F2I,
+})
+
+#: Dead defs of these can be removed even though they touch memory: a
+#: dead LW's only architectural effect is its latency.
+_REMOVABLE_IF_DEAD = _PURE_OPS | {IROp.LW, IROp.FDIV, IROp.FREM}
+
+_CSE_OPS = frozenset({
+    IROp.ADD, IROp.SUB, IROp.MUL, IROp.AND, IROp.OR, IROp.XOR, IROp.SHL,
+    IROp.SHR, IROp.USHR, IROp.ADDI, IROp.SLLI, IROp.SEQ, IROp.SNE,
+    IROp.SLT, IROp.SLE, IROp.SGT, IROp.SGE, IROp.I2F,
+})
+
+_FOLDABLE = {
+    IROp.ADD: lambda a, b: i32(a + b),
+    IROp.SUB: lambda a, b: i32(a - b),
+    IROp.MUL: lambda a, b: i32(a * b),
+    IROp.AND: lambda a, b: i32(a & b),
+    IROp.OR: lambda a, b: i32(a | b),
+    IROp.XOR: lambda a, b: i32(a ^ b),
+    IROp.SHL: lambda a, b: i32(a << (b & 31)),
+    IROp.SHR: lambda a, b: i32(a >> (b & 31)),
+    IROp.USHR: lambda a, b: i32((a & 0xFFFFFFFF) >> (b & 31)),
+    IROp.SEQ: lambda a, b: int(a == b),
+    IROp.SNE: lambda a, b: int(a != b),
+    IROp.SLT: lambda a, b: int(a < b),
+    IROp.SLE: lambda a, b: int(a <= b),
+    IROp.SGT: lambda a, b: int(a > b),
+    IROp.SGE: lambda a, b: int(a >= b),
+}
+
+
+def optimize(ir_method, passes=2):
+    """Run the local optimization pipeline *passes* times."""
+    for __ in range(passes):
+        _local_propagation(ir_method)
+        _coalesce_moves(ir_method)
+        _dead_code_elimination(ir_method)
+    return ir_method
+
+
+def _coalesce_moves(ir_method):
+    """Fold ``op s, ...`` immediately followed by ``MOV r, s`` into
+    ``op r, ...`` when s is dead afterwards.  This restores direct defs
+    of bytecode locals (``ADD r_sum, r_sum, x``), which the carried-local
+    pattern matcher depends on."""
+    cfg = build_cfg(ir_method.code)
+    __, live_out = liveness(cfg)
+    removed = set()
+    for block in cfg.blocks:
+        instrs = block.instrs
+        for index in range(1, len(instrs)):
+            move = instrs[index]
+            if move.op != IROp.MOV or move.a == move.dst:
+                continue
+            prev = instrs[index - 1]
+            if id(prev) in removed or prev.defs() != move.a:
+                continue
+            src = move.a
+            if src in live_out[block.bid]:
+                continue
+            # src must not be read (or kept) after the MOV in this block.
+            conflict = False
+            for later in instrs[index + 1:]:
+                if src in later.uses():
+                    conflict = True
+                    break
+                if later.defs() == src:
+                    break
+            if conflict:
+                continue
+            prev.dst = move.dst
+            removed.add(id(move))
+    if removed:
+        ir_method.code = [instr for instr in ir_method.code
+                          if id(instr) not in removed]
+
+
+# ---------------------------------------------------------------------------
+# copy/constant propagation + folding + local CSE (per basic block)
+# ---------------------------------------------------------------------------
+
+def _local_propagation(ir_method):
+    cfg = build_cfg(ir_method.code)
+    for block in cfg.blocks:
+        _propagate_block(block.instrs)
+
+
+def _propagate_block(instrs):
+    copies = {}      # reg -> source reg (still valid)
+    consts = {}      # reg -> int constant (float consts not propagated)
+    cse = {}         # (op, a, b, imm) -> dst reg holding the value
+
+    def resolve(reg):
+        seen = set()
+        while reg in copies and reg not in seen:
+            seen.add(reg)
+            reg = copies[reg]
+        return reg
+
+    def invalidate(reg):
+        copies.pop(reg, None)
+        consts.pop(reg, None)
+        for key, other in list(copies.items()):
+            if other == reg:
+                del copies[key]
+        for key in [k for k, v in cse.items()
+                    if v == reg or k[1] == reg or k[2] == reg]:
+            del cse[key]
+
+    for instr in instrs:
+        # Rewrite uses through the copy map.
+        if instr.a is not None and instr.op not in (IROp.LI,):
+            instr.a = resolve(instr.a)
+        if instr.b is not None:
+            instr.b = resolve(instr.b)
+        if instr.args:
+            instr.args = [resolve(reg) for reg in instr.args]
+
+        # Constant-fold integer ALU ops with known operands.
+        op = instr.op
+        if op in _FOLDABLE and instr.a in consts and instr.b in consts:
+            value = _FOLDABLE[op](consts[instr.a], consts[instr.b])
+            instr.op = IROp.LI
+            instr.imm = value
+            instr.a = instr.b = None
+            op = IROp.LI
+        elif op == IROp.ADDI and instr.a in consts:
+            instr.op = IROp.LI
+            instr.imm = i32(consts[instr.a] + instr.imm)
+            instr.a = None
+            op = IROp.LI
+        elif op == IROp.SLLI and instr.a in consts:
+            instr.op = IROp.LI
+            instr.imm = i32(consts[instr.a] << (instr.imm & 31))
+            instr.a = None
+            op = IROp.LI
+        # Strength-reduce ADD/SUB with a known constant operand to ADDI.
+        elif op == IROp.ADD and instr.b in consts:
+            instr.op = IROp.ADDI
+            instr.imm = consts[instr.b]
+            instr.b = None
+            op = IROp.ADDI
+        elif op == IROp.ADD and instr.a in consts:
+            instr.op = IROp.ADDI
+            instr.imm = consts[instr.a]
+            instr.a = instr.b
+            instr.b = None
+            op = IROp.ADDI
+        elif op == IROp.SUB and instr.b in consts:
+            instr.op = IROp.ADDI
+            instr.imm = i32(-consts[instr.b])
+            instr.b = None
+            op = IROp.ADDI
+        elif op == IROp.SHL and instr.b in consts:
+            instr.op = IROp.SLLI
+            instr.imm = consts[instr.b] & 31
+            instr.b = None
+            op = IROp.SLLI
+
+        # Local CSE.
+        if op in _CSE_OPS:
+            key = (op, instr.a, instr.b, instr.imm)
+            prior = cse.get(key)
+            if prior is not None and prior != instr.dst:
+                instr.op = IROp.MOV
+                instr.a = prior
+                instr.b = None
+                instr.imm = None
+                op = IROp.MOV
+
+        # Update value-tracking state.
+        dst = instr.defs()
+        if dst is not None:
+            invalidate(dst)
+            if op == IROp.LI and isinstance(instr.imm, int):
+                consts[dst] = instr.imm
+            elif op == IROp.MOV and instr.a != dst:
+                copies[dst] = instr.a
+                if instr.a in consts:
+                    consts[dst] = consts[instr.a]
+            elif op in _CSE_OPS:
+                cse[(op, instr.a, instr.b, instr.imm)] = dst
+
+
+# ---------------------------------------------------------------------------
+# global liveness + dead-code elimination
+# ---------------------------------------------------------------------------
+
+def block_use_def(block):
+    use = set()
+    defined = set()
+    for instr in block.instrs:
+        for reg in instr.uses():
+            if reg not in defined:
+                use.add(reg)
+        dst = instr.defs()
+        if dst is not None:
+            defined.add(dst)
+    return use, defined
+
+
+def liveness(cfg):
+    """Backward liveness dataflow; returns (live_in, live_out) lists."""
+    nblocks = len(cfg.blocks)
+    use = [None] * nblocks
+    defined = [None] * nblocks
+    for block in cfg.blocks:
+        use[block.bid], defined[block.bid] = block_use_def(block)
+    live_in = [set() for __ in range(nblocks)]
+    live_out = [set() for __ in range(nblocks)]
+    changed = True
+    while changed:
+        changed = False
+        for bid in range(nblocks - 1, -1, -1):
+            block = cfg.blocks[bid]
+            out = set()
+            for succ in block.succs:
+                out |= live_in[succ]
+            new_in = use[bid] | (out - defined[bid])
+            if out != live_out[bid] or new_in != live_in[bid]:
+                live_out[bid] = out
+                live_in[bid] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _dead_code_elimination(ir_method):
+    cfg = build_cfg(ir_method.code)
+    __, live_out = liveness(cfg)
+    dead = set()
+    for block in cfg.blocks:
+        live = set(live_out[block.bid])
+        for instr in reversed(block.instrs):
+            dst = instr.defs()
+            if (dst is not None and dst not in live
+                    and instr.op in _REMOVABLE_IF_DEAD):
+                dead.add(id(instr))
+                continue
+            if dst is not None:
+                live.discard(dst)
+            live.update(instr.uses())
+            # Self-moves are dead even when the register is live.
+            if instr.op == IROp.MOV and instr.a == instr.dst:
+                dead.add(id(instr))
+    if dead:
+        ir_method.code = [instr for instr in ir_method.code
+                          if id(instr) not in dead]

@@ -1,0 +1,302 @@
+"""Bytecode -> IR translation (the microJIT's front half).
+
+Translation abstract-interprets the operand stack: the verifier
+guarantees a consistent stack depth at every pc, so stack slot *d* can
+be pinned to register ``1 + max_locals + d`` and control-flow joins need
+no merge code.  Register 0 always holds zero; bytecode local *v* lives
+in register ``1 + v``.
+"""
+
+from ..bytecode.module import HEADER_BYTES, WORD
+from ..bytecode.opcodes import Op
+from ..bytecode.verifier import verify_method
+from ..errors import JitError
+from .ir import AllocInfo, IRInstr, IRMethod, IROp, Label, label_instr
+
+ZERO_REG = 0
+
+_INT_BINOP = {Op.IADD: IROp.ADD, Op.ISUB: IROp.SUB, Op.IMUL: IROp.MUL,
+              Op.IDIV: IROp.DIV, Op.IREM: IROp.REM, Op.IAND: IROp.AND,
+              Op.IOR: IROp.OR, Op.IXOR: IROp.XOR, Op.ISHL: IROp.SHL,
+              Op.ISHR: IROp.SHR, Op.IUSHR: IROp.USHR}
+_FLOAT_BINOP = {Op.FADD: IROp.FADD, Op.FSUB: IROp.FSUB, Op.FMUL: IROp.FMUL,
+                Op.FDIV: IROp.FDIV, Op.FREM: IROp.FREM}
+_ICMP_BRANCH = {Op.IF_ICMPEQ: IROp.BEQ, Op.IF_ICMPNE: IROp.BNE,
+                Op.IF_ICMPLT: IROp.BLT, Op.IF_ICMPGE: IROp.BGE,
+                Op.IF_ICMPGT: IROp.BGT, Op.IF_ICMPLE: IROp.BLE,
+                Op.IF_ACMPEQ: IROp.BEQ, Op.IF_ACMPNE: IROp.BNE}
+_IFZ_BRANCH = {Op.IFEQ: IROp.BEQZ, Op.IFNE: IROp.BNEZ,
+               Op.IFNULL: IROp.BEQZ, Op.IFNONNULL: IROp.BNEZ}
+_IFZ_CMP_BRANCH = {Op.IFLT: IROp.BLT, Op.IFGE: IROp.BGE,
+                   Op.IFGT: IROp.BGT, Op.IFLE: IROp.BLE}
+_ARRAY_LOADS = frozenset({Op.IALOAD, Op.FALOAD, Op.AALOAD})
+_ARRAY_STORES = frozenset({Op.IASTORE, Op.FASTORE, Op.AASTORE})
+_NEWARRAY_KIND = {Op.NEWARRAY_I: "int", Op.NEWARRAY_F: "float",
+                  Op.NEWARRAY_A: "ref"}
+
+
+class StaticLayout:
+    """Assigns absolute word addresses to static fields and class locks."""
+
+    def __init__(self, program, base):
+        self.base = base
+        self.field_addr = {}
+        self.class_lock_addr = {}
+        addr = base
+        for cls in sorted(program.classes.values(), key=lambda c: c.name):
+            self.class_lock_addr[cls.name] = addr
+            addr += WORD
+            for field in sorted(cls.fields.values(), key=lambda f: f.name):
+                if field.is_static:
+                    self.field_addr[(cls.name, field.name)] = addr
+                    addr += WORD
+        self.limit = addr
+
+    def static_address(self, class_name, field_name, program):
+        field = program.resolve_field(class_name, field_name)
+        return self.field_addr[(field.owner.name, field.name)]
+
+
+class Translator:
+    """Translates one bytecode method into label-form IR."""
+
+    def __init__(self, program, layout):
+        self.program = program
+        self.layout = layout
+
+    def translate(self, method):
+        depths = verify_method(self.program, method)
+        max_stack = max((d for d in depths if d is not None), default=0) + 4
+        base_stack = 1 + method.max_locals
+        ir = IRMethod(
+            method.qualified_name,
+            num_params=method.num_params,
+            returns_value=not method.return_type.is_void(),
+            nregs=base_stack + max_stack,
+            is_synchronized=method.is_synchronized,
+            sync_static_class=(method.owner.name
+                               if method.is_synchronized and method.is_static
+                               else None),
+        )
+        ir.num_locals = method.max_locals
+        self.ir = ir
+        self.base_stack = base_stack
+        self.method = method
+
+        targets = {instr.arg for instr in method.code if instr.is_branch()}
+        labels = {pc: Label("bc%d" % pc) for pc in targets}
+
+        self._emit_prologue(method, ir)
+
+        for pc, instr in enumerate(method.code):
+            if pc in labels:
+                ir.code.append(label_instr(labels[pc]))
+            depth = depths[pc]
+            if depth is None:
+                continue   # unreachable
+            self._translate_instr(instr, depth, labels)
+        return ir
+
+    # -- helpers -----------------------------------------------------------
+    def _emit_prologue(self, method, ir):
+        if method.is_synchronized:
+            if method.is_static:
+                addr = self.layout.class_lock_addr[method.owner.name]
+                ir.emit(IROp.MONENTER, a=None, imm=addr)
+            else:
+                ir.emit(IROp.MONENTER, a=1)   # receiver in r1
+
+    def _emit_unlock(self):
+        method = self.method
+        if method.is_synchronized:
+            if method.is_static:
+                addr = self.layout.class_lock_addr[method.owner.name]
+                self.ir.emit(IROp.MONEXIT, a=None, imm=addr)
+            else:
+                self.ir.emit(IROp.MONEXIT, a=1)
+
+    def _local(self, index):
+        return 1 + index
+
+    def _slot(self, depth):
+        return self.base_stack + depth
+
+    def _temp(self):
+        return self.ir.new_reg()
+
+    # -- the big dispatch ----------------------------------------------------
+    def _translate_instr(self, instr, depth, labels):
+        ir = self.ir
+        op = instr.op
+        arg = instr.arg
+        line = instr.line
+        slot = self._slot
+
+        if op in (Op.ICONST, Op.FCONST):
+            ir.emit(IROp.LI, dst=slot(depth), imm=arg, line=line)
+        elif op == Op.ACONST_NULL:
+            ir.emit(IROp.LI, dst=slot(depth), imm=0, line=line)
+        elif op == Op.LOAD:
+            ir.emit(IROp.MOV, dst=slot(depth), a=self._local(arg), line=line)
+        elif op == Op.STORE:
+            ir.emit(IROp.MOV, dst=self._local(arg), a=slot(depth - 1),
+                    line=line)
+        elif op == Op.IINC:
+            index, delta = arg
+            reg = self._local(index)
+            ir.emit(IROp.ADDI, dst=reg, a=reg, imm=delta, line=line)
+        elif op in _INT_BINOP:
+            ir.emit(_INT_BINOP[op], dst=slot(depth - 2), a=slot(depth - 2),
+                    b=slot(depth - 1), line=line)
+        elif op in _FLOAT_BINOP:
+            ir.emit(_FLOAT_BINOP[op], dst=slot(depth - 2), a=slot(depth - 2),
+                    b=slot(depth - 1), line=line)
+        elif op == Op.INEG:
+            ir.emit(IROp.NEG, dst=slot(depth - 1), a=slot(depth - 1),
+                    line=line)
+        elif op == Op.FNEG:
+            ir.emit(IROp.FNEG, dst=slot(depth - 1), a=slot(depth - 1),
+                    line=line)
+        elif op == Op.I2F:
+            ir.emit(IROp.I2F, dst=slot(depth - 1), a=slot(depth - 1),
+                    line=line)
+        elif op == Op.F2I:
+            ir.emit(IROp.F2I, dst=slot(depth - 1), a=slot(depth - 1),
+                    line=line)
+        elif op == Op.FCMP:
+            ir.emit(IROp.FCMP, dst=slot(depth - 2), a=slot(depth - 2),
+                    b=slot(depth - 1), line=line)
+        elif op == Op.GOTO:
+            ir.emit(IROp.J, target=labels[arg], line=line)
+        elif op in _ICMP_BRANCH:
+            ir.emit(_ICMP_BRANCH[op], a=slot(depth - 2), b=slot(depth - 1),
+                    target=labels[arg], line=line)
+        elif op in _IFZ_BRANCH:
+            ir.emit(_IFZ_BRANCH[op], a=slot(depth - 1), target=labels[arg],
+                    line=line)
+        elif op in _IFZ_CMP_BRANCH:
+            ir.emit(_IFZ_CMP_BRANCH[op], a=slot(depth - 1), b=ZERO_REG,
+                    target=labels[arg], line=line)
+        elif op in _NEWARRAY_KIND:
+            self._translate_newarray(_NEWARRAY_KIND[op], depth, line)
+        elif op == Op.ARRAYLENGTH:
+            aref = slot(depth - 1)
+            ir.emit(IROp.NULLCHK, a=aref, line=line)
+            ir.emit(IROp.LW, dst=aref, a=aref, imm=WORD, line=line)
+        elif op in _ARRAY_LOADS:
+            self._translate_array_load(depth, line)
+        elif op in _ARRAY_STORES:
+            self._translate_array_store(depth, line)
+        elif op == Op.NEW:
+            cls = self.program.get_class(arg)
+            ir.emit(IROp.ALLOC, dst=slot(depth), a=None,
+                    imm=cls.instance_size,
+                    aux=AllocInfo("object", class_name=cls.name,
+                                  class_id=cls.class_id), line=line)
+        elif op == Op.GETFIELD:
+            field = self.program.resolve_field(*arg)
+            obj = slot(depth - 1)
+            ir.emit(IROp.NULLCHK, a=obj, line=line)
+            ir.emit(IROp.LW, dst=obj, a=obj, imm=field.offset, line=line)
+        elif op == Op.PUTFIELD:
+            field = self.program.resolve_field(*arg)
+            obj = slot(depth - 2)
+            value = slot(depth - 1)
+            ir.emit(IROp.NULLCHK, a=obj, line=line)
+            ir.emit(IROp.SW, a=value, b=obj, imm=field.offset, line=line)
+        elif op == Op.GETSTATIC:
+            addr = self.layout.static_address(arg[0], arg[1], self.program)
+            ir.emit(IROp.LW, dst=slot(depth), a=None, imm=addr, line=line)
+        elif op == Op.PUTSTATIC:
+            addr = self.layout.static_address(arg[0], arg[1], self.program)
+            ir.emit(IROp.SW, a=slot(depth - 1), b=None, imm=addr, line=line)
+        elif op == Op.INVOKESTATIC:
+            callee = self.program.resolve_method(*arg)
+            nargs = len(callee.param_types)
+            args = [slot(depth - nargs + k) for k in range(nargs)]
+            dst = slot(depth - nargs) if not callee.return_type.is_void() \
+                else None
+            ir.emit(IROp.CALL, dst=dst, aux=(callee.owner.name, callee.name),
+                    args=args, line=line)
+        elif op == Op.INVOKEVIRTUAL:
+            callee = self.program.resolve_method(*arg)
+            nargs = len(callee.param_types)
+            recv = slot(depth - nargs - 1)
+            args = [recv] + [slot(depth - nargs + k) for k in range(nargs)]
+            ir.emit(IROp.NULLCHK, a=recv, line=line)
+            dst = recv if not callee.return_type.is_void() else None
+            ir.emit(IROp.CALLV, dst=dst, aux=(callee.owner.name, callee.name),
+                    args=args, line=line)
+        elif op == Op.RETURN:
+            self._emit_unlock()
+            ir.emit(IROp.RET, a=None, line=line)
+        elif op == Op.RETURN_VALUE:
+            self._emit_unlock()
+            ir.emit(IROp.RET, a=slot(depth - 1), line=line)
+        elif op == Op.MONITORENTER:
+            ir.emit(IROp.MONENTER, a=slot(depth - 1), line=line)
+        elif op == Op.MONITOREXIT:
+            ir.emit(IROp.MONEXIT, a=slot(depth - 1), line=line)
+        elif op == Op.INTRINSIC:
+            name, nargs = arg
+            from ..vm import intrinsics
+            intrinsic = intrinsics.lookup(name)
+            args = [slot(depth - nargs + k) for k in range(nargs)]
+            dst = slot(depth - nargs) if intrinsic.has_result() else None
+            ir.emit(IROp.INTRIN, dst=dst, aux=name, args=args, line=line)
+        elif op == Op.POP:
+            pass
+        elif op == Op.DUP:
+            ir.emit(IROp.MOV, dst=slot(depth), a=slot(depth - 1), line=line)
+        elif op == Op.DUP_X1:
+            ir.emit(IROp.MOV, dst=slot(depth), a=slot(depth - 1), line=line)
+            ir.emit(IROp.MOV, dst=slot(depth - 1), a=slot(depth - 2),
+                    line=line)
+            ir.emit(IROp.MOV, dst=slot(depth - 2), a=slot(depth), line=line)
+        elif op == Op.SWAP:
+            temp = self._temp()
+            ir.emit(IROp.MOV, dst=temp, a=slot(depth - 2), line=line)
+            ir.emit(IROp.MOV, dst=slot(depth - 2), a=slot(depth - 1),
+                    line=line)
+            ir.emit(IROp.MOV, dst=slot(depth - 1), a=temp, line=line)
+        elif op == Op.NOP:
+            pass
+        else:
+            raise JitError("untranslatable opcode %s" % op)
+
+    def _translate_newarray(self, kind, depth, line):
+        ir = self.ir
+        length = self._slot(depth - 1)
+        size = self._temp()
+        ir.emit(IROp.SLLI, dst=size, a=length, imm=2, line=line)
+        ir.emit(IROp.ADDI, dst=size, a=size, imm=HEADER_BYTES, line=line)
+        ir.emit(IROp.ALLOC, dst=length, a=size,
+                aux=AllocInfo("array", is_array=True, elem_kind=kind),
+                line=line)
+
+    def _translate_array_load(self, depth, line):
+        ir = self.ir
+        aref = self._slot(depth - 2)
+        index = self._slot(depth - 1)
+        ir.emit(IROp.NULLCHK, a=aref, line=line)
+        length = self._temp()
+        ir.emit(IROp.LW, dst=length, a=aref, imm=WORD, line=line)
+        ir.emit(IROp.BOUNDCHK, a=index, b=length, line=line)
+        addr = self._temp()
+        ir.emit(IROp.SLLI, dst=addr, a=index, imm=2, line=line)
+        ir.emit(IROp.ADD, dst=addr, a=aref, b=addr, line=line)
+        ir.emit(IROp.LW, dst=aref, a=addr, imm=HEADER_BYTES, line=line)
+
+    def _translate_array_store(self, depth, line):
+        ir = self.ir
+        aref = self._slot(depth - 3)
+        index = self._slot(depth - 2)
+        value = self._slot(depth - 1)
+        ir.emit(IROp.NULLCHK, a=aref, line=line)
+        length = self._temp()
+        ir.emit(IROp.LW, dst=length, a=aref, imm=WORD, line=line)
+        ir.emit(IROp.BOUNDCHK, a=index, b=length, line=line)
+        addr = self._temp()
+        ir.emit(IROp.SLLI, dst=addr, a=index, imm=2, line=line)
+        ir.emit(IROp.ADD, dst=addr, a=aref, b=addr, line=line)
+        ir.emit(IROp.SW, a=value, b=addr, imm=HEADER_BYTES, line=line)

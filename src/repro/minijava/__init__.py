@@ -1,0 +1,8 @@
+"""MiniJava frontend: Java-subset source -> JVM-like bytecode."""
+
+from .codegen import CodeGenerator, compile_source
+from .lexer import Token, tokenize
+from .parser import Parser, parse
+
+__all__ = ["compile_source", "CodeGenerator", "parse", "Parser",
+           "tokenize", "Token"]

@@ -1,0 +1,301 @@
+"""AST node classes for MiniJava.
+
+Plain data holders; all behaviour lives in the parser and code generator.
+Every node carries a source line for error messages.
+"""
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line):
+        self.line = line
+
+
+# -- declarations ------------------------------------------------------------
+
+class ProgramDecl(Node):
+    __slots__ = ("classes",)
+
+    def __init__(self, classes):
+        super().__init__(1)
+        self.classes = classes
+
+
+class ClassDecl(Node):
+    __slots__ = ("name", "superclass", "fields", "methods")
+
+    def __init__(self, name, superclass, fields, methods, line):
+        super().__init__(line)
+        self.name = name
+        self.superclass = superclass
+        self.fields = fields
+        self.methods = methods
+
+
+class FieldDecl(Node):
+    __slots__ = ("name", "type", "is_static")
+
+    def __init__(self, name, ftype, is_static, line):
+        super().__init__(line)
+        self.name = name
+        self.type = ftype
+        self.is_static = is_static
+
+
+class MethodDecl(Node):
+    __slots__ = ("name", "params", "return_type", "is_static",
+                 "is_synchronized", "body", "is_constructor")
+
+    def __init__(self, name, params, return_type, is_static,
+                 is_synchronized, body, line, is_constructor=False):
+        super().__init__(line)
+        self.name = name
+        self.params = params          # list[(name, Type)]
+        self.return_type = return_type
+        self.is_static = is_static
+        self.is_synchronized = is_synchronized
+        self.body = body              # Block
+        self.is_constructor = is_constructor
+
+
+# -- statements ------------------------------------------------------------
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements, line):
+        super().__init__(line)
+        self.statements = statements
+
+
+class VarDecl(Node):
+    __slots__ = ("name", "type", "init")
+
+    def __init__(self, name, vtype, init, line):
+        super().__init__(line)
+        self.name = name
+        self.type = vtype
+        self.init = init
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond, then, otherwise, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    __slots__ = ("init", "cond", "update", "body")
+
+    def __init__(self, init, cond, update, body, line):
+        super().__init__(line)
+        self.init = init          # statement or None
+        self.cond = cond          # expression or None
+        self.update = update      # statement or None
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+# -- expressions -------------------------------------------------------------
+
+class IntLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class BoolLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class NullLit(Node):
+    __slots__ = ()
+
+
+class Name(Node):
+    """An identifier: local, parameter, field (implicit this), or class."""
+    __slots__ = ("ident",)
+
+    def __init__(self, ident, line):
+        super().__init__(line)
+        self.ident = ident
+
+
+class This(Node):
+    __slots__ = ()
+
+
+class FieldAccess(Node):
+    __slots__ = ("target", "name")
+
+    def __init__(self, target, name, line):
+        super().__init__(line)
+        self.target = target
+        self.name = name
+
+
+class Index(Node):
+    __slots__ = ("target", "index")
+
+    def __init__(self, target, index, line):
+        super().__init__(line)
+        self.target = target
+        self.index = index
+
+
+class Call(Node):
+    """Method call: target is None (implicit this/static), an expression,
+    or a Name that resolves to a class (static call)."""
+    __slots__ = ("target", "name", "args")
+
+    def __init__(self, target, name, args, line):
+        super().__init__(line)
+        self.target = target
+        self.name = name
+        self.args = args
+
+
+class New(Node):
+    __slots__ = ("class_name", "args")
+
+    def __init__(self, class_name, args, line):
+        super().__init__(line)
+        self.class_name = class_name
+        self.args = args
+
+
+class NewArray(Node):
+    __slots__ = ("element_type", "lengths")
+
+    def __init__(self, element_type, lengths, line):
+        super().__init__(line)
+        self.element_type = element_type   # Type of elements (innermost)
+        self.lengths = lengths             # one expr per sized dimension
+
+
+class ArrayLength(Node):
+    __slots__ = ("target",)
+
+    def __init__(self, target, line):
+        super().__init__(line)
+        self.target = target
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line):
+        super().__init__(line)
+        self.op = op            # "-", "!", "~"
+        self.operand = operand
+
+
+class Cast(Node):
+    __slots__ = ("type", "operand")
+
+    def __init__(self, cast_type, operand, line):
+        super().__init__(line)
+        self.type = cast_type
+        self.operand = operand
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Node):
+    """``target op= value`` where op is "" for plain assignment."""
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, target, op, value, line):
+        super().__init__(line)
+        self.target = target
+        self.op = op
+        self.value = value
+
+
+class IncDec(Node):
+    """``target++`` / ``target--`` (prefix and postfix)."""
+    __slots__ = ("target", "delta", "is_prefix")
+
+    def __init__(self, target, delta, is_prefix, line):
+        super().__init__(line)
+        self.target = target
+        self.delta = delta
+        self.is_prefix = is_prefix
+
+
+class Ternary(Node):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond, then, otherwise, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise

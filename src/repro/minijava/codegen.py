@@ -1,0 +1,1093 @@
+"""MiniJava AST -> bytecode code generator.
+
+Two passes: declare every class/field/method signature, then compile
+method bodies.  Expression generation is type-directed: each ``_gen_*``
+returns the static :class:`Type` of the value it left on the stack, and
+int values are promoted to float (``I2F``) where Java would promote.
+"""
+
+from ..bytecode.instructions import Instr, i32
+from ..bytecode.module import (BOOLEAN, ClassDef, Field, FLOAT, INT, Method,
+                               NULL, Program, Type, VOID)
+from ..bytecode.opcodes import Op
+from ..errors import CompileError
+from ..vm import intrinsics
+from . import ast_nodes as ast
+from .parser import parse
+
+_INT_BINOPS = {"+": Op.IADD, "-": Op.ISUB, "*": Op.IMUL, "/": Op.IDIV,
+               "%": Op.IREM, "&": Op.IAND, "|": Op.IOR, "^": Op.IXOR,
+               "<<": Op.ISHL, ">>": Op.ISHR, ">>>": Op.IUSHR}
+_FLOAT_BINOPS = {"+": Op.FADD, "-": Op.FSUB, "*": Op.FMUL, "/": Op.FDIV,
+                 "%": Op.FREM}
+_CMP_OPS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+            ">": "gt", ">=": "ge"}
+_ICMP_BRANCH = {"eq": Op.IF_ICMPEQ, "ne": Op.IF_ICMPNE, "lt": Op.IF_ICMPLT,
+                "ge": Op.IF_ICMPGE, "gt": Op.IF_ICMPGT, "le": Op.IF_ICMPLE}
+_IFZ_BRANCH = {"eq": Op.IFEQ, "ne": Op.IFNE, "lt": Op.IFLT,
+               "ge": Op.IFGE, "gt": Op.IFGT, "le": Op.IFLE}
+_NEGATE = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+           "gt": "le", "le": "gt"}
+_SWAP_CMP = {"eq": "eq", "ne": "ne", "lt": "gt", "gt": "lt",
+             "le": "ge", "ge": "le"}
+
+
+class _Label:
+    """A branch target resolved during backpatching."""
+    __slots__ = ("index",)
+
+    def __init__(self):
+        self.index = None
+
+
+class _LocalScope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names = {}
+
+    def declare(self, name, slot, vtype, line):
+        if self.lookup(name) is not None:
+            # Java forbids shadowing a local with another local.
+            raise CompileError("duplicate variable %r" % name, line)
+        self.names[name] = (slot, vtype)
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            entry = scope.names.get(name)
+            if entry is not None:
+                return entry
+            scope = scope.parent
+        return None
+
+
+class _MethodContext:
+    def __init__(self, method, cls):
+        self.method = method
+        self.cls = cls
+        self.code = []
+        self.scope = _LocalScope()
+        self.next_slot = 0
+        self.high_water = 0
+        self.break_labels = []
+        self.continue_labels = []
+
+    def alloc_slot(self):
+        slot = self.next_slot
+        self.next_slot += 1
+        self.high_water = max(self.high_water, self.next_slot)
+        return slot
+
+    def emit(self, op, arg=None, line=None):
+        self.code.append(Instr(op, arg, line))
+        return self.code[-1]
+
+    def here(self):
+        return len(self.code)
+
+    def bind(self, label):
+        label.index = len(self.code)
+
+
+class CodeGenerator:
+    def __init__(self, decl):
+        self.decl = decl
+        self.program = Program()
+        self._class_decls = {}
+
+    # -- driver ------------------------------------------------------------
+    def generate(self):
+        for class_decl in self.decl.classes:
+            if class_decl.name in intrinsics.BUILTIN_CLASSES:
+                raise CompileError("class %s shadows a builtin"
+                                   % class_decl.name, class_decl.line)
+            self._class_decls[class_decl.name] = class_decl
+            self.program.add_class(ClassDef(class_decl.name))
+        # Wire superclasses and declare members.
+        for class_decl in self.decl.classes:
+            cls = self.program.get_class(class_decl.name)
+            if class_decl.superclass is not None:
+                cls.superclass = self.program.get_class(class_decl.superclass)
+            for field_decl in class_decl.fields:
+                self._check_type(field_decl.type, field_decl.line)
+                cls.add_field(Field(field_decl.name, field_decl.type,
+                                    field_decl.is_static))
+            for method_decl in class_decl.methods:
+                for __, ptype in method_decl.params:
+                    self._check_type(ptype, method_decl.line)
+                if not method_decl.return_type.is_void():
+                    self._check_type(method_decl.return_type,
+                                     method_decl.line)
+                cls.add_method(Method(
+                    method_decl.name, cls,
+                    [ptype for __, ptype in method_decl.params],
+                    method_decl.return_type,
+                    is_static=method_decl.is_static,
+                    is_synchronized=method_decl.is_synchronized))
+        for class_decl in self.decl.classes:
+            cls = self.program.get_class(class_decl.name)
+            for method_decl in class_decl.methods:
+                self._compile_method(cls, method_decl)
+        return self.program.seal()
+
+    def _check_type(self, wanted, line):
+        if wanted.base in ("int", "float", "boolean", "void"):
+            return
+        if wanted.base not in self._class_decls:
+            raise CompileError("unknown type %r" % wanted.base, line)
+
+    # -- method bodies -----------------------------------------------------
+    def _compile_method(self, cls, method_decl):
+        method = cls.methods[method_decl.name]
+        ctx = _MethodContext(method, cls)
+        self.ctx = ctx
+        if not method.is_static:
+            this_slot = ctx.alloc_slot()
+            ctx.scope.declare("this", this_slot, Type(cls.name),
+                              method_decl.line)
+        for pname, ptype in method_decl.params:
+            slot = ctx.alloc_slot()
+            ctx.scope.declare(pname, slot, ptype, method_decl.line)
+            method.local_names[slot] = pname
+
+        self._gen_block(method_decl.body)
+
+        # Implicit return at a fall-through end of the method.  A final
+        # GOTO does not count: a loop's end label may be bound after it.
+        if not ctx.code or ctx.code[-1].op not in (Op.RETURN,
+                                                   Op.RETURN_VALUE):
+            if method.return_type.is_void():
+                ctx.emit(Op.RETURN)
+            elif method.return_type.is_float():
+                ctx.emit(Op.FCONST, 0.0)
+                ctx.emit(Op.RETURN_VALUE)
+            elif method.return_type.is_reference():
+                ctx.emit(Op.ACONST_NULL)
+                ctx.emit(Op.RETURN_VALUE)
+            else:
+                ctx.emit(Op.ICONST, 0)
+                ctx.emit(Op.RETURN_VALUE)
+
+        method.code = self._resolve_labels(ctx.code)
+        method.max_locals = ctx.high_water
+
+    @staticmethod
+    def _resolve_labels(code):
+        for instr in code:
+            if isinstance(instr.arg, _Label):
+                if instr.arg.index is None:
+                    raise CompileError("unbound label in generated code")
+                instr.arg = instr.arg.index
+        return code
+
+    # -- statements -----------------------------------------------------------
+    def _gen_block(self, block):
+        ctx = self.ctx
+        saved_scope = ctx.scope
+        saved_slot = ctx.next_slot
+        ctx.scope = _LocalScope(saved_scope)
+        for statement in block.statements:
+            self._gen_statement(statement)
+        ctx.scope = saved_scope
+        ctx.next_slot = saved_slot
+
+    def _gen_statement(self, stmt):
+        ctx = self.ctx
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_type(stmt.type, stmt.line)
+            slot = ctx.alloc_slot()
+            ctx.scope.declare(stmt.name, slot, stmt.type, stmt.line)
+            ctx.method.local_names[slot] = stmt.name
+            if stmt.init is not None:
+                value_type = self._gen_expr(stmt.init)
+                self._convert(value_type, stmt.type, stmt.line)
+            else:
+                if stmt.type.is_float():
+                    ctx.emit(Op.FCONST, 0.0, stmt.line)
+                elif stmt.type.is_reference():
+                    ctx.emit(Op.ACONST_NULL, None, stmt.line)
+                else:
+                    ctx.emit(Op.ICONST, 0, stmt.line)
+            ctx.emit(Op.STORE, slot, stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not ctx.break_labels:
+                raise CompileError("break outside loop", stmt.line)
+            ctx.emit(Op.GOTO, ctx.break_labels[-1], stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if not ctx.continue_labels:
+                raise CompileError("continue outside loop", stmt.line)
+            ctx.emit(Op.GOTO, ctx.continue_labels[-1], stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, (ast.Assign, ast.IncDec)):
+                # Assignments with need_value=False leave nothing behind.
+                self._gen_expr(stmt.expr, need_value=False)
+            else:
+                result = self._gen_expr(stmt.expr)
+                if not result.is_void():
+                    ctx.emit(Op.POP, None, stmt.line)
+        else:
+            raise CompileError("unhandled statement %r" % stmt, stmt.line)
+
+    def _gen_if(self, stmt):
+        ctx = self.ctx
+        else_label = _Label()
+        end_label = _Label()
+        self._gen_cond(stmt.cond, else_label, jump_if=False)
+        self._gen_statement(stmt.then)
+        if stmt.otherwise is not None:
+            ctx.emit(Op.GOTO, end_label, stmt.line)
+            ctx.bind(else_label)
+            self._gen_statement(stmt.otherwise)
+            ctx.bind(end_label)
+        else:
+            ctx.bind(else_label)
+
+    def _gen_while(self, stmt):
+        ctx = self.ctx
+        top = _Label()
+        end = _Label()
+        ctx.bind(top)
+        self._gen_cond(stmt.cond, end, jump_if=False)
+        ctx.break_labels.append(end)
+        ctx.continue_labels.append(top)
+        self._gen_statement(stmt.body)
+        ctx.continue_labels.pop()
+        ctx.break_labels.pop()
+        ctx.emit(Op.GOTO, top, stmt.line)
+        ctx.bind(end)
+
+    def _gen_do_while(self, stmt):
+        ctx = self.ctx
+        top = _Label()
+        cond_label = _Label()
+        end = _Label()
+        ctx.bind(top)
+        ctx.break_labels.append(end)
+        ctx.continue_labels.append(cond_label)
+        self._gen_statement(stmt.body)
+        ctx.continue_labels.pop()
+        ctx.break_labels.pop()
+        ctx.bind(cond_label)
+        self._gen_cond(stmt.cond, top, jump_if=True)
+        ctx.bind(end)
+
+    def _gen_for(self, stmt):
+        ctx = self.ctx
+        saved_scope = ctx.scope
+        saved_slot = ctx.next_slot
+        ctx.scope = _LocalScope(saved_scope)
+        if stmt.init is not None:
+            self._gen_statement(stmt.init)
+        top = _Label()
+        update_label = _Label()
+        end = _Label()
+        ctx.bind(top)
+        if stmt.cond is not None:
+            self._gen_cond(stmt.cond, end, jump_if=False)
+        ctx.break_labels.append(end)
+        ctx.continue_labels.append(update_label)
+        self._gen_statement(stmt.body)
+        ctx.continue_labels.pop()
+        ctx.break_labels.pop()
+        ctx.bind(update_label)
+        if stmt.update is not None:
+            self._gen_statement(stmt.update)
+        ctx.emit(Op.GOTO, top, stmt.line)
+        ctx.bind(end)
+        ctx.scope = saved_scope
+        ctx.next_slot = saved_slot
+
+    def _gen_return(self, stmt):
+        ctx = self.ctx
+        wanted = ctx.method.return_type
+        if stmt.value is None:
+            if not wanted.is_void():
+                raise CompileError("missing return value", stmt.line)
+            ctx.emit(Op.RETURN, None, stmt.line)
+        else:
+            if wanted.is_void():
+                raise CompileError("void method returns a value", stmt.line)
+            value_type = self._gen_expr(stmt.value)
+            self._convert(value_type, wanted, stmt.line)
+            ctx.emit(Op.RETURN_VALUE, None, stmt.line)
+
+    # -- conditions ---------------------------------------------------------------
+    def _gen_cond(self, expr, target, jump_if):
+        """Emit a branch to *target* taken when *expr* == *jump_if*."""
+        ctx = self.ctx
+        if isinstance(expr, ast.BoolLit):
+            if expr.value == jump_if:
+                ctx.emit(Op.GOTO, target, expr.line)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._gen_cond(expr.operand, target, not jump_if)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+            is_and = expr.op == "&&"
+            if is_and != jump_if:
+                # (&&, jump-if-false) or (||, jump-if-true): both arms branch.
+                self._gen_cond(expr.left, target, jump_if)
+                self._gen_cond(expr.right, target, jump_if)
+            else:
+                skip = _Label()
+                self._gen_cond(expr.left, skip, not jump_if)
+                self._gen_cond(expr.right, target, jump_if)
+                ctx.bind(skip)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in _CMP_OPS:
+            self._gen_comparison_branch(expr, target, jump_if)
+            return
+        value_type = self._gen_expr(expr)
+        if not value_type.is_int():
+            if value_type.is_reference() or value_type == NULL:
+                op = Op.IFNONNULL if jump_if else Op.IFNULL
+                ctx.emit(op, target, expr.line)
+                return
+            raise CompileError("condition must be boolean/int", expr.line)
+        ctx.emit(Op.IFNE if jump_if else Op.IFEQ, target, expr.line)
+
+    def _gen_comparison_branch(self, expr, target, jump_if):
+        ctx = self.ctx
+        cond = _CMP_OPS[expr.op]
+        left_type = self._type_of(expr.left)
+        right_type = self._type_of(expr.right)
+        if not jump_if:
+            cond = _NEGATE[cond]
+        if (left_type.is_reference() or right_type.is_reference()
+                or left_type == NULL or right_type == NULL):
+            if cond not in ("eq", "ne"):
+                raise CompileError("references only compare ==/!=", expr.line)
+            if isinstance(expr.right, ast.NullLit):
+                self._gen_expr(expr.left)
+                op = Op.IFNULL if cond == "eq" else Op.IFNONNULL
+                ctx.emit(op, target, expr.line)
+            elif isinstance(expr.left, ast.NullLit):
+                self._gen_expr(expr.right)
+                op = Op.IFNULL if cond == "eq" else Op.IFNONNULL
+                ctx.emit(op, target, expr.line)
+            else:
+                self._gen_expr(expr.left)
+                self._gen_expr(expr.right)
+                op = Op.IF_ACMPEQ if cond == "eq" else Op.IF_ACMPNE
+                ctx.emit(op, target, expr.line)
+            return
+        if left_type.is_float() or right_type.is_float():
+            actual = self._gen_expr(expr.left)
+            self._convert(actual, FLOAT, expr.line)
+            actual = self._gen_expr(expr.right)
+            self._convert(actual, FLOAT, expr.line)
+            ctx.emit(Op.FCMP, None, expr.line)
+            ctx.emit(_IFZ_BRANCH[cond], target, expr.line)
+            return
+        # int comparison; fold "x cmp 0" to an IFxx branch.
+        if isinstance(expr.right, ast.IntLit) and expr.right.value == 0:
+            self._gen_expr(expr.left)
+            ctx.emit(_IFZ_BRANCH[cond], target, expr.line)
+            return
+        if isinstance(expr.left, ast.IntLit) and expr.left.value == 0:
+            self._gen_expr(expr.right)
+            ctx.emit(_IFZ_BRANCH[_SWAP_CMP[cond]], target, expr.line)
+            return
+        self._gen_expr(expr.left)
+        self._gen_expr(expr.right)
+        ctx.emit(_ICMP_BRANCH[cond], target, expr.line)
+
+    # -- expression type inference (no emission) ---------------------------------
+    def _type_of(self, expr):
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.BoolLit):
+            return BOOLEAN
+        if isinstance(expr, ast.NullLit):
+            return NULL
+        if isinstance(expr, ast.This):
+            return Type(self.ctx.cls.name)
+        if isinstance(expr, ast.Name):
+            entry = self.ctx.scope.lookup(expr.ident)
+            if entry is not None:
+                return entry[1]
+            field = self.ctx.cls.find_field(expr.ident)
+            if field is not None:
+                return field.type
+            if (expr.ident in self.program.classes
+                    or expr.ident in intrinsics.BUILTIN_CLASSES):
+                return Type(expr.ident)   # class reference (static access)
+            raise CompileError("unknown name %r" % expr.ident, expr.line)
+        if isinstance(expr, ast.FieldAccess):
+            target_type = self._type_of(expr.target)
+            field = self._resolve_field(target_type, expr.name, expr.line)
+            return field.type
+        if isinstance(expr, ast.Index):
+            return self._type_of(expr.target).element()
+        if isinstance(expr, ast.ArrayLength):
+            return INT
+        if isinstance(expr, ast.Call):
+            return self._resolve_call(expr)[2]
+        if isinstance(expr, ast.New):
+            return Type(expr.class_name)
+        if isinstance(expr, ast.NewArray):
+            return Type(expr.element_type.base,
+                        expr.element_type.dims + len(expr.lengths))
+        if isinstance(expr, ast.Unary):
+            if expr.op == "!":
+                return BOOLEAN
+            return self._type_of(expr.operand)
+        if isinstance(expr, ast.Cast):
+            return expr.type
+        if isinstance(expr, ast.Binary):
+            if expr.op in _CMP_OPS or expr.op in ("&&", "||"):
+                return BOOLEAN
+            left = self._type_of(expr.left)
+            right = self._type_of(expr.right)
+            if expr.op in ("<<", ">>", ">>>", "&", "|", "^", "%") and \
+                    left.is_int() and right.is_int():
+                return INT
+            if left.is_float() or right.is_float():
+                return FLOAT
+            return INT
+        if isinstance(expr, ast.Assign):
+            return self._type_of(expr.target)
+        if isinstance(expr, ast.IncDec):
+            return self._type_of(expr.target)
+        if isinstance(expr, ast.Ternary):
+            then_type = self._type_of(expr.then)
+            else_type = self._type_of(expr.otherwise)
+            if then_type.is_float() or else_type.is_float():
+                return FLOAT
+            return then_type
+        raise CompileError("cannot type expression %r" % expr, expr.line)
+
+    def _resolve_field(self, target_type, name, line):
+        if not target_type.is_reference() or target_type.is_array():
+            raise CompileError("field access on non-object", line)
+        cls = self.program.classes.get(target_type.base)
+        if cls is None:
+            raise CompileError("unknown class %r" % target_type.base, line)
+        field = cls.find_field(name)
+        if field is None:
+            raise CompileError("unknown field %s.%s"
+                               % (target_type.base, name), line)
+        return field
+
+    def _resolve_call(self, expr):
+        """Return (kind, payload, return_type) for a Call node.
+
+        kind is one of "intrinsic", "static", "virtual".
+        """
+        target = expr.target
+        if isinstance(target, ast.Name) and \
+                target.ident in intrinsics.BUILTIN_CLASSES:
+            key = (target.ident, expr.name)
+            name = intrinsics.BUILTIN_METHODS.get(key)
+            if name is None:
+                raise CompileError("unknown builtin %s.%s" % key, expr.line)
+            return ("intrinsic", intrinsics.lookup(name),
+                    intrinsics.lookup(name).return_type)
+        if isinstance(target, ast.Name) and target.ident in self.program.classes:
+            if self.ctx.scope.lookup(target.ident) is None:
+                cls = self.program.get_class(target.ident)
+                method = cls.find_method(expr.name)
+                if method is None:
+                    raise CompileError("unknown method %s.%s"
+                                       % (target.ident, expr.name), expr.line)
+                if method.is_static:
+                    return ("static", method, method.return_type)
+                raise CompileError("instance method %s.%s called statically"
+                                   % (target.ident, expr.name), expr.line)
+        if target is None:
+            method = self.ctx.cls.find_method(expr.name)
+            if method is None:
+                raise CompileError("unknown method %r" % expr.name, expr.line)
+            if method.is_static:
+                return ("static", method, method.return_type)
+            if self.ctx.method.is_static:
+                raise CompileError(
+                    "instance method %r called from static context"
+                    % expr.name, expr.line)
+            return ("virtual", method, method.return_type)
+        target_type = self._type_of(target)
+        if not target_type.is_reference() or target_type.is_array():
+            raise CompileError("method call on non-object", expr.line)
+        cls = self.program.classes.get(target_type.base)
+        if cls is None:
+            raise CompileError("unknown class %r" % target_type.base,
+                               expr.line)
+        method = cls.find_method(expr.name)
+        if method is None:
+            raise CompileError("unknown method %s.%s"
+                               % (target_type.base, expr.name), expr.line)
+        return ("virtual", method, method.return_type)
+
+    # -- conversions -----------------------------------------------------------------
+    def _convert(self, actual, wanted, line):
+        if actual == wanted:
+            return
+        if actual.is_int() and wanted.is_int():
+            return
+        if actual.is_int() and wanted.is_float():
+            self.ctx.emit(Op.I2F, None, line)
+            return
+        if actual.is_float() and wanted.is_int():
+            raise CompileError("cannot implicitly convert float to int; "
+                               "use (int) cast", line)
+        if actual == NULL and wanted.is_reference():
+            return
+        if actual.is_reference() and wanted.is_reference():
+            if actual.is_array() or wanted.is_array():
+                if actual == wanted:
+                    return
+                raise CompileError("array type mismatch: %s vs %s"
+                                   % (actual, wanted), line)
+            actual_cls = self.program.classes.get(actual.base)
+            wanted_cls = self.program.classes.get(wanted.base)
+            if (actual_cls is not None and wanted_cls is not None
+                    and actual_cls.is_subclass_of(wanted_cls)):
+                return
+            raise CompileError("type mismatch: %s vs %s" % (actual, wanted),
+                               line)
+        raise CompileError("type mismatch: %s vs %s" % (actual, wanted), line)
+
+    # -- expressions -----------------------------------------------------------------
+    def _gen_expr(self, expr, need_value=True):
+        ctx = self.ctx
+        if isinstance(expr, ast.IntLit):
+            ctx.emit(Op.ICONST, i32(expr.value), expr.line)
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            ctx.emit(Op.FCONST, float(expr.value), expr.line)
+            return FLOAT
+        if isinstance(expr, ast.BoolLit):
+            ctx.emit(Op.ICONST, 1 if expr.value else 0, expr.line)
+            return BOOLEAN
+        if isinstance(expr, ast.NullLit):
+            ctx.emit(Op.ACONST_NULL, None, expr.line)
+            return NULL
+        if isinstance(expr, ast.This):
+            entry = ctx.scope.lookup("this")
+            if entry is None:
+                raise CompileError("'this' in static context", expr.line)
+            ctx.emit(Op.LOAD, entry[0], expr.line)
+            return entry[1]
+        if isinstance(expr, ast.Name):
+            return self._gen_name(expr)
+        if isinstance(expr, ast.FieldAccess):
+            return self._gen_field_access(expr)
+        if isinstance(expr, ast.Index):
+            return self._gen_index(expr)
+        if isinstance(expr, ast.ArrayLength):
+            target_type = self._gen_expr(expr.target)
+            if not target_type.is_array():
+                raise CompileError(".length on non-array", expr.line)
+            ctx.emit(Op.ARRAYLENGTH, None, expr.line)
+            return INT
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr, need_value)
+        if isinstance(expr, ast.New):
+            return self._gen_new(expr)
+        if isinstance(expr, ast.NewArray):
+            return self._gen_new_array(expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Cast):
+            return self._gen_cast(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr, need_value)
+        if isinstance(expr, ast.IncDec):
+            return self._gen_incdec(expr, need_value)
+        if isinstance(expr, ast.Ternary):
+            return self._gen_ternary(expr)
+        raise CompileError("unhandled expression %r" % expr, expr.line)
+
+    def _gen_name(self, expr):
+        ctx = self.ctx
+        entry = ctx.scope.lookup(expr.ident)
+        if entry is not None:
+            ctx.emit(Op.LOAD, entry[0], expr.line)
+            return entry[1]
+        field = ctx.cls.find_field(expr.ident)
+        if field is not None:
+            if field.is_static:
+                ctx.emit(Op.GETSTATIC, (field.owner.name, field.name),
+                         expr.line)
+            else:
+                if ctx.method.is_static:
+                    raise CompileError("instance field %r in static context"
+                                       % expr.ident, expr.line)
+                this = ctx.scope.lookup("this")
+                ctx.emit(Op.LOAD, this[0], expr.line)
+                ctx.emit(Op.GETFIELD, (field.owner.name, field.name),
+                         expr.line)
+            return field.type
+        raise CompileError("unknown name %r" % expr.ident, expr.line)
+
+    def _gen_field_access(self, expr):
+        ctx = self.ctx
+        # Static access through a class name: `Config.limit`.
+        if isinstance(expr.target, ast.Name) and \
+                expr.target.ident in self.program.classes and \
+                ctx.scope.lookup(expr.target.ident) is None:
+            cls = self.program.get_class(expr.target.ident)
+            field = cls.find_field(expr.name)
+            if field is not None and field.is_static:
+                ctx.emit(Op.GETSTATIC, (field.owner.name, field.name),
+                         expr.line)
+                return field.type
+        target_type = self._gen_expr(expr.target)
+        field = self._resolve_field(target_type, expr.name, expr.line)
+        if field.is_static:
+            ctx.emit(Op.POP, None, expr.line)
+            ctx.emit(Op.GETSTATIC, (field.owner.name, field.name), expr.line)
+        else:
+            ctx.emit(Op.GETFIELD, (field.owner.name, field.name), expr.line)
+        return field.type
+
+    def _gen_index(self, expr):
+        ctx = self.ctx
+        array_type = self._gen_expr(expr.target)
+        if not array_type.is_array():
+            raise CompileError("indexing a non-array", expr.line)
+        index_type = self._gen_expr(expr.index)
+        if not index_type.is_int():
+            raise CompileError("array index must be int", expr.line)
+        element = array_type.element()
+        ctx.emit(self._aload_op(element), None, expr.line)
+        return element
+
+    @staticmethod
+    def _aload_op(element):
+        if element.is_float():
+            return Op.FALOAD
+        if element.is_int():
+            return Op.IALOAD
+        return Op.AALOAD
+
+    @staticmethod
+    def _astore_op(element):
+        if element.is_float():
+            return Op.FASTORE
+        if element.is_int():
+            return Op.IASTORE
+        return Op.AASTORE
+
+    def _gen_call(self, expr, need_value=True):
+        ctx = self.ctx
+        kind, payload, return_type = self._resolve_call(expr)
+        if kind == "intrinsic":
+            intrinsic = payload
+            if len(expr.args) != intrinsic.nargs:
+                raise CompileError("%s expects %d args"
+                                   % (intrinsic.name, intrinsic.nargs),
+                                   expr.line)
+            for arg, wanted in zip(expr.args, intrinsic.arg_types):
+                actual = self._gen_expr(arg)
+                self._convert(actual, wanted, expr.line)
+            ctx.emit(Op.INTRINSIC, (intrinsic.name, intrinsic.nargs),
+                     expr.line)
+            return intrinsic.return_type
+        method = payload
+        if len(expr.args) != len(method.param_types):
+            raise CompileError("%s expects %d args, got %d"
+                               % (method.qualified_name,
+                                  len(method.param_types), len(expr.args)),
+                               expr.line)
+        if kind == "virtual":
+            if expr.target is None:
+                this = ctx.scope.lookup("this")
+                ctx.emit(Op.LOAD, this[0], expr.line)
+            else:
+                self._gen_expr(expr.target)
+        for arg, wanted in zip(expr.args, method.param_types):
+            actual = self._gen_expr(arg)
+            self._convert(actual, wanted, expr.line)
+        opcode = Op.INVOKESTATIC if kind == "static" else Op.INVOKEVIRTUAL
+        ctx.emit(opcode, (method.owner.name, method.name), expr.line)
+        return return_type
+
+    def _gen_new(self, expr):
+        ctx = self.ctx
+        cls = self.program.classes.get(expr.class_name)
+        if cls is None:
+            raise CompileError("unknown class %r" % expr.class_name,
+                               expr.line)
+        ctx.emit(Op.NEW, cls.name, expr.line)
+        ctor = cls.find_method("<init>")
+        if ctor is None:
+            if expr.args:
+                raise CompileError("%s has no constructor" % cls.name,
+                                   expr.line)
+            return Type(cls.name)
+        if len(expr.args) != len(ctor.param_types):
+            raise CompileError("%s constructor expects %d args"
+                               % (cls.name, len(ctor.param_types)), expr.line)
+        ctx.emit(Op.DUP, None, expr.line)
+        for arg, wanted in zip(expr.args, ctor.param_types):
+            actual = self._gen_expr(arg)
+            self._convert(actual, wanted, expr.line)
+        ctx.emit(Op.INVOKEVIRTUAL, (ctor.owner.name, "<init>"), expr.line)
+        return Type(cls.name)
+
+    def _gen_new_array(self, expr):
+        ctx = self.ctx
+        result_type = Type(expr.element_type.base,
+                           expr.element_type.dims + len(expr.lengths))
+        self._gen_new_array_dims(expr, 0, result_type)
+        return result_type
+
+    def _newarray_op(self, element):
+        if element.is_float():
+            return Op.NEWARRAY_F
+        if element.is_int():
+            return Op.NEWARRAY_I
+        return Op.NEWARRAY_A
+
+    def _gen_new_array_dims(self, expr, dim, result_type):
+        """Emit code creating dimension *dim* of a (possibly) nested array."""
+        ctx = self.ctx
+        length_type = self._gen_expr(expr.lengths[dim])
+        if not length_type.is_int():
+            raise CompileError("array length must be int", expr.line)
+        element = Type(result_type.base, result_type.dims - 1)
+        if dim == len(expr.lengths) - 1:
+            ctx.emit(self._newarray_op(element), None, expr.line)
+            return
+        # Allocate the outer ref-array, then fill each slot in a loop.
+        ctx.emit(Op.NEWARRAY_A, None, expr.line)
+        array_slot = ctx.alloc_slot()
+        index_slot = ctx.alloc_slot()
+        ctx.emit(Op.STORE, array_slot, expr.line)
+        ctx.emit(Op.ICONST, 0, expr.line)
+        ctx.emit(Op.STORE, index_slot, expr.line)
+        top = _Label()
+        end = _Label()
+        ctx.bind(top)
+        ctx.emit(Op.LOAD, index_slot, expr.line)
+        ctx.emit(Op.LOAD, array_slot, expr.line)
+        ctx.emit(Op.ARRAYLENGTH, None, expr.line)
+        ctx.emit(Op.IF_ICMPGE, end, expr.line)
+        ctx.emit(Op.LOAD, array_slot, expr.line)
+        ctx.emit(Op.LOAD, index_slot, expr.line)
+        self._gen_new_array_dims(expr, dim + 1, element)
+        ctx.emit(Op.AASTORE, None, expr.line)
+        ctx.emit(Op.IINC, (index_slot, 1), expr.line)
+        ctx.emit(Op.GOTO, top, expr.line)
+        ctx.bind(end)
+        ctx.emit(Op.LOAD, array_slot, expr.line)
+
+    def _gen_unary(self, expr):
+        ctx = self.ctx
+        if expr.op == "-":
+            operand_type = self._gen_expr(expr.operand)
+            if operand_type.is_float():
+                ctx.emit(Op.FNEG, None, expr.line)
+                return FLOAT
+            if operand_type.is_int():
+                ctx.emit(Op.INEG, None, expr.line)
+                return INT
+            raise CompileError("negating a non-number", expr.line)
+        if expr.op == "~":
+            operand_type = self._gen_expr(expr.operand)
+            if not operand_type.is_int():
+                raise CompileError("~ on non-int", expr.line)
+            ctx.emit(Op.ICONST, -1, expr.line)
+            ctx.emit(Op.IXOR, None, expr.line)
+            return INT
+        if expr.op == "!":
+            # Materialize the boolean via branches.
+            true_label = _Label()
+            end = _Label()
+            self._gen_cond(expr.operand, true_label, jump_if=True)
+            ctx.emit(Op.ICONST, 1, expr.line)
+            ctx.emit(Op.GOTO, end, expr.line)
+            ctx.bind(true_label)
+            ctx.emit(Op.ICONST, 0, expr.line)
+            ctx.bind(end)
+            return BOOLEAN
+        raise CompileError("unhandled unary %r" % expr.op, expr.line)
+
+    def _gen_cast(self, expr):
+        ctx = self.ctx
+        operand_type = self._gen_expr(expr.operand)
+        if expr.type.is_int():
+            if operand_type.is_float():
+                ctx.emit(Op.F2I, None, expr.line)
+            elif not operand_type.is_int():
+                raise CompileError("cannot cast %s to int" % operand_type,
+                                   expr.line)
+            return INT
+        if expr.type.is_float():
+            if operand_type.is_int():
+                ctx.emit(Op.I2F, None, expr.line)
+            elif not operand_type.is_float():
+                raise CompileError("cannot cast %s to float" % operand_type,
+                                   expr.line)
+            return FLOAT
+        raise CompileError("unsupported cast to %s" % expr.type, expr.line)
+
+    def _gen_binary(self, expr):
+        ctx = self.ctx
+        if expr.op in ("&&", "||") or expr.op in _CMP_OPS:
+            # Materialize boolean result via the condition generator.
+            true_label = _Label()
+            end = _Label()
+            self._gen_cond(expr, true_label, jump_if=True)
+            ctx.emit(Op.ICONST, 0, expr.line)
+            ctx.emit(Op.GOTO, end, expr.line)
+            ctx.bind(true_label)
+            ctx.emit(Op.ICONST, 1, expr.line)
+            ctx.bind(end)
+            return BOOLEAN
+        left_type = self._type_of(expr.left)
+        right_type = self._type_of(expr.right)
+        use_float = (left_type.is_float() or right_type.is_float())
+        if expr.op in ("<<", ">>", ">>>"):
+            actual = self._gen_expr(expr.left)
+            if not actual.is_int():
+                raise CompileError("shift on non-int", expr.line)
+            actual = self._gen_expr(expr.right)
+            if not actual.is_int():
+                raise CompileError("shift count must be int", expr.line)
+            ctx.emit(_INT_BINOPS[expr.op], None, expr.line)
+            return INT
+        if use_float:
+            if expr.op not in _FLOAT_BINOPS:
+                raise CompileError("operator %r not defined on float"
+                                   % expr.op, expr.line)
+            actual = self._gen_expr(expr.left)
+            self._convert(actual, FLOAT, expr.line)
+            actual = self._gen_expr(expr.right)
+            self._convert(actual, FLOAT, expr.line)
+            ctx.emit(_FLOAT_BINOPS[expr.op], None, expr.line)
+            return FLOAT
+        if expr.op not in _INT_BINOPS:
+            raise CompileError("unhandled operator %r" % expr.op, expr.line)
+        actual = self._gen_expr(expr.left)
+        if not actual.is_int():
+            raise CompileError("operator %r on non-int" % expr.op, expr.line)
+        actual = self._gen_expr(expr.right)
+        if not actual.is_int():
+            raise CompileError("operator %r on non-int" % expr.op, expr.line)
+        ctx.emit(_INT_BINOPS[expr.op], None, expr.line)
+        return INT
+
+    def _binop_for(self, op, value_type, line):
+        if value_type.is_float():
+            opcode = _FLOAT_BINOPS.get(op)
+        else:
+            opcode = _INT_BINOPS.get(op)
+        if opcode is None:
+            raise CompileError("operator %r not defined on %s"
+                               % (op, value_type), line)
+        return opcode
+
+    def _gen_assign(self, expr, need_value=True):
+        ctx = self.ctx
+        target = expr.target
+
+        # -- locals ---------------------------------------------------------
+        if isinstance(target, ast.Name):
+            entry = ctx.scope.lookup(target.ident)
+            if entry is not None:
+                slot, var_type = entry
+                if expr.op:
+                    ctx.emit(Op.LOAD, slot, expr.line)
+                    self._gen_compound_value(expr, var_type)
+                else:
+                    actual = self._gen_expr(expr.value)
+                    self._convert(actual, var_type, expr.line)
+                if need_value:
+                    ctx.emit(Op.DUP, None, expr.line)
+                ctx.emit(Op.STORE, slot, expr.line)
+                return var_type
+            field = ctx.cls.find_field(target.ident)
+            if field is None:
+                raise CompileError("unknown name %r" % target.ident,
+                                   expr.line)
+            return self._gen_field_assign(expr, None, field, need_value)
+
+        # -- fields --------------------------------------------------------
+        if isinstance(target, ast.FieldAccess):
+            if isinstance(target.target, ast.Name) and \
+                    target.target.ident in self.program.classes and \
+                    ctx.scope.lookup(target.target.ident) is None:
+                cls = self.program.get_class(target.target.ident)
+                field = cls.find_field(target.name)
+                if field is not None and field.is_static:
+                    return self._gen_field_assign(expr, None, field,
+                                                  need_value)
+            target_type = self._type_of(target.target)
+            field = self._resolve_field(target_type, target.name, expr.line)
+            return self._gen_field_assign(expr, target.target, field,
+                                          need_value)
+
+        # -- array elements --------------------------------------------------
+        if isinstance(target, ast.Index):
+            return self._gen_index_assign(expr, need_value)
+        raise CompileError("invalid assignment target", expr.line)
+
+    def _gen_compound_value(self, expr, var_type):
+        """With the old value on the stack, emit rhs and the compound op."""
+        ctx = self.ctx
+        if var_type.is_float():
+            rhs_type = self._gen_expr(expr.value)
+            self._convert(rhs_type, FLOAT, expr.line)
+        else:
+            rhs_type = self._gen_expr(expr.value)
+            if not rhs_type.is_int():
+                raise CompileError("compound assignment type mismatch",
+                                   expr.line)
+        ctx.emit(self._binop_for(expr.op, var_type, expr.line), None,
+                 expr.line)
+
+    def _gen_field_assign(self, expr, target_expr, field, need_value):
+        ctx = self.ctx
+        key = (field.owner.name, field.name)
+        if field.is_static:
+            if expr.op:
+                ctx.emit(Op.GETSTATIC, key, expr.line)
+                self._gen_compound_value(expr, field.type)
+            else:
+                actual = self._gen_expr(expr.value)
+                self._convert(actual, field.type, expr.line)
+            if need_value:
+                ctx.emit(Op.DUP, None, expr.line)
+            ctx.emit(Op.PUTSTATIC, key, expr.line)
+            return field.type
+        # Instance field: put the receiver on the stack first.
+        if target_expr is None:
+            this = ctx.scope.lookup("this")
+            if this is None:
+                raise CompileError("instance field %r in static context"
+                                   % field.name, expr.line)
+            ctx.emit(Op.LOAD, this[0], expr.line)
+        else:
+            self._gen_expr(target_expr)
+        if expr.op:
+            ctx.emit(Op.DUP, None, expr.line)
+            ctx.emit(Op.GETFIELD, key, expr.line)
+            self._gen_compound_value(expr, field.type)
+        else:
+            actual = self._gen_expr(expr.value)
+            self._convert(actual, field.type, expr.line)
+        value_slot = None
+        if need_value:
+            value_slot = ctx.alloc_slot()
+            ctx.emit(Op.DUP, None, expr.line)
+            ctx.emit(Op.STORE, value_slot, expr.line)
+        ctx.emit(Op.PUTFIELD, key, expr.line)
+        if need_value:
+            ctx.emit(Op.LOAD, value_slot, expr.line)
+        return field.type
+
+    def _gen_index_assign(self, expr, need_value):
+        ctx = self.ctx
+        target = expr.target
+        array_type = self._type_of(target.target)
+        if not array_type.is_array():
+            raise CompileError("indexing a non-array", expr.line)
+        element = array_type.element()
+
+        if expr.op:
+            # Stash array ref and index in scratch slots for the re-read.
+            array_slot = ctx.alloc_slot()
+            index_slot = ctx.alloc_slot()
+            self._gen_expr(target.target)
+            ctx.emit(Op.STORE, array_slot, expr.line)
+            index_type = self._gen_expr(target.index)
+            if not index_type.is_int():
+                raise CompileError("array index must be int", expr.line)
+            ctx.emit(Op.STORE, index_slot, expr.line)
+            ctx.emit(Op.LOAD, array_slot, expr.line)
+            ctx.emit(Op.LOAD, index_slot, expr.line)
+            ctx.emit(Op.LOAD, array_slot, expr.line)
+            ctx.emit(Op.LOAD, index_slot, expr.line)
+            ctx.emit(self._aload_op(element), None, expr.line)
+            self._gen_compound_value(expr, element)
+        else:
+            self._gen_expr(target.target)
+            index_type = self._gen_expr(target.index)
+            if not index_type.is_int():
+                raise CompileError("array index must be int", expr.line)
+            actual = self._gen_expr(expr.value)
+            self._convert(actual, element, expr.line)
+        value_slot = None
+        if need_value:
+            value_slot = ctx.alloc_slot()
+            ctx.emit(Op.DUP, None, expr.line)
+            ctx.emit(Op.STORE, value_slot, expr.line)
+        ctx.emit(self._astore_op(element), None, expr.line)
+        if need_value:
+            ctx.emit(Op.LOAD, value_slot, expr.line)
+        return element
+
+    def _gen_incdec(self, expr, need_value):
+        ctx = self.ctx
+        target = expr.target
+        # Fast path: ++/-- on an int local becomes IINC.
+        if isinstance(target, ast.Name):
+            entry = ctx.scope.lookup(target.ident)
+            if entry is not None:
+                slot, var_type = entry
+                if var_type.is_int():
+                    if need_value and not expr.is_prefix:
+                        ctx.emit(Op.LOAD, slot, expr.line)
+                    ctx.emit(Op.IINC, (slot, expr.delta), expr.line)
+                    if need_value and expr.is_prefix:
+                        ctx.emit(Op.LOAD, slot, expr.line)
+                    return INT
+        # General path: rewrite to a compound assignment.
+        one = (ast.FloatLit(1.0, expr.line)
+               if self._type_of(target).is_float()
+               else ast.IntLit(1, expr.line))
+        op = "+" if expr.delta > 0 else "-"
+        rewritten = ast.Assign(target, op, one, expr.line)
+        if not need_value:
+            return self._gen_assign(rewritten, need_value=False)
+        if expr.is_prefix:
+            return self._gen_assign(rewritten, need_value=True)
+        # Postfix with value: old value = new value - delta.
+        value_type = self._gen_assign(rewritten, need_value=True)
+        if value_type.is_float():
+            ctx.emit(Op.FCONST, float(expr.delta), expr.line)
+            ctx.emit(Op.FSUB, None, expr.line)
+        else:
+            ctx.emit(Op.ICONST, expr.delta, expr.line)
+            ctx.emit(Op.ISUB, None, expr.line)
+        return value_type
+
+    def _gen_ternary(self, expr):
+        ctx = self.ctx
+        result_type = self._type_of(expr)
+        false_label = _Label()
+        end = _Label()
+        self._gen_cond(expr.cond, false_label, jump_if=False)
+        then_type = self._gen_expr(expr.then)
+        self._convert(then_type, result_type, expr.line)
+        ctx.emit(Op.GOTO, end, expr.line)
+        ctx.bind(false_label)
+        else_type = self._gen_expr(expr.otherwise)
+        self._convert(else_type, result_type, expr.line)
+        ctx.bind(end)
+        return result_type
+
+
+def compile_source(source):
+    """Compile MiniJava source text into a sealed, verified Program."""
+    from ..bytecode.verifier import verify_program
+    program = CodeGenerator(parse(source)).generate()
+    return verify_program(program)

@@ -1,0 +1,446 @@
+"""Recursive-descent parser for MiniJava."""
+
+from ..bytecode.module import Type
+from ..errors import CompileError
+from . import ast_nodes as ast
+from .lexer import tokenize
+
+# Binary operator precedence, lowest first.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>", ">>>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_ASSIGN_OPS = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/",
+               "%=": "%", "&=": "&", "|=": "|", "^=": "^",
+               "<<=": "<<", ">>=": ">>", ">>>=": ">>>"}
+
+_PRIMITIVE_TYPES = ("int", "float", "boolean", "void")
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+    @property
+    def tok(self):
+        return self.tokens[self.pos]
+
+    def peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind, value=None):
+        token = self.tok
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.accept(kind, value)
+        if token is None:
+            want = value if value is not None else kind
+            raise CompileError("expected %r, found %r"
+                               % (want, self.tok.value), self.tok.line)
+        return token
+
+    # -- types -------------------------------------------------------------
+    def _at_type(self):
+        token = self.tok
+        if token.kind == "kw" and token.value in _PRIMITIVE_TYPES:
+            return True
+        # `Foo x` or `Foo[] x` where Foo is a class name.
+        if token.kind == "id":
+            after = self.peek(1)
+            if after.kind == "id":
+                return True
+            if after.kind == "op" and after.value == "[":
+                return self.peek(2).kind == "op" and self.peek(2).value == "]"
+        return False
+
+    def parse_type(self):
+        token = self.tok
+        if token.kind == "kw" and token.value in _PRIMITIVE_TYPES:
+            base = self.advance().value
+        elif token.kind == "id":
+            base = self.advance().value
+        else:
+            raise CompileError("expected a type, found %r" % token.value,
+                               token.line)
+        dims = 0
+        while self.check("op", "[") and self.peek(1).value == "]":
+            self.advance()
+            self.advance()
+            dims += 1
+        return Type(base, dims)
+
+    # -- program / declarations ----------------------------------------------
+    def parse_program(self):
+        classes = []
+        while not self.check("eof"):
+            classes.append(self.parse_class())
+        return ast.ProgramDecl(classes)
+
+    def parse_class(self):
+        line = self.expect("kw", "class").line
+        name = self.expect("id").value
+        superclass = None
+        if self.accept("kw", "extends"):
+            superclass = self.expect("id").value
+        self.expect("op", "{")
+        fields = []
+        methods = []
+        while not self.check("op", "}"):
+            self._parse_member(name, fields, methods)
+        self.expect("op", "}")
+        return ast.ClassDecl(name, superclass, fields, methods, line)
+
+    def _parse_member(self, class_name, fields, methods):
+        line = self.tok.line
+        is_static = bool(self.accept("kw", "static"))
+        is_synchronized = bool(self.accept("kw", "synchronized"))
+        if not is_static and self.accept("kw", "static"):
+            is_static = True
+
+        # Constructor: `ClassName ( ... )`.
+        if (self.check("id", class_name) and self.peek(1).kind == "op"
+                and self.peek(1).value == "("):
+            self.advance()
+            params = self._parse_params()
+            body = self.parse_block()
+            methods.append(ast.MethodDecl(
+                "<init>", params, Type("void"), False, is_synchronized,
+                body, line, is_constructor=True))
+            return
+
+        member_type = self.parse_type()
+        name = self.expect("id").value
+        if self.check("op", "("):
+            params = self._parse_params()
+            body = self.parse_block()
+            methods.append(ast.MethodDecl(
+                name, params, member_type, is_static, is_synchronized,
+                body, line))
+        else:
+            if is_synchronized:
+                raise CompileError("fields cannot be synchronized", line)
+            fields.append(ast.FieldDecl(name, member_type, is_static, line))
+            while self.accept("op", ","):
+                extra = self.expect("id").value
+                fields.append(ast.FieldDecl(extra, member_type, is_static,
+                                            line))
+            self.expect("op", ";")
+
+    def _parse_params(self):
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("id").value
+                params.append((pname, ptype))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return params
+
+    # -- statements -------------------------------------------------------------
+    def parse_block(self):
+        line = self.expect("op", "{").line
+        statements = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(statements, line)
+
+    def parse_statement(self):
+        token = self.tok
+        if token.kind == "op" and token.value == "{":
+            return self.parse_block()
+        if token.kind == "kw":
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "do":
+                return self._parse_do_while()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "return":
+                line = self.advance().line
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expression()
+                self.expect("op", ";")
+                return ast.Return(value, line)
+            if token.value == "break":
+                line = self.advance().line
+                self.expect("op", ";")
+                return ast.Break(line)
+            if token.value == "continue":
+                line = self.advance().line
+                self.expect("op", ";")
+                return ast.Continue(line)
+        if self._at_type():
+            return self._parse_var_decl()
+        line = token.line
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, line)
+
+    def _parse_var_decl(self, terminated=True):
+        line = self.tok.line
+        vtype = self.parse_type()
+        decls = []
+        while True:
+            name = self.expect("id").value
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_expression()
+            decls.append(ast.VarDecl(name, vtype, init, line))
+            if not self.accept("op", ","):
+                break
+        if terminated:
+            self.expect("op", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(decls, line)
+
+    def _parse_if(self):
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.accept("kw", "else"):
+            otherwise = self.parse_statement()
+        return ast.If(cond, then, otherwise, line)
+
+    def _parse_while(self):
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.While(cond, body, line)
+
+    def _parse_do_while(self):
+        line = self.expect("kw", "do").line
+        body = self.parse_statement()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(cond, body, line)
+
+    def _parse_for(self):
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            if self._at_type():
+                init = self._parse_var_decl(terminated=False)
+            else:
+                init = ast.ExprStmt(self.parse_expression(), line)
+        self.expect("op", ";")
+        cond = None
+        if not self.check("op", ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        update = None
+        if not self.check("op", ")"):
+            update = ast.ExprStmt(self.parse_expression(), self.tok.line)
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.For(init, cond, update, body, line)
+
+    # -- expressions -------------------------------------------------------------
+    def parse_expression(self):
+        return self._parse_assignment()
+
+    def _parse_assignment(self):
+        left = self._parse_ternary()
+        token = self.tok
+        if token.kind == "op" and token.value in _ASSIGN_OPS:
+            op = self.advance().value
+            value = self._parse_assignment()
+            if not isinstance(left, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise CompileError("invalid assignment target", token.line)
+            return ast.Assign(left, _ASSIGN_OPS[op], value, token.line)
+        return left
+
+    def _parse_ternary(self):
+        cond = self._parse_binary(0)
+        if self.check("op", "?"):
+            line = self.advance().line
+            then = self.parse_expression()
+            self.expect("op", ":")
+            otherwise = self._parse_ternary()
+            return ast.Ternary(cond, then, otherwise, line)
+        return cond
+
+    def _parse_binary(self, level):
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self.tok.kind == "op" and self.tok.value in ops:
+            token = self.advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(token.value, left, right, token.line)
+        return left
+
+    def _parse_unary(self):
+        token = self.tok
+        if token.kind == "op" and token.value in ("-", "!", "~"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Unary(token.value, operand, token.line)
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            target = self._parse_unary()
+            delta = 1 if token.value == "++" else -1
+            return ast.IncDec(target, delta, True, token.line)
+        # Primitive cast: `(int) expr` / `(float) expr`.
+        if (token.kind == "op" and token.value == "("
+                and self.peek(1).kind == "kw"
+                and self.peek(1).value in ("int", "float")
+                and self.peek(2).kind == "op" and self.peek(2).value == ")"):
+            self.advance()
+            cast_type = Type(self.advance().value)
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Cast(cast_type, operand, token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            token = self.tok
+            if token.kind != "op":
+                break
+            if token.value == ".":
+                self.advance()
+                name = self.expect("id").value
+                if self.check("op", "("):
+                    args = self._parse_args()
+                    expr = ast.Call(expr, name, args, token.line)
+                elif name == "length" and not self.check("op", "("):
+                    expr = ast.ArrayLength(expr, token.line)
+                else:
+                    expr = ast.FieldAccess(expr, name, token.line)
+            elif token.value == "[":
+                self.advance()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, token.line)
+            elif token.value in ("++", "--"):
+                self.advance()
+                delta = 1 if token.value == "++" else -1
+                expr = ast.IncDec(expr, delta, False, token.line)
+            else:
+                break
+        return expr
+
+    def _parse_primary(self):
+        token = self.tok
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(token.value, token.line)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLit(token.value, token.line)
+        if token.kind == "kw":
+            if token.value in ("true", "false"):
+                self.advance()
+                return ast.BoolLit(token.value == "true", token.line)
+            if token.value == "null":
+                self.advance()
+                return ast.NullLit(token.line)
+            if token.value == "this":
+                self.advance()
+                return ast.This(token.line)
+            if token.value == "new":
+                return self._parse_new()
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "id":
+            self.advance()
+            if self.check("op", "("):
+                args = self._parse_args()
+                return ast.Call(None, token.value, args, token.line)
+            return ast.Name(token.value, token.line)
+        raise CompileError("unexpected token %r" % (token.value,), token.line)
+
+    def _parse_new(self):
+        line = self.expect("kw", "new").line
+        token = self.tok
+        if token.kind == "kw" and token.value in ("int", "float", "boolean"):
+            base = self.advance().value
+            return self._parse_new_array(Type(base), line)
+        name = self.expect("id").value
+        if self.check("op", "["):
+            return self._parse_new_array(Type(name), line)
+        args = self._parse_args()
+        return ast.New(name, args, line)
+
+    def _parse_new_array(self, element_type, line):
+        lengths = []
+        self.expect("op", "[")
+        lengths.append(self.parse_expression())
+        self.expect("op", "]")
+        extra_dims = 0
+        while self.check("op", "["):
+            if self.peek(1).kind == "op" and self.peek(1).value == "]":
+                self.advance()
+                self.advance()
+                extra_dims += 1
+            else:
+                self.advance()
+                lengths.append(self.parse_expression())
+                self.expect("op", "]")
+        total_type = Type(element_type.base,
+                          element_type.dims + len(lengths) + extra_dims)
+        __ = total_type
+        element = Type(element_type.base, element_type.dims + extra_dims)
+        return ast.NewArray(element, lengths, line)
+
+    def _parse_args(self):
+        self.expect("op", "(")
+        args = []
+        if not self.check("op", ")"):
+            while True:
+                args.append(self.parse_expression())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return args
+
+
+def parse(source):
+    """Parse MiniJava source text into a :class:`ProgramDecl`."""
+    return Parser(source).parse_program()

@@ -1,0 +1,8 @@
+"""Thread-level speculation runtime: buffers, ordered commit, violations."""
+
+from .buffers import SpecMemoryInterface, SpecThreadState
+from .runtime import TlsRuntime
+from .stats import StlRunStats, TlsStateBreakdown
+
+__all__ = ["TlsRuntime", "SpecThreadState", "SpecMemoryInterface",
+           "TlsStateBreakdown", "StlRunStats"]

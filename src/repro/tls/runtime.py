@@ -1,0 +1,558 @@
+"""The TLS runtime: drives speculative loop execution (paper §2, Fig. 4).
+
+``run_stl`` simulates one STL region: the master CPU executes the
+STL_STARTUP handler (saving initialization values to the runtime
+stack), four speculative CPUs run loop iterations round-robin, commits
+happen in order, RAW violations restart the violated thread and every
+more-speculative thread, and the exiting thread — once it is the head —
+runs STL_SHUTDOWN and hands control back to the master.
+
+The event loop always advances the runnable CPU with the smallest local
+clock, so memory events are totally ordered on the simulated clock and
+violation detection is exact.
+"""
+
+from ..errors import GuestException, VMError
+from ..jit.ir import IROp
+from ..jit.patterns import merge_reduction
+from .buffers import SpecMemoryInterface, SpecThreadState
+from .stats import StlRunStats, TlsStateBreakdown
+
+_RUN = SpecThreadState.RUNNING
+_WAIT_HEAD = SpecThreadState.WAIT_HEAD
+_EXITED = SpecThreadState.EXITED
+_STALLED = SpecThreadState.STALLED
+_WAIT_LOCK = SpecThreadState.WAIT_LOCK
+_EXCEPTION = SpecThreadState.EXCEPTION
+_SWITCH = "switch"
+
+_LOCK_POLL_CYCLES = 3
+
+
+class _ThreadCodeUnit:
+    """Adapts an StlDescriptor to the Frame interface (code/nregs/name)."""
+
+    __slots__ = ("code", "nregs", "name", "stls")
+
+    def __init__(self, descriptor):
+        self.code = descriptor.thread_code
+        self.nregs = descriptor.nregs
+        self.name = "%s$stl%d" % (descriptor.method_name, descriptor.stl_id)
+        self.stls = {}
+
+
+class TlsRuntime:
+    """Owns cross-STL state: statistics and the hoisting warm flag."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.config = machine.config
+        self.breakdown = TlsStateBreakdown()
+        self.stl_stats = {}
+        self.last_descriptor = None     # for hoisted startup/shutdown
+        machine.tls_runtime = self
+
+    def stats_for(self, loop_id):
+        stats = self.stl_stats.get(loop_id)
+        if stats is None:
+            stats = self.stl_stats[loop_id] = StlRunStats(loop_id)
+        return stats
+
+    def run_stl(self, master_ctx, descriptor):
+        execution = _StlExecution(self, master_ctx, descriptor)
+        return execution.run()
+
+
+class _StlExecution:
+    """One dynamic entry into one STL."""
+
+    def __init__(self, runtime, master_ctx, descriptor):
+        self.runtime = runtime
+        self.machine = runtime.machine
+        self.config = runtime.config
+        self.breakdown = runtime.breakdown
+        self.master = master_ctx
+        self.desc = descriptor
+        self.n = self.config.num_cpus
+        self.head_iteration = 0
+        self.last_commit_time = 0.0
+        self.ctxs = []
+        self.threads = []
+        self.thread_frames = []
+        self.fp_addr = None
+        self.entry_reductions = {}
+        self.unit = _ThreadCodeUnit(descriptor)
+        self.steps = 0
+        self.max_steps = 200_000_000
+
+    # ------------------------------------------------------------------
+    # speculation services used by SpecMemoryInterface
+    # ------------------------------------------------------------------
+    def less_speculative(self, spec):
+        return sorted((t for t in self.threads
+                       if t.iteration < spec.iteration),
+                      key=lambda t: -t.iteration)
+
+    def is_head(self, spec):
+        return spec.iteration == self.head_iteration
+
+    def flag_overflow(self, spec):
+        spec.overflowed = True
+
+    def notify_store(self, storer, addr):
+        """RAW violation check: any more-speculative thread whose
+        speculative-read tag for *addr* is vulnerable must restart — and
+        (Hydra protocol, Fig. 4) so must everything above it."""
+        min_violated = None
+        for thread in self.threads:
+            if thread.iteration <= storer.iteration:
+                continue
+            if thread.read_versions.get(addr):
+                if min_violated is None or \
+                        thread.iteration < min_violated:
+                    min_violated = thread.iteration
+        if min_violated is not None:
+            now = self.ctxs[storer.cpu_id].time
+            self.restart_from(min_violated, now, cause="violation")
+
+    def restart_from(self, first_iteration, now, cause):
+        for cpu, thread in enumerate(self.threads):
+            if thread.iteration >= first_iteration:
+                self._restart_thread(cpu, now,
+                                     primary=(thread.iteration
+                                              == first_iteration),
+                                     cause=cause)
+
+    def _restart_thread(self, cpu, now, primary, cause):
+        thread = self.threads[cpu]
+        ctx = self.ctxs[cpu]
+        # Account the discarded attempt.
+        wait_extra = 0.0
+        if thread.state not in (_RUN,):
+            wait_extra = max(0.0, now - thread.block_time)
+        self.breakdown.run_violated += thread.acc_compute
+        self.breakdown.wait_violated += thread.acc_wait + wait_extra
+        self.breakdown.overhead += thread.acc_overhead
+        if primary and cause == "violation":
+            self.breakdown.violations += 1
+            self.runtime.stats_for(self.desc.stl_id).violations += 1
+        else:
+            self.breakdown.squashes += 1
+        # Reset: same iteration, cold entry, registers persist.
+        thread.reset_speculative_state()
+        frame = self.thread_frames[cpu]
+        frame.pc = 0
+        ctx.frames = [frame]
+        restart = self.config.overheads.restart
+        ctx.time = max(ctx.time, now) + restart
+        ctx.status = "running"
+        thread.acc_compute = 0.0
+        thread.acc_wait = 0.0
+        thread.acc_overhead = restart
+        thread.start_time = ctx.time
+
+    # ------------------------------------------------------------------
+    def run(self):
+        self._startup()
+        config = self.config
+        threads = self.threads
+        ctxs = self.ctxs
+        while True:
+            head = threads[self.head_iteration % self.n]
+            state = head.state
+            if state == _WAIT_HEAD:
+                self._commit(head)
+                continue
+            if state == _STALLED:
+                self._resume_blocked(head)
+                continue
+            if state == _EXITED:
+                return self._shutdown(head)
+            if state == _EXCEPTION:
+                self._shutdown_exception(head)
+            if state == _SWITCH:
+                self._do_switch(head)
+                continue
+
+            ctx = None
+            best = None
+            for candidate in ctxs:
+                spec = candidate.spec
+                if spec.state in (_RUN, _WAIT_LOCK):
+                    if best is None or candidate.time < best:
+                        best = candidate.time
+                        ctx = candidate
+            if ctx is None:
+                raise VMError("TLS deadlock in STL %d" % self.desc.stl_id)
+
+            spec = ctx.spec
+            if spec.state == _WAIT_LOCK:
+                self._poll_lock(ctx)
+                continue
+
+            frame = ctx.frames[-1]
+            if frame.code[frame.pc].op == IROp.STL_RUN:
+                # Nested STL while speculating: multilevel switch.
+                spec.state = _SWITCH
+                spec.block_time = ctx.time
+                continue
+
+            before = ctx.time
+            try:
+                signal = ctx.step()
+            except GuestException as exc:
+                spec.acc_compute += ctx.time - before
+                spec.state = _EXCEPTION
+                spec.pending_exception = exc
+                spec.block_time = ctx.time
+                continue
+            except VMError as exc:
+                # Wild speculative execution; real only if it reaches
+                # the head.
+                spec.acc_compute += ctx.time - before
+                spec.state = _EXCEPTION
+                spec.pending_exception = exc
+                spec.block_time = ctx.time
+                continue
+            spec.acc_compute += ctx.time - before
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise VMError("STL %d exceeded step budget"
+                              % self.desc.stl_id)
+
+            if spec.overflowed and not self.is_head(spec) \
+                    and spec.state == _RUN:
+                spec.state = _STALLED
+                spec.block_time = ctx.time
+                self.breakdown.overflow_stalls += 1
+                self.runtime.stats_for(self.desc.stl_id).overflow_stalls += 1
+                continue
+
+            if signal is None:
+                continue
+            if signal == "eoi":
+                overhead = config.overheads.eoi
+                ctx.time += overhead
+                spec.acc_overhead += overhead
+                spec.acc_compute -= 1  # STL_EOI_END's cycle is overhead
+                spec.acc_overhead += 1
+                spec.state = _WAIT_HEAD
+                spec.block_time = ctx.time
+            elif signal == "exit":
+                exit_instr = frame.code[frame.pc - 1]
+                spec.exit_id = exit_instr.aux
+                spec.state = _EXITED
+                spec.block_time = ctx.time
+            elif signal == "wait":
+                self._begin_lock_wait(ctx)
+            elif signal == "done":
+                raise VMError("thread code returned unexpectedly")
+
+    # ------------------------------------------------------------------
+    def _startup(self):
+        config = self.config
+        machine = self.machine
+        master = self.master
+        desc = self.desc
+        overheads = config.overheads
+
+        startup_cost = overheads.startup
+        if desc.hoist and self.runtime.last_descriptor is desc:
+            startup_cost = max(1, startup_cost
+                               - config.hoisted_startup_cycles)
+        self.runtime.last_descriptor = desc
+        master.time += startup_cost
+        self.breakdown.overhead += startup_cost
+        self.breakdown.stl_entries += 1
+        self.runtime.stats_for(desc.stl_id).entries += 1
+
+        self.fp_addr = machine.stack_alloc(max(desc.frame_words, 1) * 4)
+        master_regs = master.frames[-1].regs
+        for off, reg in desc.init_values:
+            machine.memory.store(self.fp_addr + off, master_regs[reg])
+            machine.hierarchy.store_latency(master.cpu_id,
+                                            self.fp_addr + off)
+            master.time += 1
+        for off, const in desc.init_consts:
+            machine.memory.store(self.fp_addr + off, const)
+            machine.hierarchy.store_latency(master.cpu_id,
+                                            self.fp_addr + off)
+            master.time += 1
+        for spec in desc.reductions:
+            self.entry_reductions[spec.acc_reg] = master_regs[spec.acc_reg]
+
+        from ..hydra.machine import CpuContext, Frame
+        start_time = master.time
+        for cpu in range(self.n):
+            ctx = CpuContext(machine, cpu)
+            thread = SpecThreadState(cpu, cpu, self.fp_addr)
+            ctx.spec = thread
+            ctx.mem = SpecMemoryInterface(ctx, self)
+            ctx.output_buffer = thread.pending_output
+            frame = Frame(self.unit, [])
+            frame.regs[desc.fp_reg] = self.fp_addr
+            frame.regs[desc.iter_reg] = cpu
+            for rspec in desc.reductions:
+                frame.regs[rspec.acc_reg] = rspec.identity
+            ctx.frames = [frame]
+            ctx.status = "running"
+            ctx.time = start_time
+            thread.start_time = start_time
+            self.ctxs.append(ctx)
+            self.threads.append(thread)
+            self.thread_frames.append(frame)
+        self.last_commit_time = start_time
+
+    # ------------------------------------------------------------------
+    def _commit(self, thread):
+        """The head thread finished its iteration: commit in order."""
+        cpu = thread.cpu_id
+        ctx = self.ctxs[cpu]
+        now = max(ctx.time, self.last_commit_time)
+        wait = max(0.0, now - thread.block_time)
+        thread.acc_wait += wait
+        ctx.time = now
+        frame = self.thread_frames[cpu]
+
+        # Reset-able inductors that were written unpredictably publish
+        # the corrected value and squash every later thread (§4.2.3).
+        if thread.request_reset:
+            from ..bytecode.instructions import i32
+            for rspec in thread.pending_resets:
+                # The EOI handler already advanced the register by
+                # step*(num_cpus-1) for this CPU's *own* next thread;
+                # undo that to get the start-of-next-iteration value.
+                value = i32(frame.regs[rspec.reg]
+                            - rspec.step * (self.n - 1))
+                self.machine.memory.store(self.fp_addr + rspec.slot_value,
+                                          value)
+                self.machine.memory.store(self.fp_addr + rspec.slot_iter,
+                                          thread.iteration + 1)
+            self.restart_from(thread.iteration + 1, now, cause="reset")
+
+        self._drain_store_buffer(thread)
+        if thread.pending_output:
+            self.machine.output.extend(thread.pending_output)
+            thread.pending_output.clear()
+        for spec in self.desc.reductions:
+            frame.regs[spec.acc_reg] = merge_reduction(
+                spec.op_name, frame.regs[spec.acc_reg],
+                frame.regs[spec.tmp_reg], spec.mask)
+
+        # Accounting.
+        self.breakdown.run_used += thread.acc_compute
+        self.breakdown.wait_used += thread.acc_wait
+        self.breakdown.overhead += thread.acc_overhead
+        self.breakdown.commits += 1
+        stats = self.runtime.stats_for(self.desc.stl_id)
+        stats.threads_committed += 1
+        stats.cycles_total += thread.acc_compute
+        stats.sum_load_lines += len(thread.read_lines)
+        stats.sum_store_lines += len(thread.store_lines)
+
+        self.last_commit_time = now
+        self.head_iteration += 1
+
+        # Start this CPU's next thread (round robin: +num_cpus).
+        thread.reset_speculative_state(thread.iteration + self.n)
+        thread.acc_compute = 0.0
+        thread.acc_wait = 0.0
+        thread.acc_overhead = 0.0
+        thread.start_time = ctx.time
+        # Advance the hardware iteration register (paper Fig. 5: "set to
+        # zero on STL startup, incremented on every thread commit") so a
+        # cold restart recomputes inductors for the right iteration.
+        frame.regs[self.desc.iter_reg] = thread.iteration
+        frame.pc = self.desc.warm_entry
+        ctx.frames = [frame]
+
+    def _drain_store_buffer(self, thread):
+        memory = self.machine.memory
+        hierarchy = self.machine.hierarchy
+        cpu = thread.cpu_id
+        for addr, value in thread.store_buffer.items():
+            memory.store(addr, value)
+            hierarchy.store_latency(cpu, addr)
+
+    def _resume_blocked(self, thread):
+        """A stalled (overflowed) thread became the head: resume it."""
+        ctx = self.ctxs[thread.cpu_id]
+        now = max(ctx.time, self.last_commit_time)
+        thread.acc_wait += max(0.0, now - thread.block_time)
+        ctx.time = now
+        thread.state = _RUN
+
+    # ------------------------------------------------------------------
+    def _begin_lock_wait(self, ctx):
+        """WAITLOCK executed: spin until the lock equals our iteration."""
+        spec = ctx.spec
+        frame = ctx.frames[-1]
+        instr = frame.code[frame.pc - 1]
+        value, latency = ctx.mem.lwnv(self.fp_addr + instr.imm)
+        ctx.time += latency
+        if value == spec.iteration:
+            return                      # lock already ours
+        frame.pc -= 1                   # re-execute WAITLOCK when woken
+        spec.state = _WAIT_LOCK
+        spec.block_time = ctx.time
+        self.breakdown.lock_waits += 1
+
+    def _poll_lock(self, ctx):
+        spec = ctx.spec
+        frame = ctx.frames[-1]
+        instr = frame.code[frame.pc]
+        value, __ = ctx.mem.lwnv(self.fp_addr + instr.imm)
+        if value == spec.iteration:
+            spec.acc_wait += max(0.0, ctx.time - spec.block_time)
+            spec.state = _RUN
+            frame.pc += 1               # consume the WAITLOCK
+            ctx.time += 1
+        else:
+            ctx.time += _LOCK_POLL_CYCLES
+
+    # ------------------------------------------------------------------
+    def _shutdown(self, thread):
+        """The exiting thread is the head: end speculation (Fig. 4 #3)."""
+        config = self.config
+        ctx = self.ctxs[thread.cpu_id]
+        now = max(ctx.time, self.last_commit_time)
+        thread.acc_wait += max(0.0, now - thread.block_time)
+        self._drain_store_buffer(thread)
+        if thread.pending_output:
+            self.machine.output.extend(thread.pending_output)
+            thread.pending_output.clear()
+
+        # The exiting iteration's committed work counts as used.
+        self.breakdown.run_used += thread.acc_compute
+        self.breakdown.wait_used += thread.acc_wait
+        self.breakdown.overhead += thread.acc_overhead
+
+        # Squash every other in-flight thread.
+        for other_cpu, other in enumerate(self.threads):
+            if other is thread:
+                continue
+            wait_extra = 0.0
+            if other.state != _RUN:
+                wait_extra = max(0.0, now - other.block_time)
+            self.breakdown.run_violated += other.acc_compute
+            self.breakdown.wait_violated += other.acc_wait + wait_extra
+            self.breakdown.overhead += other.acc_overhead
+            self.breakdown.squashes += 1
+
+        shutdown_cost = config.overheads.shutdown
+        if self.desc.hoist:
+            shutdown_cost = max(1, shutdown_cost
+                                - config.hoisted_shutdown_cycles)
+        now += shutdown_cost
+        self.breakdown.overhead += shutdown_cost
+
+        # Copy communicated values back into the master's registers.
+        master = self.master
+        master_regs = master.frames[-1].regs
+        master.time = now
+        exit_frame = self.thread_frames[thread.cpu_id]
+        for reg, source in self.desc.exit_values:
+            kind, payload = source
+            if kind == "slot":
+                value = self.machine.memory.load(self.fp_addr + payload)
+                latency = self.machine.hierarchy.load_latency(
+                    master.cpu_id, self.fp_addr + payload)
+                master.time += latency
+            else:
+                # Locally-computed value (inductor / reset-able): read
+                # straight from the exiting thread's register file.
+                value = exit_frame.regs[payload]
+                master.time += 1
+            master_regs[reg] = value
+        for spec in self.desc.reductions:
+            final = self.entry_reductions[spec.acc_reg]
+            for cpu in range(self.n):
+                final = merge_reduction(
+                    spec.op_name, final,
+                    self.thread_frames[cpu].regs[spec.acc_reg], spec.mask)
+            final = merge_reduction(spec.op_name, final,
+                                    exit_frame.regs[spec.tmp_reg], spec.mask)
+            master_regs[spec.acc_reg] = final
+
+        # Attribute the workers' executed instructions to the master so
+        # RunResult.instructions covers the whole simulation.
+        master.instret += sum(ctx.instret for ctx in self.ctxs)
+        self.machine.stack_release(self.fp_addr)
+        return thread.exit_id
+
+    def _shutdown_exception(self, thread):
+        """A guest exception became real (the thread is the head)."""
+        ctx = self.ctxs[thread.cpu_id]
+        now = max(ctx.time, self.last_commit_time)
+        self._drain_store_buffer(thread)
+        self.master.time = now + self.config.overheads.shutdown
+        self.machine.stack_release(self.fp_addr)
+        raise thread.pending_exception
+
+    # ------------------------------------------------------------------
+    def _do_switch(self, thread):
+        """Multilevel STL decomposition (paper §4.2.6, Fig. 7): the head
+        thread switches speculation to an inner STL, runs it, then outer
+        speculation resumes."""
+        cpu = thread.cpu_id
+        ctx = self.ctxs[cpu]
+        now = max(ctx.time, self.last_commit_time)
+        thread.acc_wait += max(0.0, now - thread.block_time)
+        ctx.time = now
+        thread.state = _RUN
+
+        # As the head our buffered work is correct: commit it so the
+        # inner STL (running non-speculatively under us) sees it.
+        self._drain_store_buffer(thread)
+        thread.store_buffer.clear()
+        thread.store_lines.clear()
+        thread.read_versions.clear()
+        thread.read_lines.clear()
+        if thread.pending_output:
+            self.machine.output.extend(thread.pending_output)
+            thread.pending_output.clear()
+
+        # Squash the more-speculative outer threads; they restart after
+        # the inner loop completes.
+        for other in self.threads:
+            if other.iteration > thread.iteration:
+                self.breakdown.run_violated += other.acc_compute
+                self.breakdown.wait_violated += other.acc_wait
+                self.breakdown.overhead += other.acc_overhead
+                self.breakdown.squashes += 1
+
+        frame = ctx.frames[-1]
+        inner_desc = frame.code[frame.pc].aux
+        saved_spec = ctx.spec
+        saved_mem = ctx.mem
+        saved_out = ctx.output_buffer
+        ctx.spec = None
+        from ..hydra.machine import PlainMemoryInterface
+        ctx.mem = PlainMemoryInterface(ctx)
+        ctx.output_buffer = None
+        try:
+            exit_id = _StlExecution(self.runtime, ctx, inner_desc).run()
+        finally:
+            ctx.spec = saved_spec
+            ctx.mem = saved_mem
+            ctx.output_buffer = saved_out
+        stl_run = frame.code[frame.pc]
+        if stl_run.dst is not None:
+            frame.regs[stl_run.dst] = exit_id
+        frame.pc += 1
+
+        # Restart the squashed successors after the inner loop.
+        after = ctx.time
+        restart = self.config.overheads.restart
+        for other_cpu, other in enumerate(self.threads):
+            if other.iteration > thread.iteration:
+                other.reset_speculative_state()
+                other_frame = self.thread_frames[other_cpu]
+                other_frame.pc = 0
+                other_ctx = self.ctxs[other_cpu]
+                other_ctx.frames = [other_frame]
+                other_ctx.time = after + restart
+                other.acc_compute = 0.0
+                other.acc_wait = 0.0
+                other.acc_overhead = restart
+                other.start_time = other_ctx.time

@@ -1,0 +1,8 @@
+"""TEST hardware profiler model: comparator banks, statistics, selector."""
+
+from .profiler import ComparatorBank, TestProfiler
+from .selector import Prediction, Selector, StlPlan, SyncPlan
+from .stats import ArcStats, LoopStats
+
+__all__ = ["TestProfiler", "ComparatorBank", "LoopStats", "ArcStats",
+           "Selector", "StlPlan", "SyncPlan", "Prediction"]

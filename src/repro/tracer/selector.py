@@ -1,0 +1,247 @@
+"""STL selection from TEST statistics (paper §3.1).
+
+Once enough profiling data has been collected the estimated speedup for
+each prospective STL is computed from average dependency arc
+frequencies, thread sizes, critical arc lengths, overflow frequencies
+and speculative overheads.  Only loops with
+
+* average iterations per entry >> 1,
+* speculative buffer overflow frequency << 1, and
+* predicted speedup > 1.2
+
+are recompiled into speculative threads, and within a loop nest only the
+level with the best estimated execution time is chosen.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Prediction:
+    """Predicted TLS behaviour of one loop."""
+
+    loop_id: int
+    speedup: float
+    interval: float            # predicted cycles between thread commits
+    coverage_cycles: int       # serial cycles spent inside the loop
+    avg_thread_cycles: float
+    iterations_per_entry: float
+    overflow_frequency: float
+    arc_frequency: float
+    benefit_cycles: float = 0.0
+
+
+@dataclass
+class SyncPlan:
+    """Insert a thread synchronizing lock around this dependency."""
+
+    store_site: object
+    load_site: object
+    arc_frequency: float
+    avg_length: float
+    #: set when the dependency is a carried local: (loop_id, slot)
+    local_slot: object = None
+
+
+@dataclass
+class StlPlan:
+    """Everything the recompiler needs for one selected loop."""
+
+    loop_id: int
+    meta: object               # LoopMeta
+    prediction: Prediction
+    sync: object = None        # SyncPlan or None
+    multilevel_inner: bool = False
+    multilevel_parent: int = None
+    hoist: bool = False
+    options: dict = field(default_factory=dict)
+
+
+class Selector:
+    """Applies the paper's selection heuristics to profiled statistics."""
+
+    def __init__(self, config, loop_table, ignore_allocator_arcs=True):
+        self.config = config
+        self.loop_table = loop_table
+        self._dynamic_nesting = frozenset()
+        #: when the parallel allocator (§5.2) is enabled, dependencies
+        #: through allocator metadata vanish at TLS time, so they should
+        #: not be protected with a synchronizing lock.
+        self.ignore_allocator_arcs = ignore_allocator_arcs
+
+    # -- prediction ---------------------------------------------------------
+    def predict(self, stats):
+        """Estimate TLS performance from accumulated LoopStats.
+
+        The model schedules average iterations ideally (as TEST does):
+        thread commits are limited by CPU bandwidth, by the critical
+        dependency arc, and by overflow stalls; per-entry startup and
+        shutdown overheads are amortized over iterations/entry.
+        """
+        config = self.config
+        overheads = config.overheads
+        threads = stats.threads
+        if threads == 0:
+            return Prediction(stats.loop_id, 0.0, 0.0, 0, 0.0, 0.0, 1.0, 0.0)
+        avg_thread = stats.avg_thread_cycles
+        ipe = stats.iterations_per_entry
+
+        interval_cpu = (avg_thread + overheads.eoi) / config.num_cpus
+        interval_dep = stats.arc_frequency * stats.avg_critical_constraint
+        interval = max(interval_cpu, interval_dep, 1.0)
+        # Overflowing threads stall until they become the head thread:
+        # they forfeit the overlap with (num_cpus - 1) peers.
+        interval += (stats.overflow_frequency * avg_thread
+                     * (config.num_cpus - 1) / config.num_cpus)
+        per_entry = (overheads.startup + overheads.shutdown) / max(ipe, 1.0)
+        parallel_per_iter = interval + per_entry
+        speedup = avg_thread / parallel_per_iter if parallel_per_iter else 0.0
+        return Prediction(
+            loop_id=stats.loop_id,
+            speedup=speedup,
+            interval=interval,
+            coverage_cycles=stats.coverage_cycles,
+            avg_thread_cycles=avg_thread,
+            iterations_per_entry=ipe,
+            overflow_frequency=stats.overflow_frequency,
+            arc_frequency=stats.arc_frequency,
+        )
+
+    def eligible(self, stats, prediction):
+        """The paper's three admission heuristics."""
+        config = self.config
+        if stats.threads == 0:
+            return False
+        if prediction.iterations_per_entry < config.min_iterations_per_entry:
+            return False
+        if prediction.overflow_frequency > config.max_overflow_frequency:
+            return False
+        return prediction.speedup > config.min_predicted_speedup
+
+    # -- selection across loop nests --------------------------------------------
+    def select(self, all_stats, dynamic_nesting=None):
+        """Pick the best non-overlapping set of STLs.
+
+        Returns {loop_id: StlPlan}.  Only one loop level in a nest can
+        speculate at a time, so ancestors/descendants conflict; the
+        greedy choice maximizes predicted benefit (cycles saved).
+        *dynamic_nesting* — (outer, inner) pairs observed by TEST — adds
+        conflicts static structure cannot see (nesting through calls).
+        """
+        self._dynamic_nesting = frozenset(dynamic_nesting or ())
+        predictions = {}
+        for loop_id, stats in all_stats.items():
+            meta = self.loop_table.get(loop_id)
+            if meta is None or not meta.candidate:
+                continue
+            prediction = self.predict(stats)
+            prediction.benefit_cycles = prediction.coverage_cycles * (
+                1.0 - 1.0 / prediction.speedup) if prediction.speedup > 1 \
+                else 0.0
+            predictions[loop_id] = (stats, prediction)
+
+        chosen = {}
+        order = sorted(predictions,
+                       key=lambda lid: -predictions[lid][1].benefit_cycles)
+        for loop_id in order:
+            stats, prediction = predictions[loop_id]
+            if not self.eligible(stats, prediction):
+                continue
+            if self._conflicts(loop_id, chosen):
+                continue
+            meta = self.loop_table[loop_id]
+            plan = StlPlan(loop_id=loop_id, meta=meta, prediction=prediction)
+            plan.sync = self._plan_sync(stats, prediction)
+            chosen[loop_id] = plan
+
+        self._plan_multilevel(all_stats, predictions, chosen)
+        self._plan_hoisting(chosen)
+        return chosen
+
+    def _ancestors(self, loop_id):
+        meta = self.loop_table.get(loop_id)
+        while meta is not None and meta.parent_id is not None:
+            yield meta.parent_id
+            meta = self.loop_table.get(meta.parent_id)
+
+    def _conflicts(self, loop_id, chosen):
+        if any(ancestor in chosen for ancestor in self._ancestors(loop_id)):
+            return True
+        for other in chosen:
+            if loop_id in self._ancestors_set(other):
+                return True
+            if (other, loop_id) in self._dynamic_nesting \
+                    or (loop_id, other) in self._dynamic_nesting:
+                return True
+        return False
+
+    def _ancestors_set(self, loop_id):
+        return set(self._ancestors(loop_id))
+
+    # -- optimization planning ------------------------------------------------------
+    def _plan_sync(self, stats, prediction):
+        """Thread synchronizing lock (paper §4.2.4): protect a frequent
+        short dependency instead of violating on it."""
+        dominant = stats.dominant_arc()
+        if dominant is None:
+            return None
+        (store_site, load_site), arc = dominant
+        if self.ignore_allocator_arcs and arc.allocator_fraction > 0.5:
+            return None
+        config = self.config
+        frequency = arc.count / stats.threads if stats.threads else 0.0
+        if frequency <= config.sync_lock_arc_frequency:
+            return None
+        if arc.avg_store_offset >= (config.sync_lock_arc_ratio
+                                    * prediction.avg_thread_cycles):
+            return None
+        # Stores that land within one natural thread stagger resolve by
+        # forwarding alone — threads start about one CPU-bound commit
+        # interval apart, so the producer's store lands before the
+        # consumer (whose communicated loads are at thread start)
+        # reads.  A lock there only adds overhead.
+        natural_stagger = ((prediction.avg_thread_cycles
+                            + self.config.overheads.eoi)
+                           / self.config.num_cpus)
+        if arc.avg_store_offset <= natural_stagger * 0.5:
+            return None
+        local_slot = None
+        if isinstance(load_site, tuple) and load_site \
+                and load_site[0] == "local":
+            local_slot = (load_site[1], load_site[2])
+        return SyncPlan(store_site=store_site, load_site=load_site,
+                        arc_frequency=frequency, avg_length=arc.avg_length,
+                        local_slot=local_slot)
+
+    def _plan_multilevel(self, all_stats, predictions, chosen):
+        """Multilevel STL decompositions (paper §4.2.6): a selected outer
+        loop switches to a rarely-entered inner loop when reached."""
+        for loop_id, (stats, prediction) in predictions.items():
+            meta = self.loop_table.get(loop_id)
+            if meta is None or meta.parent_id not in chosen:
+                continue
+            parent_stats = all_stats.get(meta.parent_id)
+            if parent_stats is None or parent_stats.threads == 0:
+                continue
+            entry_ratio = (stats.profiled_entries + stats.unprofiled_entries
+                           ) / max(parent_stats.threads, 1)
+            if entry_ratio >= self.config.multilevel_entry_ratio \
+                    or entry_ratio <= 0:
+                continue
+            if prediction.speedup <= self.config.min_predicted_speedup:
+                continue
+            plan = StlPlan(loop_id=loop_id, meta=meta, prediction=prediction,
+                           multilevel_inner=True,
+                           multilevel_parent=meta.parent_id)
+            plan.sync = self._plan_sync(stats, prediction)
+            chosen[loop_id] = plan
+
+    def _plan_hoisting(self, chosen):
+        """Hoisted startup/shutdown (paper §4.2.7): loops entered many
+        times (low iterations/entry) amortize slave wakeup."""
+        for plan in chosen.values():
+            if plan.multilevel_inner:
+                continue
+            if plan.meta.parent_id is not None and \
+                    plan.prediction.iterations_per_entry < 64:
+                plan.hoist = True

@@ -1,0 +1,137 @@
+"""Accumulated TEST statistics per prospective STL (paper §3.1).
+
+One :class:`LoopStats` aggregates everything the comparator banks learn
+about a loop across all its profiled entries; the selector turns these
+into speedup predictions.
+"""
+
+
+class ArcStats:
+    """Statistics for one (store site -> load site) dependency arc."""
+
+    __slots__ = ("count", "sum_constraint", "sum_length", "min_distance",
+                 "allocator_hits", "sum_store_offset")
+
+    def __init__(self):
+        self.count = 0
+        self.sum_constraint = 0.0
+        self.sum_length = 0.0
+        self.sum_store_offset = 0.0
+        self.min_distance = None
+        #: arcs through allocator metadata (free lists / bump pointers):
+        #: they disappear when the parallel allocator is enabled (§5.2)
+        self.allocator_hits = 0
+
+    def record(self, constraint, length, distance, allocator=False,
+               store_offset=0.0):
+        self.count += 1
+        self.sum_constraint += constraint
+        self.sum_length += length
+        self.sum_store_offset += store_offset
+        if allocator:
+            self.allocator_hits += 1
+        if self.min_distance is None or distance < self.min_distance:
+            self.min_distance = distance
+
+    @property
+    def allocator_fraction(self):
+        return self.allocator_hits / self.count if self.count else 0.0
+
+    @property
+    def avg_constraint(self):
+        return self.sum_constraint / self.count if self.count else 0.0
+
+    @property
+    def avg_length(self):
+        return self.sum_length / self.count if self.count else 0.0
+
+    @property
+    def avg_store_offset(self):
+        """How deep into the producer thread the store happens.  The
+        recompiled consumer reads communicated locals at thread start,
+        so this — not the load-site arc length — is what decides
+        whether forwarding resolves the dependency naturally."""
+        return self.sum_store_offset / self.count if self.count else 0.0
+
+
+class LoopStats:
+    """Everything TEST accumulated about one prospective STL."""
+
+    __slots__ = ("loop_id", "entries", "profiled_entries", "threads",
+                 "total_thread_cycles", "overflow_threads", "arc_threads",
+                 "sum_critical_constraint", "sum_load_lines",
+                 "sum_store_lines", "max_load_lines", "max_store_lines",
+                 "arcs", "unprofiled_entries", "total_iterations")
+
+    def __init__(self, loop_id):
+        self.loop_id = loop_id
+        self.entries = 0                  # loop activations seen
+        self.profiled_entries = 0         # activations that got a bank
+        self.unprofiled_entries = 0
+        self.threads = 0                  # profiled iterations
+        self.total_iterations = 0         # iterations incl. unprofiled
+        self.total_thread_cycles = 0
+        self.overflow_threads = 0
+        self.arc_threads = 0              # threads with a limiting arc
+        self.sum_critical_constraint = 0.0
+        self.sum_load_lines = 0
+        self.sum_store_lines = 0
+        self.max_load_lines = 0
+        self.max_store_lines = 0
+        self.arcs = {}                    # (store_site, load_site) -> ArcStats
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def avg_thread_cycles(self):
+        return (self.total_thread_cycles / self.threads
+                if self.threads else 0.0)
+
+    @property
+    def iterations_per_entry(self):
+        return (self.threads / self.profiled_entries
+                if self.profiled_entries else 0.0)
+
+    @property
+    def overflow_frequency(self):
+        return (self.overflow_threads / self.threads
+                if self.threads else 0.0)
+
+    @property
+    def arc_frequency(self):
+        return self.arc_threads / self.threads if self.threads else 0.0
+
+    @property
+    def avg_critical_constraint(self):
+        return (self.sum_critical_constraint / self.arc_threads
+                if self.arc_threads else 0.0)
+
+    @property
+    def avg_load_lines(self):
+        return self.sum_load_lines / self.threads if self.threads else 0.0
+
+    @property
+    def avg_store_lines(self):
+        return self.sum_store_lines / self.threads if self.threads else 0.0
+
+    @property
+    def coverage_cycles(self):
+        return self.total_thread_cycles
+
+    def arc_for(self, store_site, load_site):
+        key = (store_site, load_site)
+        arc = self.arcs.get(key)
+        if arc is None:
+            arc = self.arcs[key] = ArcStats()
+        return arc
+
+    def dominant_arc(self):
+        """The (key, ArcStats) with the highest count, or None."""
+        if not self.arcs:
+            return None
+        key = max(self.arcs, key=lambda k: self.arcs[k].count)
+        return key, self.arcs[key]
+
+    def __repr__(self):
+        return ("<LoopStats %d threads=%d avg=%.0fcy arcs=%.2f ovf=%.2f>"
+                % (self.loop_id, self.threads, self.avg_thread_cycles,
+                   self.arc_frequency, self.overflow_frequency))

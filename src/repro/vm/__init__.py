@@ -1,0 +1,1 @@
+"""VM services: intrinsics, heap, allocator, GC, locks."""

@@ -1,0 +1,94 @@
+"""Concurrent-style mark-and-sweep garbage collector (paper §5.2).
+
+The collector runs at allocation safe points outside speculation.  Root
+scanning is conservative over the live frames' register files (any
+register value that equals a live object's base address keeps it alive)
+plus reference-typed static fields.  Swept blocks are linked onto the
+allocator's free lists, which is what makes allocation inside STLs a
+serializing dependency unless the parallel allocator is enabled.
+"""
+
+from ..bytecode.module import HEADER_BYTES, WORD
+
+
+class GarbageCollector:
+    def __init__(self, program, layout, memory, allocator, config):
+        self.program = program
+        self.layout = layout
+        self.memory = memory
+        self.allocator = allocator
+        self.config = config
+        self.collections = 0
+        self.total_cycles = 0
+        self.objects_freed = 0
+
+    def should_collect(self):
+        return (self.allocator.bytes_since_gc
+                >= self.config.gc_threshold_bytes)
+
+    def collect(self, root_registers):
+        """Run a full mark-sweep; returns the cycle cost charged.
+
+        *root_registers* is an iterable of register values from every
+        live frame (the conservative root set).
+        """
+        objects = self.allocator.objects
+        marked = set()
+        worklist = []
+        for value in root_registers:
+            if isinstance(value, int) and value in objects \
+                    and value not in marked:
+                marked.add(value)
+                worklist.append(value)
+        # Static reference fields are roots too.
+        for key, addr in self.layout.field_addr.items():
+            field = self.program.resolve_field(*key)
+            if field.type.is_reference():
+                value = self.memory.load(addr)
+                if value in objects and value not in marked:
+                    marked.add(value)
+                    worklist.append(value)
+
+        visited = 0
+        while worklist:
+            addr = worklist.pop()
+            visited += 1
+            record = objects[addr]
+            for ref in self._references_of(record):
+                if ref in objects and ref not in marked:
+                    marked.add(ref)
+                    worklist.append(ref)
+
+        freed = 0
+        for addr in list(objects):
+            if addr not in marked:
+                record = objects.pop(addr)
+                self.allocator.free_block(addr, record.size)
+                freed += 1
+        self.objects_freed += freed
+        self.collections += 1
+        self.allocator.bytes_since_gc = 0
+        cycles = self.config.gc_cycles_per_object * (visited + freed + 1)
+        self.total_cycles += cycles
+        return cycles
+
+    def _references_of(self, record):
+        info = record.info
+        memory = self.memory
+        if info.is_array:
+            if info.elem_kind != "ref":
+                return
+            count = (record.size - HEADER_BYTES) // WORD
+            for index in range(count):
+                value = memory.load(record.addr + HEADER_BYTES + index * WORD)
+                if value:
+                    yield value
+            return
+        cls = self.program.classes.get(info.class_name)
+        if cls is None:
+            return
+        for field in cls.all_instance_fields():
+            if field.type.is_reference():
+                value = memory.load(record.addr + field.offset)
+                if value:
+                    yield value

@@ -1,0 +1,157 @@
+"""Heap allocator with memory-resident metadata.
+
+Paper §5.2: the JVM's allocator keeps unallocated objects on linked free
+lists; allocating from *one shared* free list inside every speculative
+thread serializes the STL.  Jrpm parallelizes allocator access by giving
+each processor private free lists during speculation.
+
+We reproduce that by keeping the allocator's hot metadata (bump
+pointers, free-list heads) in simulated *memory*, accessed through the
+CPU's memory interface: in shared mode speculative threads conflict on
+those words (RAW violations); in parallel mode each CPU uses its own
+words and no dependency exists.
+"""
+
+from ..bytecode.module import HEADER_BYTES, WORD
+from ..errors import GuestException, OutOfMemoryException
+from ..hydra.config import ALLOCATOR_BASE, HEAP_BASE, HEAP_LIMIT
+
+
+class AllocRecord:
+    """Shadow metadata for one live object (not guest-visible)."""
+
+    __slots__ = ("addr", "size", "info")
+
+    def __init__(self, addr, size, info):
+        self.addr = addr
+        self.size = size
+        self.info = info    # AllocInfo from the IR
+
+
+class Allocator:
+    """Free-list + bump allocator over the guest heap."""
+
+    #: word offsets of metadata inside the allocator page
+    SHARED_BUMP = ALLOCATOR_BASE
+    SHARED_HEADS = ALLOCATOR_BASE + WORD           # per-size-class heads
+    PER_CPU_BASE = ALLOCATOR_BASE + 0x1000         # per-CPU bump/limit/heads
+    PER_CPU_STRIDE = 0x400
+    CHUNK_BYTES = 64 * 1024
+
+    def __init__(self, memory, config, num_cpus):
+        self.memory = memory
+        self.config = config
+        self.num_cpus = num_cpus
+        self.objects = {}              # addr -> AllocRecord
+        self.bytes_allocated = 0
+        self.bytes_since_gc = 0
+        self._size_class_slot = {}     # rounded size -> head slot index
+        #: per-CPU private free lists are used instead of the shared ones
+        #: while speculating (the §5.2 VM modification).
+        self.parallel_mode = False
+        memory.store(self.SHARED_BUMP, HEAP_BASE)
+
+    # -- size classes --------------------------------------------------------
+    def _round(self, size):
+        return max(HEADER_BYTES, (size + WORD - 1) & ~(WORD - 1))
+
+    def _head_addr(self, size, cpu):
+        slot = self._size_class_slot.setdefault(size,
+                                                len(self._size_class_slot))
+        if self.parallel_mode and cpu is not None:
+            base = self.PER_CPU_BASE + cpu * self.PER_CPU_STRIDE
+            return base + 2 * WORD + slot * WORD
+        return self.SHARED_HEADS + slot * WORD
+
+    def _bump_addrs(self, cpu):
+        if self.parallel_mode and cpu is not None:
+            base = self.PER_CPU_BASE + cpu * self.PER_CPU_STRIDE
+            return base, base + WORD       # (bump, limit)
+        return self.SHARED_BUMP, None
+
+    # -- allocation ---------------------------------------------------------------
+    def allocate(self, iface, cpu, size_bytes, info):
+        """Allocate *size_bytes* via memory interface *iface*.
+
+        Returns (addr, latency).  All metadata reads/writes go through
+        *iface* so speculation sees them.
+        """
+        if size_bytes < HEADER_BYTES:
+            raise GuestException("NegativeArraySizeException",
+                                 str(size_bytes - HEADER_BYTES))
+        size = self._round(size_bytes)
+        latency = self.config.alloc_service_cycles
+        head_addr = self._head_addr(size, cpu)
+
+        value, lat = iface.load(head_addr)
+        latency += lat
+        if value:
+            next_ptr, lat = iface.load(value)
+            latency += lat
+            latency += iface.store(head_addr, next_ptr)
+            addr = value
+        else:
+            addr, lat = self._bump_allocate(iface, cpu, size)
+            latency += lat
+        # Write the header and zero the payload (recycled blocks hold
+        # stale data; Java guarantees zeroed objects).
+        latency += iface.store(addr, 0)                       # lock word
+        meta = self._meta_for(info, size)
+        latency += iface.store(addr + WORD, meta)
+        for offset in range(HEADER_BYTES, size, WORD):
+            latency += iface.store(addr + offset, 0)
+
+        self.objects[addr] = AllocRecord(addr, size, info)
+        self.bytes_allocated += size
+        self.bytes_since_gc += size
+        return addr, latency
+
+    def _bump_allocate(self, iface, cpu, size):
+        latency = 0
+        bump_addr, limit_addr = self._bump_addrs(cpu)
+        bump, lat = iface.load(bump_addr)
+        latency += lat
+        if limit_addr is not None:
+            limit, lat = iface.load(limit_addr)
+            latency += lat
+            if bump == 0 or bump + size > limit:
+                # Grab a fresh chunk from the shared bump pointer.  This
+                # is the rare cross-CPU interaction of the parallel
+                # allocator.
+                shared, lat = iface.load(self.SHARED_BUMP)
+                latency += lat
+                chunk = max(self.CHUNK_BYTES, size)
+                latency += iface.store(self.SHARED_BUMP, shared + chunk)
+                bump = shared
+                latency += iface.store(limit_addr, shared + chunk)
+        addr = bump
+        if addr + size > HEAP_LIMIT:
+            raise OutOfMemoryException("heap exhausted")
+        latency += iface.store(bump_addr, addr + size)
+        return addr, latency
+
+    @staticmethod
+    def _meta_for(info, size):
+        if info.is_array:
+            return (size - HEADER_BYTES) // WORD    # array length
+        return info.class_id or 0
+
+    # -- free lists (used by the GC's sweep) --------------------------------------
+    def free_block(self, addr, size):
+        """Link a swept block onto the shared free list (direct memory
+        access: the GC runs outside speculation and its cost is charged
+        separately)."""
+        head_addr = self._head_addr(size, None)
+        old_head = self.memory.load(head_addr) \
+            if head_addr in self.memory.words else 0
+        self.memory.store(addr, old_head)
+        self.memory.store(head_addr, addr)
+
+    def live_objects(self):
+        return self.objects
+
+    def array_length(self, addr):
+        record = self.objects.get(addr)
+        if record is None or not record.info.is_array:
+            return None
+        return (record.size - HEADER_BYTES) // WORD

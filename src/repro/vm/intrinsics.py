@@ -1,0 +1,125 @@
+"""Intrinsic (native) methods exposed to guest programs.
+
+The MiniJava frontend maps calls on the builtin ``Math`` and ``Sys``
+pseudo-classes to ``INTRINSIC`` bytecodes.  The same registry drives the
+reference interpreter and the Hydra machine, so both agree exactly.
+
+Intrinsic cycle costs approximate a software library on a single-issue
+MIPS core; they only matter for the simulated clock, not correctness.
+"""
+
+import math
+
+from ..bytecode.instructions import f2i, i32
+from ..bytecode.module import FLOAT, INT, VOID
+
+
+class Intrinsic:
+    __slots__ = ("name", "arg_types", "return_type", "cycles", "fn",
+                 "is_output")
+
+    def __init__(self, name, arg_types, return_type, cycles, fn,
+                 is_output=False):
+        self.name = name
+        self.arg_types = arg_types
+        self.return_type = return_type
+        self.cycles = cycles
+        self.fn = fn
+        self.is_output = is_output
+
+    @property
+    def nargs(self):
+        return len(self.arg_types)
+
+    def has_result(self):
+        return not self.return_type.is_void()
+
+
+def _safe_log(x):
+    return math.log(x) if x > 0.0 else float("-inf")
+
+
+def _safe_sqrt(x):
+    return math.sqrt(x) if x >= 0.0 else float("nan")
+
+
+def _safe_pow(x, y):
+    try:
+        value = math.pow(x, y)
+    except (ValueError, OverflowError):
+        value = float("nan")
+    return value
+
+
+def _safe_exp(x):
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return float("inf")
+
+
+REGISTRY = {}
+
+
+def _register(name, arg_types, return_type, cycles, fn, is_output=False):
+    REGISTRY[name] = Intrinsic(name, arg_types, return_type, cycles, fn,
+                               is_output)
+
+
+_register("sqrt", [FLOAT], FLOAT, 20, _safe_sqrt)
+_register("sin", [FLOAT], FLOAT, 30, math.sin)
+_register("cos", [FLOAT], FLOAT, 30, math.cos)
+_register("tan", [FLOAT], FLOAT, 35, math.tan)
+_register("atan", [FLOAT], FLOAT, 35, math.atan)
+_register("atan2", [FLOAT, FLOAT], FLOAT, 40, math.atan2)
+_register("exp", [FLOAT], FLOAT, 30, _safe_exp)
+_register("log", [FLOAT], FLOAT, 30, _safe_log)
+_register("pow", [FLOAT, FLOAT], FLOAT, 40, _safe_pow)
+_register("fabs", [FLOAT], FLOAT, 2, abs)
+_register("floor", [FLOAT], FLOAT, 5, lambda x: float(math.floor(x)))
+_register("ceil", [FLOAT], FLOAT, 5, lambda x: float(math.ceil(x)))
+_register("f2i", [FLOAT], INT, 2, f2i)
+_register("iabs", [INT], INT, 2, lambda x: i32(abs(x)))
+_register("imin", [INT, INT], INT, 2, min)
+_register("imax", [INT, INT], INT, 2, max)
+_register("fmin", [FLOAT, FLOAT], FLOAT, 2, min)
+_register("fmax", [FLOAT, FLOAT], FLOAT, 2, max)
+
+# Output intrinsics are the only "system calls" in the guest; the paper
+# notes that loops containing system calls cannot be speculated, and the
+# loop annotator honours that by disqualifying loops that print.
+_register("print_int", [INT], VOID, 50, None, is_output=True)
+_register("print_float", [FLOAT], VOID, 50, None, is_output=True)
+
+
+#: Maps builtin pseudo-class method names to intrinsic names.
+BUILTIN_METHODS = {
+    ("Math", "sqrt"): "sqrt",
+    ("Math", "sin"): "sin",
+    ("Math", "cos"): "cos",
+    ("Math", "tan"): "tan",
+    ("Math", "atan"): "atan",
+    ("Math", "atan2"): "atan2",
+    ("Math", "exp"): "exp",
+    ("Math", "log"): "log",
+    ("Math", "pow"): "pow",
+    ("Math", "fabs"): "fabs",
+    ("Math", "floor"): "floor",
+    ("Math", "ceil"): "ceil",
+    ("Math", "iabs"): "iabs",
+    ("Math", "imin"): "imin",
+    ("Math", "imax"): "imax",
+    ("Math", "fmin"): "fmin",
+    ("Math", "fmax"): "fmax",
+    ("Sys", "printInt"): "print_int",
+    ("Sys", "printFloat"): "print_float",
+}
+
+BUILTIN_CLASSES = frozenset(name for name, _ in BUILTIN_METHODS)
+
+
+def lookup(name):
+    intrinsic = REGISTRY.get(name)
+    if intrinsic is None:
+        raise KeyError("unknown intrinsic %r" % name)
+    return intrinsic

@@ -1,0 +1,9 @@
+"""The paper's 26-benchmark suite as MiniJava programs."""
+
+from .registry import (CATEGORY_SPEEDUP_BANDS, FLOATING, INTEGER,
+                       MULTIMEDIA, SIZES, Workload, all_workloads,
+                       by_category, lookup, names)
+
+__all__ = ["Workload", "all_workloads", "by_category", "lookup", "names",
+           "INTEGER", "FLOATING", "MULTIMEDIA", "SIZES",
+           "CATEGORY_SPEEDUP_BANDS"]

@@ -1,0 +1,505 @@
+"""Floating-point benchmarks (paper Table 3, middle block).
+
+euler, fft, FourierTest, LuFactor, moldyn, NeuralNet, shallow — the
+numeric programs where the paper reports 3-4x speedups on 4 CPUs.
+"""
+
+from .registry import FLOATING, Workload, register
+
+# ---------------------------------------------------------------------------
+# euler — 2D fluid dynamics stencil (paper data set 33x9)
+# ---------------------------------------------------------------------------
+
+_EULER = """
+class Main {
+    static int main() {
+        int nx = %(nx)d;
+        int ny = %(ny)d;
+        int steps = %(steps)d;
+        float[][] u = new float[nx][ny];
+        float[][] f = new float[nx][ny];
+        for (int i = 0; i < nx; i++) {
+            for (int j = 0; j < ny; j++) {
+                u[i][j] = (float)(i * 3 + j) * 0.01;
+            }
+        }
+        for (int t = 0; t < steps; t++) {
+            // flux computation (parallel over rows)
+            for (int i = 1; i < nx - 1; i++) {
+                for (int j = 1; j < ny - 1; j++) {
+                    f[i][j] = 0.25 * (u[i-1][j] + u[i+1][j]
+                                      + u[i][j-1] + u[i][j+1])
+                              - u[i][j];
+                }
+            }
+            // update sweep
+            for (int i = 1; i < nx - 1; i++) {
+                for (int j = 1; j < ny - 1; j++) {
+                    u[i][j] = u[i][j] + 0.5 * f[i][j];
+                }
+            }
+        }
+        float check = 0.0;
+        for (int i = 0; i < nx; i++) {
+            for (int j = 0; j < ny; j++) { check = check + u[i][j]; }
+        }
+        Sys.printFloat(check);
+        return (int)check;
+    }
+}
+"""
+
+
+def _euler(size):
+    params = {"small": (17, 9, 4), "default": (33, 9, 6),
+              "large": (49, 17, 8)}[size]
+    return _EULER % {"nx": params[0], "ny": params[1], "steps": params[2]}
+
+
+register(Workload(
+    name="euler",
+    category=FLOATING,
+    description="2D fluid dynamics stencil solver",
+    source_fn=_euler,
+    analyzable=True,
+    data_set_sensitive=True,
+    paper={"dataset": "33x9",
+           "note": "many STLs contribute equally; loop level choice "
+                   "depends on data set size"},
+))
+
+# ---------------------------------------------------------------------------
+# fft — iterative radix-2 FFT (large iterations overflow buffers)
+# ---------------------------------------------------------------------------
+
+_FFT = """
+class Main {
+    static int main() {
+        int n = %(n)d;
+        float[] re = new float[n];
+        float[] im = new float[n];
+        for (int i = 0; i < n; i++) {
+            re[i] = Math.sin((float)i * 0.1) + 0.5 * Math.cos((float)i * 0.3);
+            im[i] = 0.0;
+        }
+        // bit-reversal permutation
+        int j = 0;
+        for (int i = 0; i < n - 1; i++) {
+            if (i < j) {
+                float tr = re[i]; re[i] = re[j]; re[j] = tr;
+                float ti = im[i]; im[i] = im[j]; im[j] = ti;
+            }
+            int k = n >> 1;
+            while (k <= j) { j -= k; k = k >> 1; }
+            j += k;
+        }
+        // butterfly stages
+        int span = 1;
+        while (span < n) {
+            int step = span << 1;
+            for (int group = 0; group < span; group++) {
+                float ang = -3.14159265358979 * (float)group / (float)span;
+                float wr = Math.cos(ang);
+                float wi = Math.sin(ang);
+                for (int base = group; base < n; base += step) {
+                    int match = base + span;
+                    float tr = wr * re[match] - wi * im[match];
+                    float ti = wr * im[match] + wi * re[match];
+                    re[match] = re[base] - tr;
+                    im[match] = im[base] - ti;
+                    re[base] = re[base] + tr;
+                    im[base] = im[base] + ti;
+                }
+            }
+            span = step;
+        }
+        float check = 0.0;
+        for (int i = 0; i < n; i++) {
+            check = check + re[i] * re[i] + im[i] * im[i];
+        }
+        Sys.printFloat(check);
+        return (int)check;
+    }
+}
+"""
+
+
+def _fft(size):
+    n = {"small": 128, "default": 256, "large": 1024}[size]
+    return _FFT % {"n": n}
+
+
+register(Workload(
+    name="fft",
+    category=FLOATING,
+    description="Radix-2 fast Fourier transform",
+    source_fn=_fft,
+    analyzable=True,
+    paper={"dataset": "1024",
+           "note": "buffer-overflow stalls on the large STL iterations "
+                   "of late butterfly stages produce wait-used state"},
+))
+
+# ---------------------------------------------------------------------------
+# FourierTest — Fourier series coefficients (jBYTEmark)
+# ---------------------------------------------------------------------------
+
+_FOURIER = """
+class Main {
+    static float func(float x) {
+        return (x + 1.0) * (x + 1.0) / (x * 0.5 + 2.0);
+    }
+    static int main() {
+        int ncoeff = %(ncoeff)d;
+        int nsteps = %(nsteps)d;
+        float interval = 2.0;
+        float h = interval / (float)nsteps;
+        float check = 0.0;
+        for (int k = 0; k < ncoeff; k++) {
+            // trapezoid integration of f(x)*cos(k*pi*x/L)
+            float omega = 3.14159265358979 * (float)k / interval;
+            float acc = 0.5 * (func(0.0) + func(interval)
+                               * Math.cos(omega * interval));
+            for (int s = 1; s < nsteps; s++) {
+                float x = h * (float)s;
+                acc = acc + func(x) * Math.cos(omega * x);
+            }
+            float coeff = acc * h * 2.0 / interval;
+            check = check + coeff * coeff;
+        }
+        Sys.printFloat(check);
+        return (int)check;
+    }
+}
+"""
+
+
+def _fourier(size):
+    params = {"small": (20, 30), "default": (40, 50),
+              "large": (80, 80)}[size]
+    return _FOURIER % {"ncoeff": params[0], "nsteps": params[1]}
+
+
+register(Workload(
+    name="FourierTest",
+    category=FLOATING,
+    description="Fourier coefficients via numeric integration (jBYTEmark)",
+    source_fn=_fourier,
+    analyzable=True,
+    paper={"note": "outer coefficient loop parallelizes cleanly"},
+))
+
+# ---------------------------------------------------------------------------
+# LuFactor — LU decomposition with partial pivoting
+# ---------------------------------------------------------------------------
+
+_LUFACTOR = """
+class Main {
+    static int main() {
+        int n = %(n)d;
+        float[][] a = new float[n][n];
+        int seed = 42;
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) {
+                seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+                a[i][j] = (float)(seed %% 2000 - 1000) * 0.001;
+            }
+            a[i][i] = a[i][i] + 4.0;
+        }
+        float det = 1.0;
+        for (int k = 0; k < n - 1; k++) {
+            // partial pivot (serial, short)
+            int pivot = k;
+            float best = Math.fabs(a[k][k]);
+            for (int i = k + 1; i < n; i++) {
+                float v = Math.fabs(a[i][k]);
+                if (v > best) { best = v; pivot = i; }
+            }
+            if (pivot != k) {
+                float[] tmp = a[k];
+                a[k] = a[pivot];
+                a[pivot] = tmp;
+                det = -det;
+            }
+            // elimination: rows are independent (parallel)
+            for (int i = k + 1; i < n; i++) {
+                float m = a[i][k] / a[k][k];
+                a[i][k] = m;
+                for (int j = k + 1; j < n; j++) {
+                    a[i][j] = a[i][j] - m * a[k][j];
+                }
+            }
+        }
+        for (int k = 0; k < n; k++) { det = det * a[k][k]; }
+        float check = 0.0;
+        for (int i = 0; i < n; i++) { check = check + a[i][i]; }
+        Sys.printFloat(check);
+        return (int)check;
+    }
+}
+"""
+
+
+def _lufactor(size):
+    n = {"small": 14, "default": 24, "large": 40}[size]
+    return _LUFACTOR % {"n": n}
+
+
+register(Workload(
+    name="LuFactor",
+    category=FLOATING,
+    description="LU factorization with partial pivoting",
+    source_fn=_lufactor,
+    analyzable=True,
+    data_set_sensitive=True,
+    paper={"dataset": "101x101",
+           "note": "lower loop-nest levels must be chosen for larger "
+                   "data sets to avoid speculative buffer overflow"},
+))
+
+# ---------------------------------------------------------------------------
+# moldyn — molecular dynamics (Java Grande)
+# ---------------------------------------------------------------------------
+
+_MOLDYN = """
+class Main {
+    static int main() {
+        int n = %(n)d;
+        int steps = %(steps)d;
+        float[] x = new float[n];
+        float[] y = new float[n];
+        float[] vx = new float[n];
+        float[] vy = new float[n];
+        float[] fx = new float[n];
+        float[] fy = new float[n];
+        for (int i = 0; i < n; i++) {
+            x[i] = (float)(i %% 8) * 1.2;
+            y[i] = (float)(i / 8) * 1.2;
+            vx[i] = 0.01 * (float)(i %% 3 - 1);
+            vy[i] = 0.01 * (float)(i %% 5 - 2);
+        }
+        float energy = 0.0;
+        for (int t = 0; t < steps; t++) {
+            // forces: full N^2, each particle independent (parallel)
+            for (int i = 0; i < n; i++) {
+                float fxi = 0.0;
+                float fyi = 0.0;
+                for (int j = 0; j < n; j++) {
+                    if (j != i) {
+                        float dx = x[i] - x[j];
+                        float dy = y[i] - y[j];
+                        float r2 = dx * dx + dy * dy + 0.01;
+                        float inv = 1.0 / r2;
+                        float f = (inv * inv - 0.5 * inv) * inv;
+                        fxi = fxi + f * dx;
+                        fyi = fyi + f * dy;
+                    }
+                }
+                fx[i] = fxi;
+                fy[i] = fyi;
+            }
+            // integrate (parallel)
+            for (int i = 0; i < n; i++) {
+                vx[i] = vx[i] + 0.001 * fx[i];
+                vy[i] = vy[i] + 0.001 * fy[i];
+                x[i] = x[i] + vx[i];
+                y[i] = y[i] + vy[i];
+            }
+            float e = 0.0;
+            for (int i = 0; i < n; i++) {
+                e = e + vx[i] * vx[i] + vy[i] * vy[i];
+            }
+            energy = energy + e;
+        }
+        Sys.printFloat(energy);
+        return (int)energy;
+    }
+}
+"""
+
+
+def _moldyn(size):
+    params = {"small": (16, 3), "default": (24, 4),
+              "large": (48, 5)}[size]
+    return _MOLDYN % {"n": params[0], "steps": params[1]}
+
+
+register(Workload(
+    name="moldyn",
+    category=FLOATING,
+    description="Molecular dynamics N-body (Java Grande)",
+    source_fn=_moldyn,
+    analyzable=True,
+    paper={"note": "pairwise force loops parallelize; reductions on "
+                   "kinetic energy"},
+))
+
+# ---------------------------------------------------------------------------
+# NeuralNet — MLP training (35x8x8; hoisting showcase)
+# ---------------------------------------------------------------------------
+
+_NEURALNET = """
+class Main {
+    static int main() {
+        int nin = %(nin)d;
+        int nhid = %(nhid)d;
+        int nout = %(nout)d;
+        int epochs = %(epochs)d;
+        float[][] w1 = new float[nhid][nin];
+        float[][] w2 = new float[nout][nhid];
+        float[] input = new float[nin];
+        float[] hidden = new float[nhid];
+        float[] output = new float[nout];
+        float[] target = new float[nout];
+        float[] dout = new float[nout];
+        int seed = 7;
+        for (int h = 0; h < nhid; h++) {
+            for (int i = 0; i < nin; i++) {
+                seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+                w1[h][i] = (float)(seed %% 100 - 50) * 0.01;
+            }
+        }
+        for (int o = 0; o < nout; o++) {
+            for (int h = 0; h < nhid; h++) {
+                seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+                w2[o][h] = (float)(seed %% 100 - 50) * 0.01;
+            }
+        }
+        for (int i = 0; i < nin; i++) {
+            input[i] = (float)(i %% 5) * 0.2;
+        }
+        for (int o = 0; o < nout; o++) {
+            target[o] = (float)(o %% 2);
+        }
+        float err = 0.0;
+        for (int e = 0; e < epochs; e++) {
+            // forward: hidden layer (parallel over h; hoisting target —
+            // small loops entered every epoch)
+            for (int h = 0; h < nhid; h++) {
+                float s = 0.0;
+                for (int i = 0; i < nin; i++) {
+                    s = s + w1[h][i] * input[i];
+                }
+                hidden[h] = 1.0 / (1.0 + Math.exp(-s));
+            }
+            for (int o = 0; o < nout; o++) {
+                float s = 0.0;
+                for (int h = 0; h < nhid; h++) {
+                    s = s + w2[o][h] * hidden[h];
+                }
+                output[o] = 1.0 / (1.0 + Math.exp(-s));
+            }
+            // backward
+            err = 0.0;
+            for (int o = 0; o < nout; o++) {
+                float d = target[o] - output[o];
+                dout[o] = d * output[o] * (1.0 - output[o]);
+                err = err + d * d;
+            }
+            for (int o = 0; o < nout; o++) {
+                for (int h = 0; h < nhid; h++) {
+                    w2[o][h] = w2[o][h] + 0.3 * dout[o] * hidden[h];
+                }
+            }
+            for (int h = 0; h < nhid; h++) {
+                float back = 0.0;
+                for (int o = 0; o < nout; o++) {
+                    back = back + dout[o] * w2[o][h];
+                }
+                float dh = back * hidden[h] * (1.0 - hidden[h]);
+                for (int i = 0; i < nin; i++) {
+                    w1[h][i] = w1[h][i] + 0.3 * dh * input[i];
+                }
+            }
+        }
+        Sys.printFloat(err);
+        return (int)(err * 1000.0);
+    }
+}
+"""
+
+
+def _neuralnet(size):
+    params = {"small": (20, 8, 8, 6), "default": (35, 8, 8, 10),
+              "large": (64, 16, 8, 12)}[size]
+    return _NEURALNET % {"nin": params[0], "nhid": params[1],
+                         "nout": params[2], "epochs": params[3]}
+
+
+register(Workload(
+    name="NeuralNet",
+    category=FLOATING,
+    description="Back-propagation neural network (35x8x8)",
+    source_fn=_neuralnet,
+    data_set_sensitive=True,
+    paper={"dataset": "35x8x8",
+           "note": "two loops use hoisted startup/shutdown but benefit "
+                   "only slightly", "key_opt": "hoisting"},
+))
+
+# ---------------------------------------------------------------------------
+# shallow — shallow water simulation (stencil sweeps)
+# ---------------------------------------------------------------------------
+
+_SHALLOW = """
+class Main {
+    static int main() {
+        int n = %(n)d;
+        int steps = %(steps)d;
+        float[][] p = new float[n][n];
+        float[][] u = new float[n][n];
+        float[][] v = new float[n][n];
+        float[][] pn = new float[n][n];
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) {
+                p[i][j] = 10.0 + Math.sin((float)(i + j) * 0.3);
+            }
+        }
+        for (int t = 0; t < steps; t++) {
+            // velocity update (parallel over rows)
+            for (int i = 1; i < n - 1; i++) {
+                for (int j = 1; j < n - 1; j++) {
+                    u[i][j] = u[i][j] - 0.1 * (p[i+1][j] - p[i-1][j]);
+                    v[i][j] = v[i][j] - 0.1 * (p[i][j+1] - p[i][j-1]);
+                }
+            }
+            // height update
+            for (int i = 1; i < n - 1; i++) {
+                for (int j = 1; j < n - 1; j++) {
+                    pn[i][j] = p[i][j] - 0.1 * (u[i+1][j] - u[i-1][j]
+                                                + v[i][j+1] - v[i][j-1]);
+                }
+            }
+            for (int i = 1; i < n - 1; i++) {
+                for (int j = 1; j < n - 1; j++) {
+                    p[i][j] = pn[i][j];
+                }
+            }
+        }
+        float check = 0.0;
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) { check = check + p[i][j]; }
+        }
+        Sys.printFloat(check);
+        return (int)check;
+    }
+}
+"""
+
+
+def _shallow(size):
+    params = {"small": (16, 3), "default": (24, 4),
+              "large": (48, 5)}[size]
+    return _SHALLOW % {"n": params[0], "steps": params[1]}
+
+
+register(Workload(
+    name="shallow",
+    category=FLOATING,
+    description="Shallow water equation solver (stencil sweeps)",
+    source_fn=_shallow,
+    analyzable=True,
+    data_set_sensitive=True,
+    paper={"dataset": "256x256",
+           "note": "loop level selection depends on grid size"},
+))

@@ -1,0 +1,1328 @@
+"""Integer benchmarks (paper Table 3, upper block).
+
+MiniJava ports of the 14 integer programs: jBYTEmark (Assignment,
+BitOps, EmFloatPnt, Huffman, IDEA, NumHeapSort), SPECjvm98 (compress,
+db, jess), and the other applications (deltaBlue, jLex, MipsSimulator,
+monteCarlo, raytrace — the integer ray tracer variant).
+
+Every program prints a checksum so differential tests can compare the
+sequential, profiled, and speculative runs.
+"""
+
+from .registry import INTEGER, Workload, register
+
+# ---------------------------------------------------------------------------
+# Assignment — resource allocation over a cost matrix
+# ---------------------------------------------------------------------------
+
+_ASSIGNMENT = """
+class Main {
+    static int main() {
+        int n = %(n)d;
+        int[][] cost = new int[n][n];
+        int seed = 9901;
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) {
+                seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+                cost[i][j] = seed %% 1000;
+            }
+        }
+        // Row reduction: subtract each row's minimum.
+        for (int i = 0; i < n; i++) {
+            int m = cost[i][0];
+            for (int j = 1; j < n; j++) {
+                m = Math.imin(m, cost[i][j]);
+            }
+            for (int j = 0; j < n; j++) {
+                cost[i][j] = cost[i][j] - m;
+            }
+        }
+        // Column reduction.
+        for (int j = 0; j < n; j++) {
+            int m = cost[0][j];
+            for (int i = 1; i < n; i++) {
+                m = Math.imin(m, cost[i][j]);
+            }
+            for (int i = 0; i < n; i++) {
+                cost[i][j] = cost[i][j] - m;
+            }
+        }
+        // Greedy assignment on the reduced matrix.
+        int[] rowUsed = new int[n];
+        int[] colUsed = new int[n];
+        int total = 0;
+        for (int pass = 0; pass < n; pass++) {
+            int bi = -1;
+            int bj = -1;
+            int best = 0x7FFFFFFF;
+            for (int i = 0; i < n; i++) {
+                if (rowUsed[i] == 0) {
+                    for (int j = 0; j < n; j++) {
+                        if (colUsed[j] == 0 && cost[i][j] < best) {
+                            best = cost[i][j];
+                            bi = i;
+                            bj = j;
+                        }
+                    }
+                }
+            }
+            rowUsed[bi] = 1;
+            colUsed[bj] = 1;
+            total += best;
+        }
+        Sys.printInt(total);
+        return total;
+    }
+}
+"""
+
+
+def _assignment(size):
+    n = {"small": 16, "default": 26, "large": 40}[size]
+    return _ASSIGNMENT % {"n": n}
+
+
+register(Workload(
+    name="Assignment",
+    category=INTEGER,
+    description="Resource allocation over a cost matrix (jBYTEmark)",
+    source_fn=_assignment,
+    analyzable=True,
+    data_set_sensitive=True,
+    paper={"note": "many STLs of equal weight; multilevel helps slightly;"
+                   " best decomposition level depends on the data set",
+           "dataset": "51x51"},
+))
+
+# ---------------------------------------------------------------------------
+# BitOps — bit array operations (resetable inductor showcase)
+# ---------------------------------------------------------------------------
+
+_BITOPS = """
+class Main {
+    static int main() {
+        int words = %(words)d;
+        int ops = %(ops)d;
+        int[] bitmap = new int[words];
+        int pos = 0;
+        int checksum = 0;
+        int seed = 333;
+        for (int i = 0; i < ops; i++) {
+            int w = pos >> 5;
+            int b = pos & 31;
+            bitmap[w] = bitmap[w] ^ (1 << b);
+            checksum += (bitmap[w] >> b) & 1;
+            // stride > 32 bits: consecutive iterations touch different
+            // words, so only the reset-able position carries
+            pos = pos + 37;
+            if (pos >= words * 32) {
+                seed = (seed * 2531011 + 17) & 0x7FFFFFFF;
+                pos = seed %% 31;
+            }
+        }
+        int total = 0;
+        for (int w = 0; w < words; w++) {
+            int v = bitmap[w];
+            int c = 0;
+            while (v != 0) { c += v & 1; v = v >>> 1; }
+            total += c;
+        }
+        Sys.printInt(checksum);
+        Sys.printInt(total);
+        return checksum;
+    }
+}
+"""
+
+
+def _bitops(size):
+    params = {"small": (64, 1500), "default": (128, 3500),
+              "large": (256, 8000)}[size]
+    return _BITOPS % {"words": params[0], "ops": params[1]}
+
+
+register(Workload(
+    name="BitOps",
+    category=INTEGER,
+    description="Bit array operations (jBYTEmark)",
+    source_fn=_bitops,
+    paper={"note": "the reset-able non-communicating loop inductor "
+                   "dramatically improves BitOps (loop-carried dependency "
+                   "removed from small threads)",
+           "key_opt": "resetable_inductors"},
+))
+
+# ---------------------------------------------------------------------------
+# compress — LZW-flavoured compression (mostly serial; manual transform)
+# ---------------------------------------------------------------------------
+
+_COMPRESS = """
+class Main {
+    static int main() {
+        int n = %(n)d;
+        int[] input = new int[n];
+        int seed = 4242;
+        for (int i = 0; i < n; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            input[i] = (seed >> 3) %% 64;
+        }
+        int[] hashTable = new int[4096];
+        int[] codeOf = new int[4096];
+        for (int i = 0; i < 4096; i++) { hashTable[i] = -1; }
+        int nextCode = 64;
+        int prefix = input[0];
+        int outsum = 0;
+        int outcount = 0;
+        for (int i = 1; i < n; i++) {
+            int c = input[i];
+            int key = ((prefix << 6) ^ c) & 4095;
+            if (hashTable[key] == (prefix << 6) + c) {
+                prefix = codeOf[key];
+            } else {
+                outsum = (outsum + prefix * 31 + outcount) & 0xFFFFFF;
+                outcount++;
+                if (nextCode < 4096) {
+                    hashTable[key] = (prefix << 6) + c;
+                    codeOf[key] = nextCode;
+                    nextCode++;
+                }
+                prefix = c;
+            }
+        }
+        Sys.printInt(outsum);
+        Sys.printInt(outcount);
+        return outsum;
+    }
+}
+"""
+
+_COMPRESS_MANUAL = """
+class Main {
+    // Manual transform (paper Table 4): compress independent blocks,
+    // guessing that each block starts a fresh dictionary, so block
+    // iterations carry no dependency.
+    static int[] input;
+    static int blockSum(int start, int len) {
+        // Small per-block dictionaries keep one block's speculative
+        // write state within the 64-line store buffers.
+        int[] hashTable = new int[128];
+        int[] codeOf = new int[128];
+        for (int i = 0; i < 128; i++) { hashTable[i] = -1; }
+        int nextCode = 64;
+        int prefix = input[start];
+        int outsum = 0;
+        int outcount = 0;
+        for (int i = start + 1; i < start + len; i++) {
+            int c = input[i];
+            int key = ((prefix << 6) ^ c) & 127;
+            if (hashTable[key] == (prefix << 6) + c) {
+                prefix = codeOf[key];
+            } else {
+                outsum = (outsum + prefix * 31 + outcount) & 0xFFFFFF;
+                outcount++;
+                if (nextCode < 128) {
+                    hashTable[key] = (prefix << 6) + c;
+                    codeOf[key] = nextCode;
+                    nextCode++;
+                }
+                prefix = c;
+            }
+        }
+        return (outsum << 8) + outcount;
+    }
+    static int main() {
+        int n = %(n)d;
+        int block = %(block)d;
+        input = new int[n];
+        int seed = 4242;
+        for (int i = 0; i < n; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            input[i] = (seed >> 3) %% 64;
+        }
+        int total = 0;
+        for (int b = 0; b + block <= n; b += block) {
+            total = (total + blockSum(b, block)) & 0xFFFFFF;
+        }
+        Sys.printInt(total);
+        return total;
+    }
+}
+"""
+
+
+def _compress(size):
+    n = {"small": 1500, "default": 3500, "large": 8000}[size]
+    return _COMPRESS % {"n": n}
+
+
+def _compress_manual(size):
+    n = {"small": 1500, "default": 3500, "large": 8000}[size]
+    return _COMPRESS_MANUAL % {"n": n, "block": 175}
+
+
+register(Workload(
+    name="compress",
+    category=INTEGER,
+    description="LZW-style compression (SPECjvm98)",
+    source_fn=_compress,
+    manual_variant_fn=_compress_manual,
+    manual_notes={"difficulty": "Low", "compiler_optimizable": False,
+                  "lines": 13,
+                  "operation": "Guess next offset when compressing/"
+                               "uncompressing data"},
+    paper={"note": "significant run-violated/wait-violated state; truly "
+                   "dynamic violations; manual block transform needed"},
+))
+
+# ---------------------------------------------------------------------------
+# db — in-memory database operations (sync-lock showcase)
+# ---------------------------------------------------------------------------
+
+_DB = """
+class TxnLog {
+    int count;
+    int threshold;
+    synchronized void record(int x) { count = count + (x & 1); }
+    synchronized int quota() { return threshold; }
+}
+class Main {
+    static int main() {
+        int nrec = %(nrec)d;
+        int nops = %(nops)d;
+        int[] keys = new int[nrec];
+        int[] vals = new int[nrec];
+        TxnLog log = new TxnLog();
+        log.threshold = 180;
+        for (int i = 0; i < nrec; i++) {
+            keys[i] = (i * 7919) %% nrec;
+            vals[i] = i * 3;
+        }
+        int cursor = 0;
+        int found = 0;
+        for (int op = 0; op < nops; op++) {
+            // Hash the operation id first (short setup), then advance
+            // the shared cursor: a mid-iteration carried dependency
+            // that the thread synchronizing lock protects.
+            int h = (op * 2654435761) & 0x7FFFFFFF;
+            h = (h >> 7) %% 977;
+            h = (h * h + op) %% 751;
+            cursor = (cursor * 31 + h + 7) %% nrec;
+            int key = cursor;
+            int lo = key;
+            int sum = 0;
+            // probe: scan a small window for the key
+            for (int k = 0; k < 24; k++) {
+                int idx = (key + k * k) %% nrec;
+                if (keys[idx] == key) { lo = idx; }
+                sum += vals[idx] & 15;
+            }
+            vals[lo] = (vals[lo] + sum) & 0xFFFF;
+            // consult the transaction monitor (synchronized read every
+            // operation: paper Table 3 column "JVM - Java lock")
+            if (sum > log.quota()) { log.record(sum); }
+            found += sum;
+        }
+        Sys.printInt(found);
+        Sys.printInt(cursor);
+        Sys.printInt(log.count);
+        return found;
+    }
+}
+"""
+
+_DB_MANUAL = """
+class TxnLog {
+    int count;
+    int threshold;
+    synchronized void record(int x) { count = count + (x & 1); }
+    synchronized int quota() { return threshold; }
+}
+class Main {
+    // Manual transform (paper Table 4): schedule the loop-carried
+    // cursor update so the dependency arc is short: the cursor only
+    // depends on the op index, so compute it from op directly.
+    static int main() {
+        int nrec = %(nrec)d;
+        int nops = %(nops)d;
+        int[] keys = new int[nrec];
+        int[] vals = new int[nrec];
+        TxnLog log = new TxnLog();
+        log.threshold = 180;
+        for (int i = 0; i < nrec; i++) {
+            keys[i] = (i * 7919) %% nrec;
+            vals[i] = i * 3;
+        }
+        int found = 0;
+        int cursor = 0;
+        for (int op = 0; op < nops; op++) {
+            int c = (op * 2647 + 7) %% nrec;
+            int key = c;
+            int lo = key;
+            int sum = 0;
+            for (int k = 0; k < 24; k++) {
+                int idx = (key + k * k) %% nrec;
+                if (keys[idx] == key) { lo = idx; }
+                sum += vals[idx] & 15;
+            }
+            vals[lo] = (vals[lo] + sum) & 0xFFFF;
+            if (sum > log.quota()) { log.record(sum); }
+            found += sum;
+            cursor = c;
+        }
+        Sys.printInt(found);
+        Sys.printInt(cursor);
+        Sys.printInt(log.count);
+        return found;
+    }
+}
+"""
+
+
+def _db(size):
+    params = {"small": (128, 400), "default": (256, 1000),
+              "large": (512, 2400)}[size]
+    return _DB % {"nrec": params[0], "nops": params[1]}
+
+
+def _db_manual(size):
+    params = {"small": (128, 400), "default": (256, 1000),
+              "large": (512, 2400)}[size]
+    return _DB_MANUAL % {"nrec": params[0], "nops": params[1]}
+
+
+register(Workload(
+    name="db",
+    category=INTEGER,
+    description="In-memory database operations (SPECjvm98)",
+    source_fn=_db,
+    manual_variant_fn=_db_manual,
+    manual_notes={"difficulty": "Low", "compiler_optimizable": True,
+                  "lines": 4,
+                  "operation": "Schedule loop carried dependency"},
+    paper={"note": "thread synchronizing lock prevents performance-"
+                   "degrading violations; large serial section limits "
+                   "total speedup", "key_opt": "sync_locks"},
+))
+
+# ---------------------------------------------------------------------------
+# deltaBlue — incremental constraint solver (chains)
+# ---------------------------------------------------------------------------
+
+_DELTABLUE = """
+class Main {
+    static int main() {
+        int chains = %(chains)d;
+        int length = %(length)d;
+        int[][] strength = new int[chains][length];
+        int[][] value = new int[chains][length];
+        int seed = 777;
+        for (int c = 0; c < chains; c++) {
+            for (int i = 0; i < length; i++) {
+                seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+                strength[c][i] = seed %% 7;
+            }
+        }
+        int checksum = 0;
+        // Planner passes: each chain is independent (parallel), but
+        // propagation inside a chain is serial.
+        for (int pass = 0; pass < %(passes)d; pass++) {
+            for (int c = 0; c < chains; c++) {
+                int v = pass + c;
+                for (int i = 0; i < length; i++) {
+                    if (strength[c][i] > 2) {
+                        v = v * 2 + strength[c][i];
+                    } else {
+                        v = v + 1;
+                    }
+                    v = v & 0xFFFF;
+                    value[c][i] = v;
+                }
+            }
+        }
+        for (int c = 0; c < chains; c++) {
+            checksum = (checksum + value[c][length - 1]) & 0xFFFFFF;
+        }
+        Sys.printInt(checksum);
+        return checksum;
+    }
+}
+"""
+
+
+def _deltablue(size):
+    params = {"small": (10, 30, 6), "default": (20, 50, 10),
+              "large": (40, 80, 14)}[size]
+    return _DELTABLUE % {"chains": params[0], "length": params[1],
+                         "passes": params[2]}
+
+
+register(Workload(
+    name="deltaBlue",
+    category=INTEGER,
+    description="Incremental dataflow constraint solver",
+    source_fn=_deltablue,
+    paper={"note": "significant serial execution not covered by any "
+                   "potential STL limits total speedup"},
+))
+
+# ---------------------------------------------------------------------------
+# EmFloatPnt — software floating-point emulation (load imbalance)
+# ---------------------------------------------------------------------------
+
+_EMFLOAT = """
+class Main {
+    // Emulated FP value: packed sign/exponent/mantissa in ints.
+    static int emMul(int a, int b) {
+        int signA = a >>> 31;
+        int signB = b >>> 31;
+        int expA = (a >> 23) & 0xFF;
+        int expB = (b >> 23) & 0xFF;
+        int manA = (a & 0x7FFFFF) | 0x800000;
+        int manB = (b & 0x7FFFFF) | 0x800000;
+        int hi = (manA >> 12) * (manB >> 12);
+        int exp = expA + expB - 127;
+        // normalize: variable-length loop (load imbalance source)
+        while (hi >= 0x1000000) { hi = hi >> 1; exp++; }
+        while (hi != 0 && hi < 0x800000) { hi = hi << 1; exp--; }
+        int sign = signA ^ signB;
+        return (sign << 31) | ((exp & 0xFF) << 23) | (hi & 0x7FFFFF);
+    }
+    static int emAdd(int a, int b) {
+        int expA = (a >> 23) & 0xFF;
+        int expB = (b >> 23) & 0xFF;
+        int manA = (a & 0x7FFFFF) | 0x800000;
+        int manB = (b & 0x7FFFFF) | 0x800000;
+        while (expA > expB) { manB = manB >> 1; expB++; }
+        while (expB > expA) { manA = manA >> 1; expA++; }
+        int man = manA + manB;
+        int exp = expA;
+        while (man >= 0x1000000) { man = man >> 1; exp++; }
+        return ((exp & 0xFF) << 23) | (man & 0x7FFFFF);
+    }
+    static int main() {
+        int n = %(n)d;
+        int[] xs = new int[n];
+        int[] ys = new int[n];
+        int seed = 31337;
+        for (int i = 0; i < n; i++) {
+            seed = (seed * 69069 + 5) & 0x7FFFFFFF;
+            xs[i] = (seed & 0x7FFFFF) | (((i %% 40) + 100) << 23);
+            seed = (seed * 69069 + 5) & 0x7FFFFFFF;
+            ys[i] = (seed & 0x7FFFFF) | (((i %% 17) + 110) << 23);
+        }
+        int check = 0;
+        for (int i = 0; i < n; i++) {
+            int p = emMul(xs[i], ys[i]);
+            int s = emAdd(p, xs[i]);
+            check = (check + (s >>> 16)) & 0xFFFFFF;
+        }
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+
+def _emfloat(size):
+    n = {"small": 250, "default": 600, "large": 1400}[size]
+    return _EMFLOAT % {"n": n}
+
+
+register(Workload(
+    name="EmFloatPnt",
+    category=INTEGER,
+    description="Software floating-point emulation (jBYTEmark)",
+    source_fn=_emfloat,
+    paper={"note": "wait-used state from load imbalance: iterations "
+                   "have variable-length normalization loops"},
+))
+
+# ---------------------------------------------------------------------------
+# Huffman — compression (histogram + encode)
+# ---------------------------------------------------------------------------
+
+_HUFFMAN = """
+class Main {
+    static int main() {
+        int n = %(n)d;
+        int[] data = new int[n];
+        int seed = 555;
+        for (int i = 0; i < n; i++) {
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            int r = (seed >> 8) %% 100;
+            // skewed distribution over 32 symbols
+            if (r < 40) { data[i] = r %% 4; }
+            else { if (r < 75) { data[i] = 4 + r %% 8; }
+                   else { data[i] = 12 + r %% 20; } }
+        }
+        int[] hist = new int[32];
+        for (int i = 0; i < n; i++) {
+            hist[data[i]] = hist[data[i]] + 1;
+        }
+        // Assign code lengths greedily by frequency rank (serial, small).
+        int[] lenOf = new int[32];
+        for (int s = 0; s < 32; s++) {
+            int rank = 0;
+            for (int t = 0; t < 32; t++) {
+                if (hist[t] > hist[s] || (hist[t] == hist[s] && t < s)) {
+                    rank++;
+                }
+            }
+            int ln = 2;
+            int r = rank;
+            while (r > 0) { r = r >> 1; ln++; }
+            lenOf[s] = ln;
+        }
+        // Encode: total output bits plus a rolling checksum that makes
+        // the bit position a carried dependency (sub-word packing).
+        int bits = 0;
+        int check = 0;
+        for (int i = 0; i < n; i++) {
+            int ln = lenOf[data[i]];
+            check = (check + ((bits & 7) << 4) + ln) & 0xFFFFFF;
+            bits += ln;
+        }
+        Sys.printInt(bits);
+        Sys.printInt(check);
+        return bits;
+    }
+}
+"""
+
+_HUFFMAN_MANUAL = """
+class Main {
+    // Manual transform (paper Table 4): merge independent streams —
+    // encode fixed-size blocks with block-local bit positions so the
+    // sub-word packing dependency disappears.
+    static int main() {
+        int n = %(n)d;
+        int[] data = new int[n];
+        int seed = 555;
+        for (int i = 0; i < n; i++) {
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            int r = (seed >> 8) %% 100;
+            if (r < 40) { data[i] = r %% 4; }
+            else { if (r < 75) { data[i] = 4 + r %% 8; }
+                   else { data[i] = 12 + r %% 20; } }
+        }
+        int[] hist = new int[32];
+        for (int i = 0; i < n; i++) {
+            hist[data[i]] = hist[data[i]] + 1;
+        }
+        int[] lenOf = new int[32];
+        for (int s = 0; s < 32; s++) {
+            int rank = 0;
+            for (int t = 0; t < 32; t++) {
+                if (hist[t] > hist[s] || (hist[t] == hist[s] && t < s)) {
+                    rank++;
+                }
+            }
+            int ln = 2;
+            int r = rank;
+            while (r > 0) { r = r >> 1; ln++; }
+            lenOf[s] = ln;
+        }
+        int block = 64;
+        int bits = 0;
+        int check = 0;
+        for (int b = 0; b < n; b += block) {
+            int localBits = 0;
+            int localCheck = 0;
+            int end = Math.imin(b + block, n);
+            for (int i = b; i < end; i++) {
+                int ln = lenOf[data[i]];
+                localCheck = (localCheck + ((localBits & 7) << 4) + ln)
+                             & 0xFFFFFF;
+                localBits += ln;
+            }
+            bits += localBits;
+            check = (check + localCheck) & 0xFFFFFF;
+        }
+        Sys.printInt(bits);
+        Sys.printInt(check);
+        return bits;
+    }
+}
+"""
+
+
+def _huffman(size):
+    n = {"small": 1200, "default": 3000, "large": 7000}[size]
+    return _HUFFMAN % {"n": n}
+
+
+def _huffman_manual(size):
+    n = {"small": 1200, "default": 3000, "large": 7000}[size]
+    return _HUFFMAN_MANUAL % {"n": n}
+
+
+register(Workload(
+    name="Huffman",
+    category=INTEGER,
+    description="Huffman compression (jBYTEmark)",
+    source_fn=_huffman,
+    manual_variant_fn=_huffman_manual,
+    manual_notes={"difficulty": "Med", "compiler_optimizable": False,
+                  "lines": 22,
+                  "operation": "Merge independent streams to prevent "
+                               "sub-word dependencies during compression"},
+    paper={"note": "significant run-violated state; violations are truly "
+                   "dynamic; manual stream merging exposes parallelism"},
+))
+
+# ---------------------------------------------------------------------------
+# IDEA — block cipher encryption (fully parallel blocks)
+# ---------------------------------------------------------------------------
+
+_IDEA = """
+class Main {
+    static int mulMod(int a, int b) {
+        // IDEA multiplication modulo 65537 (0 means 65536).
+        if (a == 0) { return (65537 - b) & 0xFFFF; }
+        if (b == 0) { return (65537 - a) & 0xFFFF; }
+        int p = a * b;
+        int lo = p & 0xFFFF;
+        int hi = p >>> 16;
+        if (lo >= hi) { return (lo - hi) & 0xFFFF; }
+        return (lo - hi + 65537) & 0xFFFF;
+    }
+    static int main() {
+        int blocks = %(blocks)d;
+        int[] x0 = new int[blocks];
+        int[] x1 = new int[blocks];
+        int[] x2 = new int[blocks];
+        int[] x3 = new int[blocks];
+        int seed = 90210;
+        for (int i = 0; i < blocks; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            x0[i] = seed & 0xFFFF;
+            x1[i] = (seed >> 8) & 0xFFFF;
+            x2[i] = (seed >> 4) & 0xFFFF;
+            x3[i] = (seed >> 12) & 0xFFFF;
+        }
+        int[] key = new int[52];
+        for (int k = 0; k < 52; k++) { key[k] = (k * 2654 + 101) & 0xFFFF; }
+        int check = 0;
+        for (int i = 0; i < blocks; i++) {
+            int a = x0[i];
+            int b = x1[i];
+            int c = x2[i];
+            int d = x3[i];
+            for (int r = 0; r < 8; r++) {
+                int k = r * 6;
+                a = mulMod(a, key[k]);
+                b = (b + key[k + 1]) & 0xFFFF;
+                c = (c + key[k + 2]) & 0xFFFF;
+                d = mulMod(d, key[k + 3]);
+                int e = a ^ c;
+                int f = b ^ d;
+                e = mulMod(e, key[k + 4]);
+                f = (f + e) & 0xFFFF;
+                f = mulMod(f, key[k + 5]);
+                e = (e + f) & 0xFFFF;
+                a = a ^ f;
+                c = c ^ f;
+                b = b ^ e;
+                d = d ^ e;
+            }
+            x0[i] = a;
+            x1[i] = b;
+            x2[i] = c;
+            x3[i] = d;
+            check = (check + a + b + c + d) & 0xFFFFFF;
+        }
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+
+def _idea(size):
+    blocks = {"small": 60, "default": 150, "large": 400}[size]
+    return _IDEA % {"blocks": blocks}
+
+
+register(Workload(
+    name="IDEA",
+    category=INTEGER,
+    description="IDEA block-cipher encryption (jBYTEmark)",
+    source_fn=_idea,
+    paper={"note": "independent blocks parallelize cleanly"},
+))
+
+# ---------------------------------------------------------------------------
+# jess — expert system (rule matching over facts)
+# ---------------------------------------------------------------------------
+
+_JESS = """
+class Activation {
+    int fact;
+    int strength;
+    Activation(int f, int s) { fact = f; strength = s; }
+}
+class Agenda {
+    int cursor;
+    int capacity;
+    synchronized void push(int code) { cursor = (cursor * 5 + code) & 0xFFFF; }
+    synchronized int room() { return capacity; }
+    synchronized int state() { return cursor; }
+}
+class Main {
+    static int main() {
+        int nfacts = %(nfacts)d;
+        int nrules = %(nrules)d;
+        int[][] facts = new int[nfacts][3];
+        int seed = 2718;
+        for (int i = 0; i < nfacts; i++) {
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            facts[i][0] = seed %% 16;
+            facts[i][1] = (seed >> 5) %% 64;
+            facts[i][2] = (seed >> 11) %% 64;
+        }
+        int[][] rules = new int[nrules][3];
+        for (int r = 0; r < nrules; r++) {
+            rules[r][0] = r %% 16;
+            rules[r][1] = (r * 13) %% 64;
+            rules[r][2] = (r * 7 + 3) %% 8;
+        }
+        int fired = 0;
+        Agenda agenda = new Agenda();
+        agenda.capacity = 3;
+        // Match phase: each fact tested against every rule (parallel
+        // across facts).
+        for (int i = 0; i < nfacts; i++) {
+            int hits = 0;
+            for (int r = 0; r < nrules; r++) {
+                if (facts[i][0] == rules[r][0]
+                        && (facts[i][1] & rules[r][2]) == rules[r][2]) {
+                    hits++;
+                }
+            }
+            // consult the synchronized agenda every fact (paper
+            // Table 3 column "JVM - Java lock"); rare matches allocate
+            // an activation record (column "JVM - Allocation") and push
+            if (hits > agenda.room()) {
+                Activation act = new Activation(i, hits);
+                agenda.push(act.fact + act.strength);
+            }
+            fired += hits;
+        }
+        // Agenda resolution: serial pass.
+        int state = agenda.state();
+        for (int k = 0; k < nfacts; k++) {
+            state = (state * 3 + facts[k][2]) & 0xFFFF;
+        }
+        Sys.printInt(fired);
+        Sys.printInt(state);
+        return fired;
+    }
+}
+"""
+
+
+def _jess(size):
+    params = {"small": (120, 24), "default": (250, 40),
+              "large": (600, 64)}[size]
+    return _JESS % {"nfacts": params[0], "nrules": params[1]}
+
+
+register(Workload(
+    name="jess",
+    category=INTEGER,
+    description="Expert-system rule matching (SPECjvm98)",
+    source_fn=_jess,
+    paper={"note": "significant serial execution not covered by STLs"},
+))
+
+# ---------------------------------------------------------------------------
+# jLex — lexical analyzer (DFA scan per line)
+# ---------------------------------------------------------------------------
+
+_JLEX = """
+class Main {
+    static int main() {
+        int nlines = %(nlines)d;
+        int linelen = %(linelen)d;
+        int[] text = new int[nlines * linelen];
+        int seed = 123;
+        for (int i = 0; i < nlines * linelen; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            text[i] = (seed >> 7) %% 8;
+        }
+        // A small DFA over an 8-symbol alphabet, 16 states.
+        int[][] trans = new int[16][8];
+        for (int s = 0; s < 16; s++) {
+            for (int c = 0; c < 8; c++) {
+                trans[s][c] = (s * 5 + c * 3 + 1) %% 16;
+            }
+        }
+        int tokens = 0;
+        int check = 0;
+        // Outer loop over lines (parallel); inner DFA scan is serial.
+        for (int ln = 0; ln < nlines; ln++) {
+            int state = 0;
+            int lineTokens = 0;
+            for (int k = 0; k < linelen; k++) {
+                state = trans[state][text[ln * linelen + k]];
+                if (state == 7) { lineTokens++; state = 0; }
+            }
+            tokens += lineTokens;
+            check = (check + state + lineTokens * 17) & 0xFFFFFF;
+        }
+        Sys.printInt(tokens);
+        Sys.printInt(check);
+        return tokens;
+    }
+}
+"""
+
+
+def _jlex(size):
+    params = {"small": (40, 30), "default": (90, 40),
+              "large": (200, 60)}[size]
+    return _JLEX % {"nlines": params[0], "linelen": params[1]}
+
+
+register(Workload(
+    name="jLex",
+    category=INTEGER,
+    description="Lexical analyzer generator's DFA scanner",
+    source_fn=_jlex,
+    paper={"note": "wait-used state from load imbalance between lines"},
+))
+
+# ---------------------------------------------------------------------------
+# MipsSimulator — CPU simulator (serial interpreter loop)
+# ---------------------------------------------------------------------------
+
+_MIPSSIM = """
+class Main {
+    static int main() {
+        int steps = %(steps)d;
+        // A tiny MIPS-like machine: 16 registers, 64 words of memory,
+        // a fixed 32-instruction program (encoded op/rd/rs/rt).
+        int[] regs = new int[16];
+        int[] mem = new int[64];
+        int[] prog = new int[32];
+        for (int i = 0; i < 32; i++) {
+            int op = i %% 5;
+            int rd = (i * 3 + 1) %% 16;
+            int rs = (i * 5 + 2) %% 16;
+            int rt = (i * 7 + 3) %% 16;
+            prog[i] = (op << 12) | (rd << 8) | (rs << 4) | rt;
+        }
+        for (int i = 0; i < 64; i++) { mem[i] = i * 3 + 1; }
+        int pc = 0;
+        int check = 0;
+        for (int s = 0; s < steps; s++) {
+            int instr = prog[pc];
+            int op = instr >> 12;
+            int rd = (instr >> 8) & 15;
+            int rs = (instr >> 4) & 15;
+            int rt = instr & 15;
+            if (op == 0) { regs[rd] = (regs[rs] + regs[rt]) & 0xFFFF; }
+            else { if (op == 1) { regs[rd] = regs[rs] ^ regs[rt]; }
+            else { if (op == 2) { regs[rd] = mem[(regs[rs] + rt) & 63]; }
+            else { if (op == 3) { mem[(regs[rs] + rt) & 63] =
+                                      regs[rd] & 0xFFFF; }
+            else { regs[rd] = (regs[rs] << 1) | (rt & 1); } } } }
+            pc = pc + 1;
+            if (pc >= 32) { pc = 0; check = (check + regs[7]) & 0xFFFFFF; }
+        }
+        Sys.printInt(check);
+        Sys.printInt(regs[3]);
+        return check;
+    }
+}
+"""
+
+_MIPSSIM_MANUAL = """
+class Main {
+    // Manual transform (paper Table 4): partition the simulation into
+    // independent streams with private register/memory state so the
+    // dependencies that forward values between simulated instructions
+    // stay within one speculative thread.
+    static int main() {
+        int steps = %(steps)d;
+        int streams = 4;
+        int per = steps / streams;
+        int[] prog = new int[32];
+        for (int i = 0; i < 32; i++) {
+            int op = i %% 5;
+            int rd = (i * 3 + 1) %% 16;
+            int rs = (i * 5 + 2) %% 16;
+            int rt = (i * 7 + 3) %% 16;
+            prog[i] = (op << 12) | (rd << 8) | (rs << 4) | rt;
+        }
+        int check = 0;
+        int r3sum = 0;
+        for (int stream = 0; stream < streams; stream++) {
+            int[] regs = new int[16];
+            int[] mem = new int[64];
+            for (int i = 0; i < 64; i++) { mem[i] = i * 3 + 1 + stream; }
+            int pc = 0;
+            int local = 0;
+            for (int st = 0; st < per; st++) {
+                int instr = prog[pc];
+                int op = instr >> 12;
+                int rd = (instr >> 8) & 15;
+                int rs = (instr >> 4) & 15;
+                int rt = instr & 15;
+                if (op == 0) { regs[rd] = (regs[rs] + regs[rt]) & 0xFFFF; }
+                else { if (op == 1) { regs[rd] = regs[rs] ^ regs[rt]; }
+                else { if (op == 2) { regs[rd] = mem[(regs[rs] + rt) & 63]; }
+                else { if (op == 3) { mem[(regs[rs] + rt) & 63] =
+                                          regs[rd] & 0xFFFF; }
+                else { regs[rd] = (regs[rs] << 1) | (rt & 1); } } } }
+                pc = pc + 1;
+                if (pc >= 32) { pc = 0; local = (local + regs[7]) & 0xFFFFFF; }
+            }
+            check = (check + local) & 0xFFFFFF;
+            r3sum = (r3sum + regs[3]) & 0xFFFF;
+        }
+        Sys.printInt(check);
+        Sys.printInt(r3sum);
+        return check;
+    }
+}
+"""
+
+
+def _mipssim(size):
+    steps = {"small": 1600, "default": 4000, "large": 9600}[size]
+    return _MIPSSIM % {"steps": steps}
+
+
+def _mipssim_manual(size):
+    steps = {"small": 1600, "default": 4000, "large": 9600}[size]
+    return _MIPSSIM_MANUAL % {"steps": steps}
+
+
+register(Workload(
+    name="MipsSimulator",
+    category=INTEGER,
+    description="MIPS CPU simulator (interpreter loop)",
+    source_fn=_mipssim,
+    manual_variant_fn=_mipssim_manual,
+    manual_notes={"difficulty": "Med", "compiler_optimizable": False,
+                  "lines": 70,
+                  "operation": "Partition simulation into independent "
+                               "streams so load-delay-slot forwarding stays "
+                               "within one thread"},
+    paper={"note": "wait-used from load imbalance; interpreter state is "
+                   "heavily loop-carried"},
+))
+
+# ---------------------------------------------------------------------------
+# monteCarlo — Monte Carlo simulation (sync-lock showcase)
+# ---------------------------------------------------------------------------
+
+_MONTECARLO = """
+class Main {
+    static int main() {
+        int samples = %(samples)d;
+        int seed = 20031984;
+        int inside = 0;
+        int check = 0;
+        for (int s = 0; s < samples; s++) {
+            // First random draw, a little path setup, then the second
+            // draw: the carried seed update lands mid-iteration, where
+            // only a thread synchronizing lock avoids violations.
+            int sx = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            int bucket = (sx >> 8) %% 977;
+            bucket = (bucket * bucket + s) %% 751;
+            seed = (sx * 69069 + bucket) & 0x7FFFFFFF;
+            // pricing-style compute on the sample (the longer tail)
+            float x = (float)(sx %% 10000) * 0.0001;
+            float v = 1.0;
+            for (int k = 0; k < 6; k++) {
+                v = v * (1.0 + x * 0.05) - x * 0.01;
+            }
+            if (v > 1.2) { inside++; }
+            check = (check + (sx >> 16) + bucket) & 0xFFFFFF;
+        }
+        Sys.printInt(inside);
+        Sys.printInt(check);
+        return inside;
+    }
+}
+"""
+
+_MONTECARLO_MANUAL = """
+class Main {
+    // Manual transform (paper Table 4): schedule the loop-carried
+    // dependency — generate the random sequence in its own cheap
+    // (serial) loop, then run the heavy pricing loop over independent
+    // precomputed samples.
+    static int main() {
+        int samples = %(samples)d;
+        int[] seeds = new int[samples];
+        int seed = 20031984;
+        for (int s = 0; s < samples; s++) {
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            seeds[s] = seed;
+        }
+        int inside = 0;
+        int check = 0;
+        for (int s = 0; s < samples; s++) {
+            int sx = seeds[s];
+            float x = (float)(sx %% 10000) * 0.0001;
+            float v = 1.0;
+            for (int k = 0; k < 6; k++) {
+                v = v * (1.0 + x * 0.05) - x * 0.01;
+            }
+            if (v > 1.2) { inside++; }
+            check = (check + (sx >> 16)) & 0xFFFFFF;
+        }
+        Sys.printInt(inside);
+        Sys.printInt(check);
+        return inside;
+    }
+}
+"""
+
+
+def _montecarlo(size):
+    samples = {"small": 400, "default": 1000, "large": 2500}[size]
+    return _MONTECARLO % {"samples": samples}
+
+
+def _montecarlo_manual(size):
+    samples = {"small": 400, "default": 1000, "large": 2500}[size]
+    return _MONTECARLO_MANUAL % {"samples": samples}
+
+
+register(Workload(
+    name="monteCarlo",
+    category=INTEGER,
+    description="Monte Carlo simulation (Java Grande)",
+    source_fn=_montecarlo,
+    manual_variant_fn=_montecarlo_manual,
+    manual_notes={"difficulty": "Med", "compiler_optimizable": False,
+                  "lines": 39,
+                  "operation": "Schedule loop carried dependency"},
+    paper={"note": "thread synchronizing lock prevents violations on the "
+                   "carried random seed", "key_opt": "sync_locks"},
+))
+
+# ---------------------------------------------------------------------------
+# NumHeapSort — heap sort (serial sift at heap top; manual transform)
+# ---------------------------------------------------------------------------
+
+_HEAPSORT = """
+class Main {
+    static int[] heap;
+    static void sift(int root, int limit) {
+        int top = heap[root];
+        int parent = root;
+        int child = parent * 2 + 1;
+        while (child < limit) {
+            if (child + 1 < limit && heap[child + 1] > heap[child]) {
+                child++;
+            }
+            if (heap[child] <= top) { child = limit; }
+            else {
+                heap[parent] = heap[child];
+                parent = child;
+                heap[parent] = top;
+                child = parent * 2 + 1;
+            }
+        }
+    }
+    static int main() {
+        int n = %(n)d;
+        heap = new int[n];
+        int seed = 1999;
+        for (int i = 0; i < n; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            heap[i] = seed %% 10000;
+        }
+        for (int root = n / 2 - 1; root >= 0; root--) {
+            sift(root, n);
+        }
+        for (int limit = n - 1; limit > 0; limit--) {
+            int t = heap[0];
+            heap[0] = heap[limit];
+            heap[limit] = t;
+            sift(0, limit);
+        }
+        int check = 0;
+        int sorted = 1;
+        for (int i = 1; i < n; i++) {
+            if (heap[i - 1] > heap[i]) { sorted = 0; }
+            check = (check + heap[i] * i) & 0xFFFFFF;
+        }
+        Sys.printInt(sorted);
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+_HEAPSORT_MANUAL = """
+class Main {
+    // Manual transform (paper Table 4): remove the loop-carried
+    // dependency at the top of the sorted heap — sort independent
+    // segments (parallel) and merge once (serial, cheap).
+    static int[] heap;
+    static void sift(int base, int root, int limit) {
+        int top = heap[base + root];
+        int parent = root;
+        int child = parent * 2 + 1;
+        while (child < limit) {
+            if (child + 1 < limit
+                    && heap[base + child + 1] > heap[base + child]) {
+                child++;
+            }
+            if (heap[base + child] <= top) { child = limit; }
+            else {
+                heap[base + parent] = heap[base + child];
+                parent = child;
+                heap[base + parent] = top;
+                child = parent * 2 + 1;
+            }
+        }
+    }
+    static void sortSegment(int base, int len) {
+        for (int root = len / 2 - 1; root >= 0; root--) {
+            sift(base, root, len);
+        }
+        for (int limit = len - 1; limit > 0; limit--) {
+            int t = heap[base];
+            heap[base] = heap[base + limit];
+            heap[base + limit] = t;
+            sift(base, 0, limit);
+        }
+    }
+    static int main() {
+        int n = %(n)d;
+        int seg = %(seg)d;
+        heap = new int[n];
+        int seed = 1999;
+        for (int i = 0; i < n; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            heap[i] = seed %% 10000;
+        }
+        for (int b = 0; b < n; b += seg) {
+            sortSegment(b, Math.imin(seg, n - b));
+        }
+        // k-way merge checksum (serial but light).
+        int check = 0;
+        int segments = (n + seg - 1) / seg;
+        int[] cursor = new int[segments];
+        for (int out = 0; out < n; out++) {
+            int best = -1;
+            int bestVal = 0x7FFFFFFF;
+            for (int s = 0; s < segments; s++) {
+                int idx = s * seg + cursor[s];
+                int limit = Math.imin(seg, n - s * seg);
+                if (cursor[s] < limit && heap[idx] < bestVal) {
+                    bestVal = heap[idx];
+                    best = s;
+                }
+            }
+            cursor[best] = cursor[best] + 1;
+            check = (check + bestVal * (out + 1)) & 0xFFFFFF;
+        }
+        Sys.printInt(1);
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+
+def _heapsort(size):
+    n = {"small": 400, "default": 900, "large": 2200}[size]
+    return _HEAPSORT % {"n": n}
+
+
+def _heapsort_manual(size):
+    n = {"small": 400, "default": 900, "large": 2200}[size]
+    return _HEAPSORT_MANUAL % {"n": n, "seg": max(64, (n + 3) // 4)}
+
+
+register(Workload(
+    name="NumHeapSort",
+    category=INTEGER,
+    description="Heap sort (jBYTEmark)",
+    source_fn=_heapsort,
+    manual_variant_fn=_heapsort_manual,
+    manual_notes={"difficulty": "Low", "compiler_optimizable": False,
+                  "lines": 7,
+                  "operation": "Remove loop carried dependency at top of "
+                               "sorted heap"},
+    paper={"note": "serializing dependency at the heap top; manual "
+                   "segmenting exposes parallelism"},
+))
+
+# ---------------------------------------------------------------------------
+# raytrace — integer-heavy ray tracer (parallel pixels, fits buffers)
+# ---------------------------------------------------------------------------
+
+_RAYTRACE = """
+class Ray {
+    int dx; int dy; int dz;
+    Ray(int x, int y, int z) { dx = x; dy = y; dz = z; }
+}
+class Main {
+    static int main() {
+        int width = %(w)d;
+        int height = %(h)d;
+        // Three spheres, fixed-point arithmetic (x,y,z,r scaled by 256).
+        int[] sx = new int[3];
+        int[] sy = new int[3];
+        int[] sz = new int[3];
+        int[] sr = new int[3];
+        sx[0] = 0;    sy[0] = 0;   sz[0] = 2560; sr[0] = 1024;
+        sx[1] = 1280; sy[1] = 512; sz[1] = 3584; sr[1] = 768;
+        sx[2] = -1024; sy[2] = -256; sz[2] = 2048; sr[2] = 512;
+        int check = 0;
+        for (int p = 0; p < width * height; p++) {
+            int px = p %% width;
+            int py = p / width;
+            Ray ray = new Ray((px - width / 2) * 16,
+                              (py - height / 2) * 16, 256);
+            int dx = ray.dx;
+            int dy = ray.dy;
+            int dz = ray.dz;
+            int color = 16;
+            for (int s = 0; s < 3; s++) {
+                // ray-sphere: project center onto ray (fixed point)
+                int t = (sx[s] * dx + sy[s] * dy + sz[s] * dz) >> 8;
+                if (t > 0) {
+                    int qx = (dx * t >> 8) - sx[s];
+                    int qy = (dy * t >> 8) - sy[s];
+                    int qz = (dz * t >> 8) - sz[s];
+                    int d2 = (qx * qx + qy * qy + qz * qz) >> 8;
+                    int r2 = (sr[s] * sr[s]) >> 8;
+                    if (d2 < r2) {
+                        color = color + 64 + (r2 - d2) / (r2 / 16 + 1);
+                    }
+                }
+            }
+            check = (check + (color & 255) * (p %% 31 + 1)) & 0xFFFFFF;
+        }
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+
+def _raytrace(size):
+    params = {"small": (24, 18), "default": (40, 30),
+              "large": (64, 48)}[size]
+    return _RAYTRACE % {"w": params[0], "h": params[1]}
+
+
+register(Workload(
+    name="raytrace",
+    category=INTEGER,
+    description="Ray tracer with per-pixel parallelism",
+    source_fn=_raytrace,
+    paper={"note": "the variant whose parallel loop fits within the "
+                   "speculative buffers (paper §6.1 contrasts two "
+                   "raytracers)"},
+))

@@ -1,0 +1,352 @@
+"""Multimedia benchmarks (paper Table 3, lower block).
+
+decJpeg, encJpeg, h263dec, mpegVideo, mp3 — block-structured media
+codecs where the paper reports 2-3x speedups on 4 CPUs.
+"""
+
+from .registry import MULTIMEDIA, Workload, register
+
+# Shared 8x8 DCT-ish kernels expressed over flattened block arrays.
+
+# ---------------------------------------------------------------------------
+# decJpeg — dequantize + inverse DCT per 8x8 block
+# ---------------------------------------------------------------------------
+
+_DECJPEG = """
+class Main {
+    static int main() {
+        int blocks = %(blocks)d;
+        int[] coeff = new int[blocks * 64];
+        int[] quant = new int[64];
+        int[] pixels = new int[blocks * 64];
+        int seed = 60;
+        for (int k = 0; k < 64; k++) { quant[k] = 2 + (k >> 3); }
+        for (int i = 0; i < blocks * 64; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            coeff[i] = (seed %% 64) - 32;
+        }
+        int check = 0;
+        for (int b = 0; b < blocks; b++) {
+            int base = b * 64;
+            // dequantize
+            for (int k = 0; k < 64; k++) {
+                coeff[base + k] = coeff[base + k] * quant[k];
+            }
+            // separable integer IDCT approximation: rows then columns
+            for (int r = 0; r < 8; r++) {
+                int o = base + r * 8;
+                for (int c = 0; c < 8; c++) {
+                    int acc = 0;
+                    for (int k = 0; k < 8; k++) {
+                        int basis = ((c * 2 + 1) * k) %% 32;
+                        int w = 16 - basis;
+                        acc += coeff[o + k] * w;
+                    }
+                    pixels[o + c] = acc >> 4;
+                }
+            }
+            for (int c = 0; c < 8; c++) {
+                for (int r = 0; r < 8; r++) {
+                    int acc = 0;
+                    for (int k = 0; k < 8; k++) {
+                        int basis = ((r * 2 + 1) * k) %% 32;
+                        int w = 16 - basis;
+                        acc += pixels[base + k * 8 + c] * w;
+                    }
+                    int px = (acc >> 8) + 128;
+                    px = Math.imax(0, Math.imin(255, px));
+                    check = (check + px) & 0xFFFFFF;
+                }
+            }
+        }
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+
+def _decjpeg(size):
+    blocks = {"small": 8, "default": 18, "large": 40}[size]
+    return _DECJPEG % {"blocks": blocks}
+
+
+register(Workload(
+    name="decJpeg",
+    category=MULTIMEDIA,
+    description="JPEG-style decode: dequantize + inverse DCT per block",
+    source_fn=_decjpeg,
+    paper={"note": "independent 8x8 blocks parallelize"},
+))
+
+# ---------------------------------------------------------------------------
+# encJpeg — forward DCT + quantize per 8x8 block
+# ---------------------------------------------------------------------------
+
+_ENCJPEG = """
+class Main {
+    static int main() {
+        int blocks = %(blocks)d;
+        int[] pixels = new int[blocks * 64];
+        int[] quant = new int[64];
+        int seed = 61;
+        for (int k = 0; k < 64; k++) { quant[k] = 2 + (k >> 3); }
+        for (int i = 0; i < blocks * 64; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            pixels[i] = seed %% 256;
+        }
+        int check = 0;
+        int[] tmp = new int[64];
+        for (int b = 0; b < blocks; b++) {
+            int base = b * 64;
+            for (int r = 0; r < 8; r++) {
+                for (int c = 0; c < 8; c++) {
+                    int acc = 0;
+                    for (int k = 0; k < 8; k++) {
+                        int basis = ((k * 2 + 1) * c) %% 32;
+                        int w = 16 - basis;
+                        acc += (pixels[base + r * 8 + k] - 128) * w;
+                    }
+                    tmp[r * 8 + c] = acc >> 4;
+                }
+            }
+            for (int c = 0; c < 8; c++) {
+                for (int r = 0; r < 8; r++) {
+                    int acc = 0;
+                    for (int k = 0; k < 8; k++) {
+                        int basis = ((k * 2 + 1) * r) %% 32;
+                        int w = 16 - basis;
+                        acc += tmp[k * 8 + c] * w;
+                    }
+                    int q = (acc >> 8) / quant[r * 8 + c];
+                    check = (check + q * q) & 0xFFFFFF;
+                }
+            }
+        }
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+
+def _encjpeg(size):
+    blocks = {"small": 8, "default": 18, "large": 40}[size]
+    return _ENCJPEG % {"blocks": blocks}
+
+
+register(Workload(
+    name="encJpeg",
+    category=MULTIMEDIA,
+    description="JPEG-style encode: forward DCT + quantize per block",
+    source_fn=_encjpeg,
+    paper={"note": "independent 8x8 blocks parallelize; the shared tmp "
+                   "block buffer creates store-buffer pressure"},
+))
+
+# ---------------------------------------------------------------------------
+# h263dec — motion compensation over macroblocks
+# ---------------------------------------------------------------------------
+
+_H263 = """
+class Main {
+    static int main() {
+        int mbs = %(mbs)d;
+        int w = 64;
+        int[] ref = new int[w * 48];
+        int[] cur = new int[w * 48];
+        int[] mvx = new int[mbs];
+        int[] mvy = new int[mbs];
+        int[] residual = new int[mbs * 64];
+        int seed = 2003;
+        for (int i = 0; i < w * 48; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            ref[i] = seed %% 256;
+        }
+        for (int m = 0; m < mbs; m++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            mvx[m] = (seed %% 5) - 2;
+            mvy[m] = ((seed >> 4) %% 5) - 2;
+        }
+        for (int i = 0; i < mbs * 64; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            residual[i] = (seed %% 17) - 8;
+        }
+        int check = 0;
+        int mbPerRow = w / 8;
+        for (int m = 0; m < mbs; m++) {
+            int bx = (m %% mbPerRow) * 8;
+            int by = (m / mbPerRow) * 8;
+            for (int r = 0; r < 8; r++) {
+                for (int c = 0; c < 8; c++) {
+                    int sy = by + r + mvy[m];
+                    int sx = bx + c + mvx[m];
+                    sy = Math.imax(0, Math.imin(47, sy));
+                    sx = Math.imax(0, Math.imin(w - 1, sx));
+                    int pred = ref[sy * w + sx];
+                    int px = pred + residual[m * 64 + r * 8 + c];
+                    px = Math.imax(0, Math.imin(255, px));
+                    cur[(by + r) * w + bx + c] = px;
+                }
+            }
+        }
+        for (int i = 0; i < w * 48; i++) {
+            check = (check + cur[i] * (1 + (i & 7))) & 0xFFFFFF;
+        }
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+
+def _h263(size):
+    mbs = {"small": 12, "default": 24, "large": 48}[size]
+    return _H263 % {"mbs": mbs}
+
+
+register(Workload(
+    name="h263dec",
+    category=MULTIMEDIA,
+    description="H.263-style decode: motion compensation per macroblock",
+    source_fn=_h263,
+    paper={"note": "macroblocks are independent"},
+))
+
+# ---------------------------------------------------------------------------
+# mpegVideo — block decode with a serial bitstream cursor
+# ---------------------------------------------------------------------------
+
+_MPEG = """
+class Main {
+    static int main() {
+        int blocks = %(blocks)d;
+        int[] stream = new int[blocks * 70];
+        int[] out = new int[blocks * 64];
+        int seed = 1111;
+        for (int i = 0; i < blocks * 70; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            stream[i] = seed %% 128;
+        }
+        int cursor = 0;
+        int check = 0;
+        for (int b = 0; b < blocks; b++) {
+            // Variable-length "entropy decode": the bitstream cursor is
+            // a true loop-carried dependency (paper: mpegVideo shows
+            // run-violated state).
+            int len = 60 + (stream[cursor] %% 10);
+            int start = cursor;
+            cursor = cursor + len;
+            if (cursor > blocks * 70 - 70) { cursor = 0; }
+            // Block reconstruction from the decoded run (parallel part).
+            for (int k = 0; k < 64; k++) {
+                int v = stream[(start + k) %% (blocks * 70)];
+                int acc = 0;
+                for (int t = 0; t < 4; t++) {
+                    acc += (v >> t) & 15;
+                }
+                out[b * 64 + k] = acc;
+            }
+        }
+        for (int i = 0; i < blocks * 64; i++) {
+            check = (check + out[i] * (1 + (i & 3))) & 0xFFFFFF;
+        }
+        Sys.printInt(check);
+        return check;
+    }
+}
+"""
+
+
+def _mpeg(size):
+    blocks = {"small": 16, "default": 36, "large": 80}[size]
+    return _MPEG % {"blocks": blocks}
+
+
+register(Workload(
+    name="mpegVideo",
+    category=MULTIMEDIA,
+    description="MPEG-style decode: serial bitstream cursor + block "
+                "reconstruction",
+    source_fn=_mpeg,
+    paper={"note": "significant run-violated state from the dynamic "
+                   "bitstream dependency"},
+))
+
+# ---------------------------------------------------------------------------
+# mp3 — subband synthesis with a rare inner loop (multilevel showcase)
+# ---------------------------------------------------------------------------
+
+_MP3 = """
+class Main {
+    static int main() {
+        int frames = %(frames)d;
+        int subbands = 16;
+        float[] window = new float[128];
+        float[] samples = new float[frames * subbands];
+        float[] scales = new float[(frames / 16 + 2) * 64];
+        for (int i = 0; i < 128; i++) {
+            window[i] = Math.sin((float)i * 0.049);
+        }
+        int seed = 303;
+        for (int i = 0; i < frames * subbands; i++) {
+            seed = (seed * 69069 + 1) & 0x7FFFFFFF;
+            samples[i] = (float)(seed %% 2000 - 1000) * 0.001;
+        }
+        float check = 0.0;
+        // Outer loop over frames (the selected STL).  Every 16th frame
+        // runs a heavyweight scale-factor recomputation whose writes
+        // are frame-group private: pure load imbalance, the multilevel
+        // STL case of paper Fig. 7.
+        for (int f = 0; f < frames; f++) {
+            float acc = 0.0;
+            int group = f / 16;
+            int prev = Math.imax(0, group - 1) * 64;
+            for (int s = 0; s < subbands; s++) {
+                float v = samples[f * subbands + s];
+                acc = acc + v * window[(f + s * 8) %% 128]
+                      + scales[prev + s] * 0.001;
+            }
+            if ((f & 15) == 0) {
+                // rare inner loop: recompute this group's scale factors
+                // (disjoint writes; parallel inside)
+                int base = group * 64;
+                for (int i = 0; i < 64; i++) {
+                    float w = 0.0;
+                    for (int k = 0; k < 8; k++) {
+                        w = w + samples[(f * subbands + i + k)
+                                        %% (frames * subbands)] * 0.01;
+                    }
+                    scales[base + i] = w;
+                }
+            }
+            check = check + acc;
+        }
+        // Serial section: bit reservoir bookkeeping (paper: mp3 has a
+        // significant serial fraction).
+        int reservoir = 0;
+        for (int f = 0; f < frames; f++) {
+            reservoir = (reservoir * 3 + f) & 0xFFFF;
+        }
+        Sys.printFloat(check);
+        Sys.printInt(reservoir);
+        return reservoir;
+    }
+}
+"""
+
+
+def _mp3(size):
+    frames = {"small": 100, "default": 240, "large": 560}[size]
+    return _MP3 % {"frames": frames}
+
+
+register(Workload(
+    name="mp3",
+    category=MULTIMEDIA,
+    description="MP3-style subband synthesis with rare re-windowing",
+    source_fn=_mp3,
+    paper={"note": "multilevel STL decompositions improve mp3; "
+                   "significant serial sections limit total speedup",
+           "key_opt": "multilevel"},
+))

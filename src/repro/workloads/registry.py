@@ -1,0 +1,111 @@
+"""Benchmark registry: the 26 programs of paper Table 3.
+
+Each workload is an algorithmically-faithful MiniJava port of the paper
+benchmark, scaled so behavioral simulation completes quickly.  The
+``paper`` dict carries the reference observations from Table 3 /
+Figure 8 that EXPERIMENTS.md compares against (speedup bands, which
+optimizations mattered, qualitative notes).
+"""
+
+from dataclasses import dataclass, field
+
+INTEGER = "integer"
+FLOATING = "floating point"
+MULTIMEDIA = "multimedia"
+
+#: Paper headline speedup bands per category (§1, §6, §8).
+CATEGORY_SPEEDUP_BANDS = {
+    INTEGER: (1.5, 2.5),
+    FLOATING: (3.0, 4.0),
+    MULTIMEDIA: (2.0, 3.0),
+}
+
+#: Scale factors: workloads accept a size knob for data-set sensitivity
+#: experiments (Table 3 column b).
+SIZES = ("small", "default", "large")
+
+
+@dataclass
+class Workload:
+    name: str
+    category: str
+    description: str
+    source_fn: object                 # size -> MiniJava source text
+    analyzable: bool = False          # Table 3 (a): static-compiler friendly
+    data_set_sensitive: bool = False  # Table 3 (b)
+    paper: dict = field(default_factory=dict)
+    manual_variant_fn: object = None  # Table 4 manual transformation
+    manual_notes: dict = field(default_factory=dict)
+
+    def source(self, size="default"):
+        if size not in SIZES:
+            raise ValueError("unknown size %r" % size)
+        return self.source_fn(size)
+
+    def manual_source(self, size="default"):
+        if self.manual_variant_fn is None:
+            return None
+        return self.manual_variant_fn(size)
+
+    @property
+    def has_manual_variant(self):
+        return self.manual_variant_fn is not None
+
+    def __repr__(self):
+        return "<Workload %s (%s)>" % (self.name, self.category)
+
+
+_REGISTRY = {}
+
+
+def register(workload):
+    if workload.name in _REGISTRY:
+        raise ValueError("duplicate workload %s" % workload.name)
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name):
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError("unknown workload %r (have: %s)"
+                       % (name, ", ".join(sorted(_REGISTRY))))
+
+
+def all_workloads():
+    # Import side-effect modules on first use.
+    _ensure_loaded()
+    return [
+        _REGISTRY[name]
+        for name in sorted(_REGISTRY,
+                           key=lambda n: (_CATEGORY_ORDER[_REGISTRY[n]
+                                          .category], n))
+    ]
+
+
+def by_category(category):
+    _ensure_loaded()
+    return [w for w in all_workloads() if w.category == category]
+
+
+def names():
+    _ensure_loaded()
+    return [w.name for w in all_workloads()]
+
+
+_CATEGORY_ORDER = {INTEGER: 0, FLOATING: 1, MULTIMEDIA: 2}
+_loaded = False
+
+
+def _ensure_loaded():
+    global _loaded
+    if _loaded:
+        return
+    from . import floating, integer, multimedia    # noqa: F401
+    _loaded = True
+
+
+def lookup(name):
+    _ensure_loaded()
+    return get(name)

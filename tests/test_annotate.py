@@ -1,0 +1,157 @@
+"""TEST annotation pass: placement and candidate filtering."""
+
+from repro.hydra.config import HydraConfig
+from repro.jit.compiler import compile_annotated, compile_program
+from repro.jit.ir import IROp
+from repro.minijava import compile_source
+
+from conftest import wrap_main
+
+
+def annotated(src):
+    return compile_annotated(compile_source(src), HydraConfig())
+
+
+def ops_of(compiled, method="Main.main"):
+    return [instr.op for instr in compiled.methods[method].code]
+
+
+def test_simple_loop_gets_all_annotations():
+    compiled = annotated(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 10; i++) { s += i; }
+        return s;
+    """))
+    ops = ops_of(compiled)
+    assert ops.count(IROp.SLOOP) == 1
+    assert ops.count(IROp.EOI) == 1
+    assert ops.count(IROp.ELOOP) >= 1
+    assert len(compiled.loop_table) == 1
+
+
+def test_loop_ids_are_unique_across_methods():
+    compiled = annotated("""
+class Main {
+    static int work(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) { s += i; }
+        return s;
+    }
+    static int main() {
+        int t = 0;
+        for (int i = 0; i < 5; i++) { t += work(i); }
+        return t;
+    }
+}
+""")
+    ids = list(compiled.loop_table)
+    assert len(ids) == len(set(ids)) == 2
+
+
+def test_loop_with_print_is_rejected():
+    compiled = annotated(wrap_main("""
+        for (int i = 0; i < 3; i++) { Sys.printInt(i); }
+        return 0;
+    """))
+    metas = list(compiled.loop_table.values())
+    assert len(metas) == 1
+    assert not metas[0].candidate
+    assert "system call" in metas[0].reject_reason
+
+
+def test_loop_with_early_return_is_still_a_candidate():
+    # A `return` inside the loop body cannot reach the backedge, so the
+    # returning block is outside the natural loop: the loop has a side
+    # exit and remains decomposable (the master runs the return).
+    compiled = annotated(wrap_main("""
+        for (int i = 0; i < 10; i++) {
+            if (i == 5) { return i; }
+        }
+        return -1;
+    """))
+    metas = list(compiled.loop_table.values())
+    assert len(metas) == 1
+    assert metas[0].candidate
+
+
+def test_rejected_loop_gets_no_annotations():
+    compiled = annotated(wrap_main("""
+        for (int i = 0; i < 3; i++) { Sys.printInt(i); }
+        return 0;
+    """))
+    ops = ops_of(compiled)
+    assert IROp.SLOOP not in ops
+
+
+def test_general_carried_local_gets_lwl_swl():
+    compiled = annotated(wrap_main("""
+        int x = 1;
+        for (int i = 0; i < 10; i++) { x = x * 3 + 1; }
+        return x;
+    """))
+    ops = ops_of(compiled)
+    assert IROp.LWL in ops
+    assert IROp.SWL in ops
+
+
+def test_inductor_and_reduction_not_annotated():
+    compiled = annotated(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 10; i++) { s += i; }
+        return s;
+    """))
+    ops = ops_of(compiled)
+    # i is an inductor, s a reduction: no lwl/swl should remain.
+    assert IROp.LWL not in ops
+    assert IROp.SWL not in ops
+
+
+def test_nested_loops_have_parent_ids():
+    compiled = annotated(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 4; i++) {
+            for (int j = 0; j < 4; j++) { s += i * j; }
+        }
+        return s;
+    """))
+    metas = sorted(compiled.loop_table.values(), key=lambda m: m.depth)
+    assert metas[0].depth == 1 and metas[0].parent_id is None
+    assert metas[1].depth == 2 and metas[1].parent_id == metas[0].loop_id
+
+
+def test_annotated_code_runs_identically():
+    from conftest import interp, machine_run
+    src = wrap_main("""
+        int s = 0;
+        int x = 2;
+        for (int i = 0; i < 20; i++) {
+            x = (x * 5 + 3) % 97;
+            s += x;
+        }
+        Sys.printInt(s);
+        return s;
+    """)
+    expected = interp(src)
+    actual = machine_run(src, annotated=True)
+    assert actual.output == expected.output
+
+
+def test_annotation_count_reported():
+    from repro.jit.compiler import annotation_count
+    compiled = annotated(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 4; i++) { s += i; }
+        return s;
+    """))
+    assert annotation_count(compiled) >= 3
+
+
+def test_plain_compile_has_no_annotations():
+    compiled = compile_program(compile_source(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 4; i++) { s += i; }
+        return s;
+    """)), HydraConfig())
+    ops = ops_of(compiled)
+    assert IROp.SLOOP not in ops and IROp.EOI not in ops
+    assert compiled.loop_table == {}

@@ -1,0 +1,134 @@
+"""Container-model unit tests: types, layout, resolution."""
+
+import pytest
+
+from repro.bytecode import (ClassDef, Field, FLOAT, HEADER_BYTES, INT,
+                            Method, Program, Type, VOID, WORD)
+from repro.errors import VerifyError
+
+
+class TestType:
+    def test_parse_scalar(self):
+        assert Type.parse("int") == INT
+        assert Type.parse("float") == FLOAT
+
+    def test_parse_array(self):
+        t = Type.parse("int[][]")
+        assert t.base == "int" and t.dims == 2
+        assert t.element() == Type("int", 1)
+        assert t.element().element() == INT
+
+    def test_array_of(self):
+        assert INT.array_of() == Type("int", 1)
+
+    def test_predicates(self):
+        assert INT.is_int() and INT.is_numeric() and not INT.is_reference()
+        assert FLOAT.is_float() and FLOAT.is_numeric()
+        assert Type("boolean").is_int()
+        assert VOID.is_void()
+        assert Type("Foo").is_reference()
+        assert Type("int", 1).is_reference()
+        assert Type("int", 1).is_array()
+
+    def test_element_of_scalar_raises(self):
+        with pytest.raises(ValueError):
+            INT.element()
+
+
+class TestLayout:
+    def test_field_offsets_after_header(self):
+        cls = ClassDef("P")
+        a = cls.add_field(Field("a", INT))
+        b = cls.add_field(Field("b", FLOAT))
+        cls.layout()
+        assert a.offset == HEADER_BYTES
+        assert b.offset == HEADER_BYTES + WORD
+        assert cls.instance_size == HEADER_BYTES + 2 * WORD
+
+    def test_static_fields_take_no_instance_space(self):
+        cls = ClassDef("S")
+        cls.add_field(Field("shared", INT, is_static=True))
+        inst = cls.add_field(Field("own", INT))
+        cls.layout()
+        assert inst.offset == HEADER_BYTES
+        assert cls.instance_size == HEADER_BYTES + WORD
+
+    def test_inherited_layout_extends_base(self):
+        base = ClassDef("Base")
+        base.add_field(Field("x", INT))
+        derived = ClassDef("Derived", superclass=base)
+        y = derived.add_field(Field("y", INT))
+        derived.layout()
+        assert y.offset == HEADER_BYTES + WORD
+        assert derived.instance_size == HEADER_BYTES + 2 * WORD
+        names = [f.name for f in derived.all_instance_fields()]
+        assert names == ["x", "y"]
+
+    def test_duplicate_field_rejected(self):
+        cls = ClassDef("D")
+        cls.add_field(Field("f", INT))
+        with pytest.raises(VerifyError):
+            cls.add_field(Field("f", INT))
+
+
+class TestResolution:
+    def build(self):
+        program = Program()
+        base = program.add_class(ClassDef("Base"))
+        derived = program.add_class(ClassDef("Derived", superclass=base))
+        base.add_field(Field("value", INT))
+        method = Method("touch", base, [], INT)
+        method.max_locals = 1
+        base.add_method(method)
+        return program, base, derived
+
+    def test_method_resolution_walks_superclass(self):
+        program, base, derived = self.build()
+        found = program.resolve_method("Derived", "touch")
+        assert found.owner is base
+
+    def test_field_resolution_walks_superclass(self):
+        program, base, derived = self.build()
+        found = program.resolve_field("Derived", "value")
+        assert found.owner is base
+
+    def test_unknown_raises(self):
+        program, *_ = self.build()
+        with pytest.raises(VerifyError):
+            program.resolve_method("Base", "missing")
+        with pytest.raises(VerifyError):
+            program.get_class("Nope")
+
+    def test_is_subclass_of(self):
+        program, base, derived = self.build()
+        assert derived.is_subclass_of(base)
+        assert not base.is_subclass_of(derived)
+
+    def test_class_ids_assigned_and_stable(self):
+        program, *_ = self.build()
+        program.seal()
+        ids = {cls.class_id for cls in program.classes.values()}
+        assert len(ids) == 2 and 0 not in ids
+        for cls in program.classes.values():
+            assert program.class_by_id(cls.class_id) is cls
+
+    def test_entry_discovery(self):
+        program = Program()
+        cls = program.add_class(ClassDef("App"))
+        main = Method("main", cls, [], INT, is_static=True)
+        main.max_locals = 0
+        cls.add_method(main)
+        assert program.entry() is main
+
+    def test_entry_missing_raises(self):
+        program = Program()
+        program.add_class(ClassDef("Empty"))
+        with pytest.raises(VerifyError):
+            program.entry()
+
+    def test_bytecode_size_counts_all_methods(self):
+        from repro.bytecode import Instr, Op
+        program, base, derived = self.build()
+        method = program.resolve_method("Base", "touch")
+        method.code = [Instr(Op.ICONST, 1), Instr(Op.RETURN_VALUE)]
+        assert program.bytecode_size() == 2

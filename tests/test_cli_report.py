@@ -1,0 +1,84 @@
+"""CLI and report-formatting tests."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import Jrpm
+from repro.core.report import format_report, format_suite_summary
+from repro.minijava import compile_source
+
+from conftest import wrap_main
+
+SOURCE = wrap_main("""
+    int[] a = new int[500];
+    for (int i = 0; i < 500; i++) { a[i] = i * 3 % 97; }
+    int s = 0;
+    for (int i = 0; i < 500; i++) { s += a[i]; }
+    Sys.printInt(s);
+    return s;
+""")
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Jrpm().run(compile_source(SOURCE), name="cli-test")
+
+
+def test_format_report_basics(report):
+    text = format_report(report)
+    assert "cli-test" in text
+    assert "actual TLS speedup" in text
+    assert "outputs match" in text
+
+
+def test_format_report_verbose_lists_plans(report):
+    text = format_report(report, verbose=True)
+    assert "selected decompositions" in text
+    assert "TEST profile" in text
+
+
+def test_format_suite_summary(report):
+    text = format_suite_summary({"monteCarlo": report})
+    assert "integer" in text
+    assert "geomean" in text
+    assert "paper band" in text
+
+
+def test_cli_run(tmp_path, capsys):
+    path = tmp_path / "prog.mj"
+    path.write_text(SOURCE)
+    code = main(["run", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "actual TLS speedup" in out
+
+
+def test_cli_run_verbose_and_cpus(tmp_path, capsys):
+    path = tmp_path / "prog.mj"
+    path.write_text(SOURCE)
+    code = main(["run", str(path), "--verbose", "--cpus", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "on 2 CPUs" in out
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "raytrace" in out
+
+
+def test_cli_profile(tmp_path, capsys):
+    path = tmp_path / "prog.mj"
+    path.write_text(SOURCE)
+    assert main(["profile", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "SELECTED" in out
+
+
+def test_cli_bench_small(capsys):
+    assert main(["bench", "FourierTest", "--size", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "FourierTest" in out

@@ -1,0 +1,213 @@
+"""Frontend code generation corners: scoping, conversions, errors."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minijava import compile_source
+
+from conftest import assert_same_behavior, interp, wrap_main
+
+
+class TestScoping:
+    def test_block_scopes_reuse_slots(self):
+        src = wrap_main("""
+            int total = 0;
+            { int x = 5; total += x; }
+            { int y = 7; total += y; }
+            return total;
+        """)
+        assert interp(src).return_value == 12
+
+    def test_shadowing_in_nested_block_rejected(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main("int x = 1; { int x = 2; } return x;"))
+
+    def test_for_variable_out_of_scope_after_loop(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main(
+                "for (int i = 0; i < 3; i++) { } return i;"))
+
+    def test_loop_variable_reusable_across_loops(self):
+        src = wrap_main("""
+            int t = 0;
+            for (int i = 0; i < 3; i++) { t += i; }
+            for (int i = 0; i < 4; i++) { t += i; }
+            return t;
+        """)
+        assert interp(src).return_value == 3 + 6
+
+
+class TestTypes:
+    def test_int_to_float_promotion_in_assignment(self):
+        assert_same_behavior(wrap_main(
+            "float f = 3; Sys.printFloat(f); return 0;"))
+
+    def test_float_to_int_requires_cast(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main("int x = 1.5; return x;"))
+
+    def test_explicit_cast_allowed(self):
+        assert interp(wrap_main(
+            "int x = (int) 1.9; return x;")).return_value == 1
+
+    def test_mixed_comparison_promotes(self):
+        assert_same_behavior(wrap_main(
+            "int n = 3; float f = 3.5;"
+            " Sys.printInt(n < f ? 1 : 0); return 0;"))
+
+    def test_shift_on_float_rejected(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main("float f = 1.0; int x = f << 1; return x;"))
+
+    def test_modulo_on_floats(self):
+        result = interp(wrap_main(
+            "float f = 7.5 % 2.0; Sys.printFloat(f); return 0;"))
+        assert result.output == [1.5]
+
+    def test_condition_must_be_boolean_like(self):
+        with pytest.raises(CompileError):
+            interp("""
+class Box { int v; }
+class Main {
+    static int main() {
+        Box b = new Box();
+        float f = 1.0;
+        if (f) { return 1; }
+        return 0;
+    }
+}
+""")
+
+
+class TestResolution:
+    def test_unknown_variable(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main("return missing;"))
+
+    def test_unknown_method(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main("return nothere(1);"))
+
+    def test_unknown_class(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main("Widget w = null; return 0;"))
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError):
+            interp("""
+class Main {
+    static int f(int a, int b) { return a + b; }
+    static int main() { return f(1); }
+}
+""")
+
+    def test_instance_method_from_static_context(self):
+        with pytest.raises(CompileError):
+            interp("""
+class Main {
+    int helper() { return 1; }
+    static int main() { return helper(); }
+}
+""")
+
+    def test_this_in_static_context(self):
+        with pytest.raises(CompileError):
+            interp("""
+class Main {
+    int v;
+    static int main() { return this.v; }
+}
+""")
+
+    def test_builtin_class_cannot_be_shadowed(self):
+        with pytest.raises(CompileError):
+            interp("class Math { } class Main { static int main() "
+                   "{ return 0; } }")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main("int a = 1; int a = 2; return a;"))
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            interp(wrap_main("break; return 0;"))
+
+
+class TestImplicitThis:
+    def test_field_access_without_this(self):
+        src = """
+class Counter {
+    int n;
+    void bump() { n = n + 1; }
+    int twice() { bump(); bump(); return n; }
+}
+class Main {
+    static int main() {
+        Counter c = new Counter();
+        return c.twice();
+    }
+}
+"""
+        assert_same_behavior(src)
+
+    def test_assignment_to_field_without_this(self):
+        src = """
+class Holder {
+    int v;
+    Holder(int x) { v = x * 2; }
+}
+class Main {
+    static int main() { return new Holder(21).v; }
+}
+"""
+        assert interp(src).return_value == 42
+
+
+class TestExpressionValues:
+    def test_assignment_as_expression(self):
+        assert_same_behavior(wrap_main(
+            "int a = 0; int b = 0; a = b = 7;"
+            " Sys.printInt(a); Sys.printInt(b); return a;"))
+
+    def test_compound_assignment_value(self):
+        assert_same_behavior(wrap_main(
+            "int a = 5; int b = (a += 3); Sys.printInt(b); return a;"))
+
+    def test_array_store_as_expression_value(self):
+        assert_same_behavior(wrap_main(
+            "int[] xs = new int[3]; int v = (xs[1] = 9);"
+            " Sys.printInt(v); Sys.printInt(xs[1]); return v;"))
+
+    def test_postfix_on_array_element(self):
+        assert_same_behavior(wrap_main(
+            "int[] xs = new int[2]; xs[0] = 5;"
+            " int old = xs[0]++;"
+            " Sys.printInt(old); Sys.printInt(xs[0]); return old;"))
+
+    def test_prefix_on_field(self):
+        assert_same_behavior("""
+class Cell { int v; }
+class Main {
+    static int main() {
+        Cell c = new Cell();
+        c.v = 3;
+        int got = ++c.v;
+        Sys.printInt(got);
+        Sys.printInt(c.v);
+        return got;
+    }
+}
+""")
+
+    def test_compound_shift_assignment(self):
+        assert_same_behavior(wrap_main(
+            "int x = 3; x <<= 4; x >>>= 1; Sys.printInt(x); return x;"))
+
+    def test_nested_array_expression(self):
+        assert_same_behavior(wrap_main("""
+            int[][] grid = new int[3][3];
+            grid[1][2] = 5;
+            grid[grid[1][2] % 3][1] = 9;
+            Sys.printInt(grid[2][1]);
+            return 0;
+        """))

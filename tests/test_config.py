@@ -1,0 +1,58 @@
+"""The default configuration must encode the paper's constants."""
+
+from repro.hydra.config import (ALLOCATOR_BASE, HEAP_BASE, STACK_BASE,
+                                STATICS_BASE, HydraConfig,
+                                SpeculationOverheads)
+
+
+def test_hydra_figure2_constants():
+    config = HydraConfig()
+    assert config.num_cpus == 4
+    assert config.l1_size_bytes == 16 * 1024
+    assert config.l2_size_bytes == 2 * 1024 * 1024
+    assert config.line_bytes == 32
+    assert config.l2_hit_cycles == 5
+    assert config.interprocessor_cycles == 10
+    assert config.memory_cycles == 50
+
+
+def test_speculative_buffer_limits():
+    config = HydraConfig()
+    # Load buffer: 16kB = 512 lines x 32B, store buffer: 2kB = 64 lines.
+    assert config.load_buffer_lines * config.line_bytes == 16 * 1024
+    assert config.store_buffer_lines * config.line_bytes == 2 * 1024
+
+
+def test_table1_overheads():
+    new = SpeculationOverheads.new_handlers()
+    old = SpeculationOverheads.old_handlers()
+    assert (new.startup, new.shutdown, new.eoi, new.restart) == (23, 16, 5, 6)
+    assert (old.startup, old.shutdown, old.eoi, old.restart) \
+        == (41, 46, 14, 13)
+    assert HydraConfig().overheads == new
+
+
+def test_test_profiler_constants():
+    config = HydraConfig()
+    assert config.comparator_banks == 8
+    assert config.min_predicted_speedup == 1.2
+    assert 0 < config.max_overflow_frequency < 0.5
+    assert config.sync_lock_arc_frequency == 0.8
+
+
+def test_memory_map_regions_disjoint_and_ordered():
+    assert STATICS_BASE < STACK_BASE < ALLOCATOR_BASE < HEAP_BASE
+
+
+def test_configs_are_independent():
+    a = HydraConfig()
+    b = HydraConfig(num_cpus=8)
+    b.overheads.startup = 99
+    assert a.num_cpus == 4
+    assert a.overheads.startup == 23    # default_factory: no sharing
+
+
+def test_helper_accessors():
+    config = HydraConfig()
+    assert config.lines_of(1024) == 32
+    assert config.line_of(0x40) == 2

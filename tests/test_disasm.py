@@ -1,0 +1,77 @@
+"""Disassembler smoke/shape tests."""
+
+from repro.bytecode.disasm import (disassemble_ir, disassemble_method,
+                                   disassemble_program, disassemble_stl)
+from repro.hydra.config import HydraConfig
+from repro.jit.compiler import compile_program
+from repro.minijava import compile_source
+
+from conftest import wrap_main
+
+SOURCE = """
+class Counter {
+    int value;
+    synchronized void add(int x) { value += x; }
+}
+class Main {
+    static int main() {
+        Counter c = new Counter();
+        for (int i = 0; i < 10; i++) { c.add(i); }
+        return c.value;
+    }
+}
+"""
+
+
+def test_disassemble_method_shows_names_and_targets():
+    program = compile_source(SOURCE)
+    text = disassemble_method(program.resolve_method("Main", "main"))
+    assert "Main.main" in text
+    assert "GOTO" in text
+    assert "; i" in text            # local-variable name annotation
+    assert ">" in text              # branch-target marker
+
+
+def test_disassemble_program_lists_classes():
+    text = disassemble_program(compile_source(SOURCE))
+    assert "class Counter" in text
+    assert "synchronized Counter.add" in text
+    assert "class Main" in text
+
+
+def test_disassemble_ir():
+    program = compile_source(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 5; i++) { s += i; }
+        return s;
+    """))
+    compiled = compile_program(program, HydraConfig())
+    text = disassemble_ir(compiled.methods["Main.main"].code)
+    assert "ADDI" in text or "ADD" in text
+    assert "RET" in text
+
+
+def test_disassemble_stl():
+    from repro.hydra.machine import Machine
+    from repro.jit.compiler import compile_annotated
+    from repro.jit.stl import StlOptions, recompile_with_stls
+    from repro.tracer import Selector, TestProfiler
+    config = HydraConfig()
+    program = compile_source(wrap_main("""
+        int[] a = new int[300];
+        int s = 0;
+        for (int i = 0; i < 300; i++) { a[i] = i; s += i; }
+        Sys.printInt(s);
+        return s;
+    """))
+    annotated = compile_annotated(program, config)
+    profiler = TestProfiler(config, annotated.loop_table)
+    Machine(annotated, config, profiler=profiler).run()
+    plans = Selector(config, annotated.loop_table).select(profiler.stats)
+    compiled = recompile_with_stls(program, config, plans, StlOptions())
+    descriptor = next(iter(compiled.methods["Main.main"].stls.values()))
+    text = disassemble_stl(descriptor)
+    assert "thread code:" in text
+    assert "warm entry" in text
+    assert "STL_EOI_END" in text
+    assert "reductions" in text

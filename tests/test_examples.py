@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs end to end."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES, name + ".py")
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "TLS speedup" in out
+    assert "outputs match: OK" in out
+
+
+def test_loop_selection_tour_runs(capsys):
+    module = load_example("loop_selection_tour")
+    module.main()
+    out = capsys.readouterr().out
+    assert "SELECTED" in out
+    assert "rejected" in out
+
+
+def test_run_benchmark_lists(capsys):
+    module = load_example("run_benchmark")
+    module.list_benchmarks()
+    out = capsys.readouterr().out
+    assert "monteCarlo" in out and "shallow" in out
+
+
+@pytest.mark.slow
+def test_optimization_playground_runs(capsys):
+    module = load_example("optimization_playground")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Reduction operators" in out
+
+
+@pytest.mark.slow
+def test_custom_hardware_runs(capsys):
+    module = load_example("custom_hardware")
+    module.main()
+    out = capsys.readouterr().out
+    assert "8-CPU future CMP" in out

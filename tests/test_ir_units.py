@@ -1,0 +1,86 @@
+"""IR container unit tests: labels, finalize, defs/uses."""
+
+import pytest
+
+from repro.jit.ir import (IRInstr, IRMethod, IROp, Label, finalize,
+                          finalize_with_positions, label_instr)
+
+
+def test_finalize_resolves_labels():
+    target = Label()
+    code = [IRInstr(IROp.BEQZ, a=1, target=target),
+            IRInstr(IROp.LI, dst=2, imm=1),
+            label_instr(target),
+            IRInstr(IROp.RET, a=2)]
+    out = finalize(code)
+    assert len(out) == 3                  # LABEL stripped
+    assert out[0].target == 2             # index of RET
+
+
+def test_finalize_with_positions():
+    warm = Label("warm")
+    code = [IRInstr(IROp.LI, dst=1, imm=0),
+            label_instr(warm),
+            IRInstr(IROp.RET, a=1)]
+    out, positions = finalize_with_positions(code)
+    assert positions[warm] == 1
+    assert len(out) == 2
+
+
+def test_finalize_does_not_mutate_label_form():
+    target = Label()
+    branch = IRInstr(IROp.J, target=target)
+    code = [branch, label_instr(target), IRInstr(IROp.RET)]
+    finalize(code)
+    assert branch.target is target        # original untouched
+
+
+def test_label_at_end_of_code():
+    target = Label()
+    code = [IRInstr(IROp.J, target=target), label_instr(target)]
+    out = finalize(code)
+    assert out[0].target == 1             # one past the last instruction
+
+
+def test_defs_and_uses():
+    add = IRInstr(IROp.ADD, dst=3, a=1, b=2)
+    assert add.defs() == 3 and sorted(add.uses()) == [1, 2]
+    store = IRInstr(IROp.SW, a=4, b=5, imm=0)
+    assert store.defs() is None and sorted(store.uses()) == [4, 5]
+    load = IRInstr(IROp.LW, dst=6, a=7, imm=4)
+    assert load.defs() == 6 and load.uses() == [7]
+    absolute = IRInstr(IROp.LW, dst=6, a=None, imm=0x8000)
+    assert absolute.uses() == []
+    call = IRInstr(IROp.CALL, dst=1, aux=("C", "m"), args=[2, 3])
+    assert call.defs() == 1 and call.uses() == [2, 3]
+    branch = IRInstr(IROp.BEQZ, a=9, target=Label())
+    assert branch.defs() is None and branch.uses() == [9]
+    annotation = IRInstr(IROp.SLOOP, imm=2, aux=1)
+    assert annotation.defs() is None and annotation.uses() == []
+
+
+def test_stl_run_uses_init_values():
+    class FakeDesc:
+        init_values = [(0, 5), (4, 6)]
+        reductions = []
+    run = IRInstr(IROp.STL_RUN, dst=1, aux=FakeDesc())
+    assert sorted(run.uses()) == [5, 6]
+    assert run.defs() == 1
+
+
+def test_new_reg_monotonic():
+    method = IRMethod("m", 0, False, 10)
+    first = method.new_reg()
+    second = method.new_reg()
+    assert second == first + 1 == 11
+    assert method.nregs == 12
+
+
+def test_labels_unique_names():
+    assert Label().name != Label().name
+
+
+def test_irinstr_repr_is_readable():
+    instr = IRInstr(IROp.ADDI, dst=2, a=1, imm=7)
+    text = repr(instr)
+    assert "ADDI" in text and "r2" in text and "#7" in text

@@ -1,0 +1,249 @@
+"""Differential tests: Hydra machine executing microJIT IR must match
+the reference interpreter exactly on sequential programs."""
+
+import pytest
+
+from conftest import assert_same_behavior, wrap_main
+
+PROGRAMS = {
+    "arith": wrap_main("""
+        int a = 12345;
+        int b = -678;
+        Sys.printInt(a + b); Sys.printInt(a - b); Sys.printInt(a * b);
+        Sys.printInt(a / b); Sys.printInt(a % b);
+        Sys.printInt(a & b); Sys.printInt(a | b); Sys.printInt(a ^ b);
+        Sys.printInt(a << 3); Sys.printInt(b >> 2); Sys.printInt(b >>> 2);
+        Sys.printInt(-a); Sys.printInt(~a);
+        return 0;
+    """),
+    "float-math": wrap_main("""
+        float x = 1.75;
+        float y = -0.5;
+        Sys.printFloat(x + y); Sys.printFloat(x - y);
+        Sys.printFloat(x * y); Sys.printFloat(x / y);
+        Sys.printFloat(-x);
+        Sys.printFloat(Math.sqrt(2.0)); Sys.printFloat(Math.sin(1.0));
+        Sys.printFloat(Math.exp(0.5)); Sys.printFloat(Math.log(3.0));
+        Sys.printFloat(Math.pow(2.0, 10.0));
+        Sys.printInt((int) (x * 100.0));
+        return 0;
+    """),
+    "comparisons": wrap_main("""
+        int t = 0;
+        for (int a = -2; a <= 2; a++) {
+            for (int b = -2; b <= 2; b++) {
+                if (a < b) { t += 1; }
+                if (a <= b) { t += 10; }
+                if (a == b) { t += 100; }
+                if (a != b) { t += 1000; }
+                if (a >= b) { t += 10000; }
+                if (a > b) { t += 100000; }
+            }
+        }
+        Sys.printInt(t);
+        return t;
+    """),
+    "arrays": wrap_main("""
+        int[] a = new int[10];
+        float[] f = new float[4];
+        for (int i = 0; i < 10; i++) { a[i] = i * i - 3; }
+        f[0] = 0.5; f[3] = f[0] * 4.0;
+        int s = 0;
+        for (int i = 0; i < a.length; i++) { s += a[i]; }
+        Sys.printInt(s);
+        Sys.printFloat(f[3]);
+        Sys.printInt(a.length + f.length);
+        return s;
+    """),
+    "matrix": wrap_main("""
+        int[][] m = new int[3][4];
+        for (int i = 0; i < 3; i++) {
+            for (int j = 0; j < 4; j++) { m[i][j] = i * 10 + j; }
+        }
+        int t = 0;
+        for (int i = 0; i < 3; i++) {
+            t += m[i][i] * m[i].length;
+        }
+        Sys.printInt(t);
+        return t;
+    """),
+    "objects": """
+class Node {
+    int value;
+    Node next;
+    Node(int v) { value = v; }
+    int sum() {
+        if (next == null) { return value; }
+        return value + next.sum();
+    }
+}
+class Main {
+    static int main() {
+        Node head = new Node(1);
+        head.next = new Node(2);
+        head.next.next = new Node(3);
+        Sys.printInt(head.sum());
+        return head.sum();
+    }
+}
+""",
+    "virtual-calls": """
+class Shape { int area() { return 0; } }
+class Square extends Shape {
+    int side;
+    Square(int s) { side = s; }
+    int area() { return side * side; }
+}
+class Rect extends Square {
+    int other;
+    Rect(int s, int o) { side = s; other = o; }
+    int area() { return side * other; }
+}
+class Main {
+    static int main() {
+        int total = 0;
+        Shape s = new Square(3);
+        total += s.area();
+        s = new Rect(3, 4);
+        total += s.area();
+        s = new Shape();
+        total += s.area();
+        Sys.printInt(total);
+        return total;
+    }
+}
+""",
+    "statics": """
+class Registry {
+    static int count;
+    static int[] slots;
+    static void init(int n) { slots = new int[n]; count = 0; }
+    static void add(int v) { slots[count] = v; count++; }
+}
+class Main {
+    static int main() {
+        Registry.init(5);
+        for (int i = 0; i < 5; i++) { Registry.add(i * 7); }
+        int t = 0;
+        for (int i = 0; i < Registry.count; i++) { t += Registry.slots[i]; }
+        Sys.printInt(t);
+        return t;
+    }
+}
+""",
+    "synchronized": """
+class Account {
+    int balance;
+    synchronized void deposit(int x) { balance += x; }
+    synchronized int get() { return balance; }
+}
+class Main {
+    static int main() {
+        Account a = new Account();
+        for (int i = 0; i < 20; i++) { a.deposit(i); }
+        Sys.printInt(a.get());
+        return a.get();
+    }
+}
+""",
+    "while-do": wrap_main("""
+        int i = 0;
+        int s = 0;
+        while (i < 8) { s += i; i++; }
+        do { s -= 1; i--; } while (i > 4);
+        Sys.printInt(s);
+        Sys.printInt(i);
+        return s;
+    """),
+    "ternary-logic": wrap_main("""
+        int score = 0;
+        for (int x = 0; x < 20; x++) {
+            score += x % 3 == 0 ? 2 : (x % 5 == 0 ? 10 : 1);
+            int flag = (x > 5 && x < 15) || x == 18 ? 1 : 0;
+            score += flag;
+        }
+        Sys.printInt(score);
+        return score;
+    """),
+    "compound-targets": """
+class Holder { int v; int[] data; }
+class Main {
+    static int main() {
+        Holder h = new Holder();
+        h.data = new int[4];
+        h.v = 5;
+        h.v += 3;
+        h.v *= 2;
+        h.data[1] = 10;
+        h.data[1] += h.v;
+        h.data[1] <<= 1;
+        int k = 2;
+        h.data[k++] = 7;
+        Sys.printInt(h.v);
+        Sys.printInt(h.data[1]);
+        Sys.printInt(h.data[2]);
+        Sys.printInt(k);
+        return 0;
+    }
+}
+""",
+    "string-of-calls": """
+class Math2 {
+    static int gcd(int a, int b) {
+        while (b != 0) { int t = a % b; a = b; b = t; }
+        return a;
+    }
+    static int lcm(int a, int b) { return a / gcd(a, b) * b; }
+}
+class Main {
+    static int main() {
+        Sys.printInt(Math2.gcd(48, 36));
+        Sys.printInt(Math2.lcm(4, 6));
+        Sys.printInt(Math2.gcd(17, 5));
+        return 0;
+    }
+}
+""",
+    "intrinsic-minmax": wrap_main("""
+        int lo = 999;
+        int hi = -999;
+        for (int i = 0; i < 30; i++) {
+            int v = (i * 37 + 5) % 100 - 50;
+            lo = Math.imin(lo, v);
+            hi = Math.imax(hi, v);
+        }
+        Sys.printInt(lo);
+        Sys.printInt(hi);
+        Sys.printInt(Math.iabs(-42));
+        return lo + hi;
+    """),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_machine_matches_interpreter(name):
+    assert_same_behavior(PROGRAMS[name])
+
+
+def test_annotated_code_behaves_identically():
+    from conftest import interp, machine_run
+    src = PROGRAMS["comparisons"]
+    expected = interp(src)
+    actual = machine_run(src, annotated=True)
+    assert actual.output == expected.output
+    assert actual.return_value == expected.return_value
+
+
+def test_annotation_overhead_is_small():
+    from conftest import machine_run
+    src = PROGRAMS["comparisons"]
+    plain = machine_run(src)
+    annotated = machine_run(src, annotated=True)
+    slowdown = annotated.cycles / plain.cycles
+    assert 1.0 <= slowdown < 1.8
+
+
+def test_machine_counts_cycles_and_instructions():
+    from conftest import machine_run
+    result = machine_run(wrap_main("return 1 + 2;"))
+    assert result.cycles >= result.instructions > 0

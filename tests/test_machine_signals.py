@@ -1,0 +1,146 @@
+"""Machine-level corners: frames, calls, intrinsics, signals."""
+
+import pytest
+
+from repro.errors import GuestException, VMError
+from repro.hydra.config import HydraConfig
+from repro.hydra.machine import Machine, SIG_DONE
+from repro.jit.compiler import compile_program
+from repro.minijava import compile_source
+
+from conftest import machine_run, wrap_main
+
+
+def test_deep_recursion_frames():
+    result = machine_run("""
+class Main {
+    static int depth(int n) { return n == 0 ? 0 : 1 + depth(n - 1); }
+    static int main() { return depth(200); }
+}
+""")
+    assert result.return_value == 200
+
+
+def test_return_value_plumbing_through_chain():
+    result = machine_run("""
+class Main {
+    static int a(int x) { return b(x) + 1; }
+    static int b(int x) { return c(x) * 2; }
+    static int c(int x) { return x - 3; }
+    static int main() { return a(10); }
+}
+""")
+    assert result.return_value == (10 - 3) * 2 + 1
+
+
+def test_void_methods_leave_registers_alone():
+    result = machine_run("""
+class Sink {
+    int total;
+    void eat(int x) { total += x; }
+}
+class Main {
+    static int main() {
+        Sink s = new Sink();
+        int keep = 42;
+        s.eat(5);
+        s.eat(7);
+        return keep + s.total;
+    }
+}
+""")
+    assert result.return_value == 54
+
+
+def test_instruction_budget_enforced():
+    config = HydraConfig()
+    compiled = compile_program(compile_source(wrap_main("""
+        int i = 0;
+        while (true) { i++; }
+        return i;
+    """)), config)
+    machine = Machine(compiled, config)
+    with pytest.raises(VMError):
+        machine.run(max_instructions=10_000)
+
+
+def test_guest_exception_recorded_not_raised():
+    result = machine_run(wrap_main("int z = 0; return 4 / z;"))
+    assert result.guest_exception is not None
+    assert result.guest_exception.kind == "ArithmeticException"
+    assert result.return_value is None
+
+
+def test_output_ordering_preserved():
+    result = machine_run(wrap_main("""
+        for (int i = 0; i < 5; i++) { Sys.printInt(i * i); }
+        return 0;
+    """))
+    assert result.output == [0, 1, 4, 9, 16]
+
+
+def test_float_intrinsics_cost_more_than_alu():
+    cheap = machine_run(wrap_main("""
+        float s = 0.0;
+        for (int i = 0; i < 200; i++) { s = s + 1.25; }
+        Sys.printFloat(s);
+        return 0;
+    """))
+    costly = machine_run(wrap_main("""
+        float s = 0.0;
+        for (int i = 0; i < 200; i++) { s = s + Math.sin(1.25); }
+        Sys.printFloat(s);
+        return 0;
+    """))
+    assert costly.cycles > cheap.cycles + 200 * 20
+
+
+def test_statics_live_in_memory():
+    from repro.hydra.machine import Machine as M
+    config = HydraConfig()
+    program = compile_source("""
+class G { static int knob; }
+class Main {
+    static int main() { G.knob = 1234; return G.knob; }
+}
+""")
+    compiled = compile_program(program, config)
+    machine = M(compiled, config)
+    result = machine.run()
+    assert result.return_value == 1234
+    addr = compiled.layout.field_addr[("G", "knob")]
+    assert machine.memory.load(addr) == 1234
+
+
+def test_object_header_contains_class_id():
+    config = HydraConfig()
+    program = compile_source("""
+class Thing { int v; }
+class Main {
+    static int main() {
+        Thing t = new Thing();
+        t.v = 9;
+        return t.v;
+    }
+}
+""")
+    compiled = compile_program(program, config)
+    machine = Machine(compiled, config)
+    machine.run()
+    thing = compiled.program.get_class("Thing")
+    headers = [machine.memory.load(rec.addr + 4)
+               for rec in machine.allocator.objects.values()
+               if rec.info.class_name == "Thing"]
+    assert headers == [thing.class_id]
+
+
+def test_array_header_contains_length():
+    config = HydraConfig()
+    compiled = compile_program(compile_source(wrap_main(
+        "int[] a = new int[37]; return a.length;")), config)
+    machine = Machine(compiled, config)
+    result = machine.run()
+    assert result.return_value == 37
+    lengths = [machine.memory.load(rec.addr + 4)
+               for rec in machine.allocator.objects.values()]
+    assert 37 in lengths

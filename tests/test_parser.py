@@ -1,0 +1,178 @@
+"""Unit tests for the MiniJava parser."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minijava import ast_nodes as ast
+from repro.minijava.parser import parse
+
+
+def parse_main(body):
+    decl = parse("class Main { static int main() { %s } }" % body)
+    return decl.classes[0].methods[0].body.statements
+
+
+def parse_expr(text):
+    stmts = parse_main("int q = %s;" % text)
+    return stmts[0].init
+
+
+def test_empty_class():
+    decl = parse("class A { }")
+    assert decl.classes[0].name == "A"
+    assert decl.classes[0].superclass is None
+
+
+def test_extends():
+    decl = parse("class A extends B { }")
+    assert decl.classes[0].superclass == "B"
+
+
+def test_field_declarations():
+    decl = parse("class A { int x; static float y; int a, b; }")
+    fields = decl.classes[0].fields
+    names = [f.name for f in fields]
+    assert names == ["x", "y", "a", "b"]
+    assert fields[1].is_static and fields[1].type.is_float()
+
+
+def test_method_signature():
+    decl = parse("class A { static int f(int a, float[] b) { return 0; } }")
+    method = decl.classes[0].methods[0]
+    assert method.is_static
+    assert method.params[0][0] == "a"
+    assert method.params[1][1].dims == 1
+
+
+def test_constructor():
+    decl = parse("class A { A(int x) { } }")
+    method = decl.classes[0].methods[0]
+    assert method.is_constructor and method.name == "<init>"
+
+
+def test_synchronized_method():
+    decl = parse("class A { synchronized void f() { } }")
+    assert decl.classes[0].methods[0].is_synchronized
+
+
+def test_precedence_mul_over_add():
+    expr = parse_expr("1 + 2 * 3")
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+
+def test_precedence_shift_vs_compare():
+    expr = parse_expr("(a >> 2 < b) ? 1 : 0")
+    assert isinstance(expr, ast.Ternary)
+    assert expr.cond.op == "<"
+    assert expr.cond.left.op == ">>"
+
+
+def test_logical_precedence():
+    expr = parse_expr("(a == 1 || b == 2 && c == 3) ? 1 : 0")
+    assert expr.cond.op == "||"
+    assert expr.cond.right.op == "&&"
+
+
+def test_unary_chain():
+    expr = parse_expr("-~x")
+    assert isinstance(expr, ast.Unary) and expr.op == "-"
+    assert isinstance(expr.operand, ast.Unary) and expr.operand.op == "~"
+
+
+def test_cast_parses():
+    expr = parse_expr("(int) 3.5")
+    assert isinstance(expr, ast.Cast) and expr.type.is_int()
+
+
+def test_parenthesized_expression_not_cast():
+    expr = parse_expr("(x) + 1")
+    assert isinstance(expr, ast.Binary)
+
+
+def test_array_index_and_field_chain():
+    expr = parse_expr("a.b[1].c")
+    assert isinstance(expr, ast.FieldAccess)
+    assert isinstance(expr.target, ast.Index)
+
+
+def test_array_length():
+    expr = parse_expr("a.length")
+    assert isinstance(expr, ast.ArrayLength)
+
+
+def test_method_call_chain():
+    expr = parse_expr("obj.f(1).g(2, 3)")
+    assert isinstance(expr, ast.Call) and expr.name == "g"
+    assert len(expr.args) == 2
+    assert isinstance(expr.target, ast.Call)
+
+
+def test_new_object():
+    expr = parse_expr("new Point(1, 2)")
+    assert isinstance(expr, ast.New) and expr.class_name == "Point"
+
+
+def test_new_array_one_dim():
+    expr = parse_expr("new int[10]")
+    assert isinstance(expr, ast.NewArray)
+    assert len(expr.lengths) == 1
+
+
+def test_new_array_two_dims():
+    expr = parse_expr("new float[4][8]")
+    assert isinstance(expr, ast.NewArray)
+    assert len(expr.lengths) == 2
+
+
+def test_compound_assignment_rewrites_op():
+    stmts = parse_main("int x = 0; x += 5;")
+    assign = stmts[1].expr
+    assert isinstance(assign, ast.Assign) and assign.op == "+"
+
+
+def test_postfix_and_prefix_incdec():
+    stmts = parse_main("int x = 0; x++; ++x;")
+    assert stmts[1].expr.is_prefix is False
+    assert stmts[2].expr.is_prefix is True
+
+
+def test_for_loop_pieces():
+    stmts = parse_main("for (int i = 0; i < 3; i++) { }")
+    loop = stmts[0]
+    assert isinstance(loop, ast.For)
+    assert loop.init is not None and loop.cond is not None
+    assert loop.update is not None
+
+
+def test_for_loop_empty_clauses():
+    stmts = parse_main("for (;;) { break; }")
+    loop = stmts[0]
+    assert loop.init is None and loop.cond is None and loop.update is None
+
+
+def test_do_while():
+    stmts = parse_main("int i = 0; do { i++; } while (i < 3);")
+    assert isinstance(stmts[1], ast.DoWhile)
+
+
+def test_dangling_else_binds_inner():
+    stmts = parse_main("if (a) if (b) c = 1; else c = 2;")
+    outer = stmts[0]
+    assert outer.otherwise is None
+    assert outer.then.otherwise is not None
+
+
+def test_invalid_assignment_target():
+    with pytest.raises(CompileError):
+        parse_main("1 = 2;")
+
+
+def test_missing_semicolon():
+    with pytest.raises(CompileError):
+        parse_main("int x = 1")
+
+
+def test_ternary_right_associative():
+    expr = parse_expr("a ? 1 : b ? 2 : 3")
+    assert isinstance(expr.otherwise, ast.Ternary)

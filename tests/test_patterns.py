@@ -1,0 +1,249 @@
+"""Carried-local classification (inductors, reductions, resetables)."""
+
+import pytest
+
+from repro.hydra.config import HydraConfig
+from repro.jit.annotate import identify_loops
+from repro.jit.compiler import compile_program
+from repro.jit.patterns import (KIND_GENERAL, KIND_INDUCTOR, KIND_REDUCTION,
+                                KIND_RESETABLE, classify_carried_locals,
+                                merge_reduction)
+from repro.minijava import compile_source
+
+from conftest import wrap_main
+
+
+def classify(src, loop_index=0):
+    """Return {source-local-name-agnostic reg: CarriedLocal} for a loop."""
+    program = compile_source(src)
+    compiled = compile_program(program, HydraConfig())
+    ir = compiled.methods["Main.main"].ir
+    cfg, ordered = identify_loops(ir)
+    loops = [loop for __, loop in ordered]
+    loop = loops[loop_index]
+    return classify_carried_locals(cfg, loop, ir.num_locals, loops)
+
+
+def kinds_of(src, loop_index=0):
+    return sorted(info.kind for info in classify(src, loop_index).values())
+
+
+def test_unit_step_inductor():
+    kinds = classify(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 10; i++) { s += i; }
+        return s;
+    """))
+    by_kind = {info.kind: info for info in kinds.values()}
+    assert by_kind[KIND_INDUCTOR].step_imm == 1
+    assert by_kind[KIND_REDUCTION].reduce_op == "add"
+
+
+def test_non_unit_step_inductor():
+    kinds = classify(wrap_main("""
+        int t = 0;
+        for (int i = 3; i < 50; i += 7) { t ^= i; }
+        return t;
+    """))
+    inductors = [i for i in kinds.values() if i.kind == KIND_INDUCTOR]
+    assert inductors and inductors[0].step_imm == 7
+
+
+def test_negative_step_inductor():
+    kinds = classify(wrap_main("""
+        int t = 0;
+        for (int i = 50; i > 0; i -= 3) { t += i; }
+        return t;
+    """))
+    inductors = [i for i in kinds.values() if i.kind == KIND_INDUCTOR]
+    assert inductors and inductors[0].step_imm == -3
+
+
+def test_invariant_register_step():
+    kinds = classify(wrap_main("""
+        int step = 4;
+        int t = 0;
+        for (int i = 0; i < 40; i = i + step) { t += 1; }
+        return t;
+    """))
+    assert any(i.kind == KIND_INDUCTOR and i.step_reg is not None
+               for i in kinds.values())
+
+
+def test_conditional_increment_is_not_inductor():
+    kinds = classify(wrap_main("""
+        int count = 0;
+        for (int i = 0; i < 20; i++) {
+            if (i % 3 == 0) { count++; }
+        }
+        return count;
+    """))
+    # count is accumulated conditionally -> a reduction, not an inductor.
+    counts = [info for reg, info in kinds.items()
+              if info.kind == KIND_REDUCTION and info.reduce_op == "add"]
+    assert counts
+
+
+def test_product_reduction():
+    kinds = classify(wrap_main("""
+        int p = 1;
+        for (int i = 1; i < 10; i++) { p = p * i; }
+        return p;
+    """))
+    assert any(info.kind == KIND_REDUCTION and info.reduce_op == "mul"
+               for info in kinds.values())
+
+
+def test_float_constant_step_is_float_inductor():
+    kinds = classify(wrap_main("""
+        float s = 0.0;
+        for (int i = 0; i < 10; i++) { s = s + 1.5; }
+        return (int) s;
+    """))
+    assert any(info.kind == KIND_INDUCTOR and info.is_float
+               and info.step_imm == 1.5 for info in kinds.values())
+
+
+def test_float_sum_reduction():
+    kinds = classify(wrap_main("""
+        float[] x = new float[10];
+        float s = 0.0;
+        for (int i = 0; i < 10; i++) { s = s + x[i]; }
+        return (int) s;
+    """))
+    assert any(info.kind == KIND_REDUCTION and info.reduce_op == "fadd"
+               for info in kinds.values())
+
+
+def test_minmax_reduction_via_intrinsic():
+    kinds = classify(wrap_main("""
+        int best = -9999;
+        for (int i = 0; i < 10; i++) {
+            best = Math.imax(best, (i * 7) % 13);
+        }
+        return best;
+    """))
+    assert any(info.kind == KIND_REDUCTION and info.reduce_op == "imax"
+               for info in kinds.values())
+
+
+def test_masked_add_reduction():
+    kinds = classify(wrap_main("""
+        int check = 0;
+        for (int i = 0; i < 10; i++) {
+            check = (check + i * 3) & 0xFFFF;
+        }
+        return check;
+    """))
+    masked = [info for info in kinds.values()
+              if info.kind == KIND_REDUCTION and info.reduce_op == "addmask"]
+    assert masked and masked[0].mask == 0xFFFF
+
+
+def test_non_power_of_two_mask_is_not_reduction():
+    kinds = classify(wrap_main("""
+        int check = 0;
+        for (int i = 0; i < 10; i++) {
+            check = (check + i) & 0xFFF0;
+        }
+        return check;
+    """))
+    assert not any(info.kind == KIND_REDUCTION
+                   for reg, info in kinds.items()
+                   if info.reduce_op == "addmask")
+
+
+def test_accumulator_read_elsewhere_is_general():
+    kinds = classify(wrap_main("""
+        int[] a = new int[20];
+        int s = 0;
+        for (int i = 0; i < 10; i++) {
+            s += i;
+            a[s % 20] = i;   // s escapes the accumulation chain
+        }
+        return s;
+    """))
+    assert any(info.kind == KIND_GENERAL for info in kinds.values())
+    assert not any(info.kind == KIND_REDUCTION and info.reduce_op == "add"
+                   for info in kinds.values())
+
+
+def test_resetable_inductor():
+    kinds = classify(wrap_main("""
+        int pos = 0;
+        int t = 0;
+        for (int i = 0; i < 100; i++) {
+            t += pos;
+            pos = pos + 2;
+            if (pos > 90) { pos = i % 7; }
+        }
+        return t + pos;
+    """))
+    resetables = [info for info in kinds.values()
+                  if info.kind == KIND_RESETABLE]
+    assert resetables
+    assert resetables[0].step_imm == 2
+    assert resetables[0].reset_sites
+
+
+def test_serial_recurrence_is_general():
+    kinds = classify(wrap_main("""
+        int x = 1;
+        for (int i = 0; i < 10; i++) { x = x * 3 + 1; }
+        return x;
+    """))
+    assert any(info.kind == KIND_GENERAL for info in kinds.values())
+
+
+def test_inductor_step_inside_inner_loop_is_not_inductor():
+    # 'scan' steps a variable number of times per OUTER iteration, so
+    # for the outer loop it must be general (its += sits in the inner
+    # loop); for the inner loop it is a genuine unit-step inductor.
+    src = wrap_main("""
+        int t = 0;
+        int scan = 0;
+        for (int i = 0; i < 8; i++) {
+            for (int j = 0; j < i; j++) {
+                scan = scan + 1;
+            }
+            t += scan;
+        }
+        return t;
+    """)
+    outer = classify(src, loop_index=0)
+    unit_inductors = [info for info in outer.values()
+                      if info.kind == KIND_INDUCTOR and info.step_imm == 1]
+    assert len(unit_inductors) == 1      # only i
+    assert any(info.kind == KIND_GENERAL for info in outer.values())
+    inner = classify(src, loop_index=1)
+    assert sum(1 for info in inner.values()
+               if info.kind == KIND_INDUCTOR and info.step_imm == 1) == 2
+
+
+class TestMergeReduction:
+    def test_add(self):
+        assert merge_reduction("add", 3, 4) == 7
+
+    def test_add_wraps(self):
+        assert merge_reduction("add", 2**31 - 1, 1) == -2**31
+
+    def test_mul(self):
+        assert merge_reduction("mul", 3, 5) == 15
+
+    def test_minmax(self):
+        assert merge_reduction("imin", 3, -4) == -4
+        assert merge_reduction("imax", 3, -4) == 3
+        assert merge_reduction("fmin", 1.5, 2.5) == 1.5
+        assert merge_reduction("fmax", 1.5, 2.5) == 2.5
+
+    def test_bitwise(self):
+        assert merge_reduction("and", 0b1100, 0b1010) == 0b1000
+        assert merge_reduction("or", 0b1100, 0b1010) == 0b1110
+        assert merge_reduction("xor", 0b1100, 0b1010) == 0b0110
+
+    def test_addmask(self):
+        assert merge_reduction("addmask", 0xFFFF, 2, mask=0xFFFF) == 1
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            merge_reduction("nope", 1, 2)

@@ -1,0 +1,125 @@
+"""The five-step Jrpm pipeline and its report (paper Fig. 1, 8, 9)."""
+
+import pytest
+
+from repro import Jrpm, compile_source
+from repro.hydra.config import HydraConfig
+
+from conftest import wrap_main
+
+PROGRAM = wrap_main("""
+    int[] a = new int[1200];
+    for (int i = 0; i < 1200; i++) { a[i] = (i * 31 + 7) % 257; }
+    int s = 0;
+    for (int i = 0; i < 1200; i++) { s += a[i] & 63; }
+    Sys.printInt(s);
+    return s;
+""")
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Jrpm().run(compile_source(PROGRAM), name="pipeline-test")
+
+
+def test_all_three_runs_recorded(report):
+    assert report.sequential.cycles > 0
+    assert report.profiling.cycles > report.sequential.cycles
+    assert 0 < report.tls.cycles < report.sequential.cycles
+
+
+def test_profiling_slowdown_in_paper_band(report):
+    # Paper §3.2: average 7.8%, worst ~25%; our band is looser but the
+    # slowdown must be small and nonzero.
+    assert 1.0 < report.profiling_slowdown < 1.6
+
+
+def test_speedup_properties(report):
+    assert report.tls_speedup > 2.0
+    assert report.predicted_speedup > 1.2
+
+
+def test_prediction_close_to_actual(report):
+    # TEST predictions are optimistic but in the ballpark (Fig. 8).
+    ratio = report.predicted_speedup / report.tls_speedup
+    assert 0.6 < ratio < 2.0
+
+
+def test_plans_and_loop_table(report):
+    assert report.plans
+    for plan in report.plans.values():
+        assert plan.loop_id in report.loop_table
+        assert plan.prediction.speedup > 1.2
+
+
+def test_compile_cycles_positive(report):
+    assert report.compile_cycles > 0
+    assert report.recompile_cycles > 0
+
+
+def test_profile_fraction_reflects_iteration_target(report):
+    # 1200 iterations of the dominant loop vs the scaled 100-iteration
+    # target: a small slice of the run is spent profiling.
+    assert 0.0 < report.profile_fraction < 0.3
+
+
+def test_profile_fraction_with_paper_target(report):
+    from repro.hydra.config import HydraConfig
+    paper = Jrpm(config=HydraConfig(profile_iteration_target=1000)).run(
+        compile_source(PROGRAM))
+    assert paper.profile_fraction > report.profile_fraction
+
+
+def test_total_speedup_accounts_for_overheads(report):
+    assert report.total_speedup <= report.tls_speedup
+    phases = report.phase_cycles()
+    assert set(phases) == {"application", "gc", "compile", "profiling",
+                           "recompile"}
+    assert abs(sum(phases.values()) - report.total_cycles_with_overheads) \
+        < report.sequential.cycles * 0.05
+
+
+def test_outputs_match(report):
+    assert report.outputs_match()
+
+
+def test_breakdown_present(report):
+    assert report.breakdown is not None
+    assert report.breakdown.commits > 0
+
+
+def test_program_without_loops_passes_through():
+    report = Jrpm().run(compile_source(wrap_main(
+        "Sys.printInt(41 + 1); return 42;")))
+    assert not report.plans
+    assert report.tls.cycles == report.sequential.cycles
+    assert report.tls_speedup == 1.0
+    assert report.breakdown.serial > 0
+
+
+def test_source_string_accepted_directly():
+    report = Jrpm().run(PROGRAM)
+    assert report.outputs_match()
+
+
+def test_serial_fraction_between_zero_and_one(report):
+    assert 0.0 <= report.serial_fraction <= 1.0
+
+
+def test_run_jrpm_convenience():
+    from repro import run_jrpm
+    report = run_jrpm(wrap_main("""
+        int t = 0;
+        for (int i = 0; i < 300; i++) { t += i % 5; }
+        Sys.printInt(t);
+        return t;
+    """), name="conv")
+    assert report.name == "conv"
+    assert report.outputs_match()
+
+
+def test_retargetability_more_cpus(report):
+    bigger = Jrpm(config=HydraConfig(num_cpus=8)).run(
+        compile_source(PROGRAM))
+    assert bigger.outputs_match()
+    assert bigger.tls_speedup > report.tls_speedup

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis).
+
+The heavyweight invariants of the system:
+
+* the Hydra machine executing microJIT output matches the reference
+  interpreter on arbitrary expression programs,
+* the TLS pipeline preserves sequential semantics on randomized loop
+  programs,
+* 32-bit helpers agree with Java semantics,
+* the cache model never lies about hits.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bytecode.instructions import f2i, i32, idiv, irem, u32
+from repro.core.pipeline import Jrpm
+from repro.hydra.cache import SetAssociativeCache
+from repro.minijava import compile_source
+from repro.bytecode import run_program
+
+from conftest import machine_run, wrap_main
+
+# ---------------------------------------------------------------------------
+# 32-bit arithmetic helpers
+# ---------------------------------------------------------------------------
+
+ints = st.integers(min_value=-2**31, max_value=2**31 - 1)
+wide = st.integers(min_value=-2**63, max_value=2**63)
+
+
+@given(wide)
+def test_i32_is_32bit_two_complement(x):
+    value = i32(x)
+    assert -2**31 <= value < 2**31
+    assert (value - x) % 2**32 == 0
+
+
+@given(ints)
+def test_u32_roundtrip(x):
+    assert i32(u32(x)) == x
+
+
+@given(ints, ints.filter(lambda v: v != 0))
+def test_idiv_irem_reconstruct(a, b):
+    q, r = idiv(a, b), irem(a, b)
+    assert i32(q * b + r) == a
+    if a >= 0:
+        assert r >= 0
+    else:
+        assert r <= 0
+
+
+@given(st.floats(allow_nan=True, allow_infinity=True, width=32))
+def test_f2i_always_in_range(x):
+    assert -2**31 <= f2i(x) <= 2**31 - 1
+
+
+# ---------------------------------------------------------------------------
+# random expression programs: interpreter == machine
+# ---------------------------------------------------------------------------
+
+_INT_BINOPS = ["+", "-", "*", "&", "|", "^"]
+
+
+def _expr(draw, depth):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(-1000, 1000)))
+        if choice == 1:
+            return draw(st.sampled_from(["a", "b", "c"]))
+        return str(draw(st.integers(-5, 5)))
+    kind = draw(st.integers(0, 5))
+    left = _expr(draw, depth - 1)
+    right = _expr(draw, depth - 1)
+    if kind == 0:
+        op = draw(st.sampled_from(_INT_BINOPS))
+        return "(%s %s %s)" % (left, op, right)
+    if kind == 1:
+        shift = draw(st.integers(0, 31))
+        op = draw(st.sampled_from(["<<", ">>", ">>>"]))
+        return "(%s %s %d)" % (left, op, shift)
+    if kind == 2:
+        divisor = draw(st.integers(1, 97))
+        op = draw(st.sampled_from(["/", "%"]))
+        return "(%s %s %d)" % (left, op, divisor)
+    if kind == 3:
+        return "(-(%s))" % left
+    if kind == 4:
+        return "(~(%s))" % left
+    return "(%s < %s ? %s : %s)" % (left, right,
+                                    _expr(draw, 0), _expr(draw, 0))
+
+
+@st.composite
+def expression_programs(draw):
+    exprs = [_expr(draw, draw(st.integers(1, 3))) for __ in range(3)]
+    a = draw(st.integers(-10000, 10000))
+    b = draw(st.integers(-10000, 10000))
+    c = draw(st.integers(-100, 100))
+    body = "int a = %d; int b = %d; int c = %d;\n" % (a, b, c)
+    for index, expr in enumerate(exprs):
+        body += "int r%d = %s; Sys.printInt(r%d);\n" % (index, expr, index)
+    body += "return r0 ^ r1 ^ r2;"
+    return wrap_main(body)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(expression_programs())
+def test_machine_matches_interpreter_on_random_expressions(src):
+    program = compile_source(src)
+    expected = run_program(program)
+    actual = machine_run(src)
+    assert actual.output == expected.output
+    assert actual.return_value == expected.return_value
+
+
+# ---------------------------------------------------------------------------
+# random loop programs: TLS == sequential
+# ---------------------------------------------------------------------------
+
+@st.composite
+def loop_programs(draw):
+    n = draw(st.integers(40, 200))
+    stride = draw(st.integers(1, 3))
+    mul = draw(st.integers(2, 9))
+    mask = draw(st.sampled_from(["0xFF", "0xFFF", "0xFFFF"]))
+    carried = draw(st.booleans())
+    uses_array_chain = draw(st.booleans())
+    reduction_op = draw(st.sampled_from(["+", "^", "|"]))
+    body = []
+    body.append("a[i] = (i * %d + seed) %% 251;" % mul)
+    if uses_array_chain:
+        body.append("if (i > 0) { b[i] = (b[i-1] + a[i]) & %s; }" % mask)
+    else:
+        body.append("b[i] = (a[i] * 3) & %s;" % mask)
+    if carried:
+        body.append("seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;")
+    body.append("acc = acc %s (a[i] + b[i]);" % reduction_op)
+    src = wrap_main("""
+        int n = %d;
+        int[] a = new int[n];
+        int[] b = new int[n];
+        int seed = 99;
+        int acc = 0;
+        for (int i = 0; i < n; i += %d) {
+            %s
+        }
+        Sys.printInt(acc);
+        Sys.printInt(seed);
+        Sys.printInt(b[n - 1]);
+        return acc;
+    """ % (n, stride, "\n            ".join(body)))
+    return src
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(loop_programs())
+def test_tls_pipeline_preserves_semantics_on_random_loops(src):
+    program = compile_source(src)
+    oracle = run_program(program)
+    report = Jrpm().run(program)
+    assert report.sequential.output == oracle.output
+    assert report.outputs_match(), (
+        "TLS diverged\nsrc=%s\nseq=%r\ntls=%r"
+        % (src, report.sequential.output, report.tls.output))
+
+
+# ---------------------------------------------------------------------------
+# cache model
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=200),
+       st.integers(1, 4))
+def test_cache_hits_plus_misses_equals_lookups(lines, assoc):
+    cache = SetAssociativeCache(32 * 8 * assoc, assoc)
+    for line in lines:
+        if not cache.lookup(line):
+            cache.fill(line)
+    assert cache.hits + cache.misses == len(lines)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=50))
+def test_cache_hit_right_after_fill(lines):
+    cache = SetAssociativeCache(2048, 4)
+    for line in lines:
+        cache.fill(line)
+        assert cache.lookup(line)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 1000), ints), min_size=1,
+                max_size=100))
+def test_memory_last_write_wins(writes):
+    from repro.hydra.memory import Memory
+    memory = Memory()
+    expected = {}
+    for slot, value in writes:
+        addr = slot * 4
+        memory.store(addr, value)
+        expected[addr] = value
+    for addr, value in expected.items():
+        assert memory.load(addr) == value

@@ -1,0 +1,176 @@
+"""STL selection heuristics (paper §3.1)."""
+
+from repro.hydra.config import HydraConfig
+from repro.tracer.selector import Selector
+from repro.tracer.stats import LoopStats
+from repro.jit.annotate import LoopMeta
+
+
+def make_meta(loop_id, parent_id=None, depth=1, candidate=True):
+    meta = LoopMeta(loop_id, "Main.main", loop_id, depth, 20, {},
+                    candidate, None if candidate else "test", 1)
+    meta.parent_id = parent_id
+    return meta
+
+
+def make_stats(loop_id, threads=2000, avg_cycles=200.0, entries=1,
+               overflow=0, arc_threads=0, constraint=0.0):
+    stats = LoopStats(loop_id)
+    stats.threads = threads
+    stats.profiled_entries = entries
+    stats.entries = entries
+    stats.total_thread_cycles = avg_cycles * threads
+    stats.overflow_threads = overflow
+    stats.arc_threads = arc_threads
+    stats.sum_critical_constraint = constraint * arc_threads
+    return stats
+
+
+def make_selector(metas):
+    return Selector(HydraConfig(), {m.loop_id: m for m in metas})
+
+
+def test_parallel_loop_predicts_near_ncpu():
+    selector = make_selector([make_meta(1)])
+    prediction = selector.predict(make_stats(1))
+    assert 3.0 < prediction.speedup <= 4.0
+
+
+def test_serial_loop_predicts_no_speedup():
+    selector = make_selector([make_meta(1)])
+    stats = make_stats(1, arc_threads=2000, constraint=210.0)
+    prediction = selector.predict(stats)
+    assert prediction.speedup < 1.2
+
+
+def test_overflow_suppresses_selection():
+    selector = make_selector([make_meta(1)])
+    stats = make_stats(1, overflow=1500)
+    prediction = selector.predict(stats)
+    assert not selector.eligible(stats, prediction)
+
+
+def test_few_iterations_per_entry_rejected():
+    selector = make_selector([make_meta(1)])
+    stats = make_stats(1, threads=2000, entries=1500)
+    prediction = selector.predict(stats)
+    assert not selector.eligible(stats, prediction)
+
+
+def test_small_threads_dominated_by_overheads():
+    selector = make_selector([make_meta(1)])
+    stats = make_stats(1, avg_cycles=6.0, entries=400)
+    prediction = selector.predict(stats)
+    assert prediction.speedup < 2.0
+
+
+def test_select_picks_parallel_loop():
+    selector = make_selector([make_meta(1)])
+    plans = selector.select({1: make_stats(1)})
+    assert 1 in plans
+
+
+def test_nest_conflict_prefers_better_benefit():
+    outer = make_meta(1)
+    inner = make_meta(2, parent_id=1, depth=2)
+    selector = make_selector([outer, inner])
+    stats = {
+        1: make_stats(1, threads=100, avg_cycles=2000.0),
+        2: make_stats(2, threads=2000, avg_cycles=90.0, entries=100),
+    }
+    plans = selector.select(stats)
+    assert len([p for p in plans.values()
+                if not p.multilevel_inner]) == 1
+    assert 1 in plans     # outer has more coverage at equal parallelism
+
+
+def test_serial_outer_lets_inner_win():
+    outer = make_meta(1)
+    inner = make_meta(2, parent_id=1, depth=2)
+    selector = make_selector([outer, inner])
+    stats = {
+        1: make_stats(1, threads=100, avg_cycles=2000.0,
+                      arc_threads=100, constraint=2100.0),
+        2: make_stats(2, threads=2000, avg_cycles=90.0, entries=100),
+    }
+    plans = selector.select(stats)
+    assert 2 in plans and 1 not in plans
+
+
+def test_dynamic_nesting_conflict():
+    a = make_meta(1)
+    b = make_meta(2)      # statically unrelated (different method)
+    selector = make_selector([a, b])
+    stats = {
+        1: make_stats(1, threads=200, avg_cycles=1000.0),
+        2: make_stats(2, threads=4000, avg_cycles=100.0, entries=200),
+    }
+    plans = selector.select(stats, dynamic_nesting={(1, 2)})
+    assert len(plans) == 1
+
+
+def test_non_candidate_never_selected():
+    selector = make_selector([make_meta(1, candidate=False)])
+    plans = selector.select({1: make_stats(1)})
+    assert plans == {}
+
+
+def test_sync_plan_for_frequent_short_arc():
+    meta = make_meta(1)
+    selector = make_selector([meta])
+    stats = make_stats(1, avg_cycles=300.0)
+    stats.arc_threads = 1900
+    stats.sum_critical_constraint = 1900 * 30.0
+    arc = stats.arc_for(("local", 1, 0), ("local", 1, 0))
+    arc.count = 1900
+    arc.sum_length = 1900 * 12.0
+    arc.sum_constraint = 1900 * 30.0
+    # Store lands mid-thread: deeper than the natural stagger
+    # ((300+5)/4 cycles) but well short of half the thread.
+    arc.sum_store_offset = 1900 * 110.0
+    arc.min_distance = 1
+    plans = selector.select({1: stats})
+    assert 1 in plans
+    assert plans[1].sync is not None
+    assert plans[1].sync.local_slot == (1, 0)
+
+
+def test_no_sync_for_rare_arc():
+    meta = make_meta(1)
+    selector = make_selector([meta])
+    stats = make_stats(1, avg_cycles=300.0)
+    stats.arc_threads = 100
+    stats.sum_critical_constraint = 100 * 30.0
+    arc = stats.arc_for(("x",), ("y",))
+    arc.count = 100
+    arc.sum_length = 100 * 12.0
+    plans = selector.select({1: stats})
+    assert 1 in plans and plans[1].sync is None
+
+
+def test_multilevel_inner_planned_for_rare_inner_loop():
+    outer = make_meta(1)
+    inner = make_meta(2, parent_id=1, depth=2)
+    selector = make_selector([outer, inner])
+    stats = {
+        1: make_stats(1, threads=2000, avg_cycles=300.0),
+        2: make_stats(2, threads=600, avg_cycles=150.0, entries=20),
+    }
+    plans = selector.select(stats)
+    assert 1 in plans
+    assert 2 in plans and plans[2].multilevel_inner
+    assert plans[2].multilevel_parent == 1
+
+
+def test_hoisting_for_frequently_entered_nested_loop():
+    outer = make_meta(1)
+    inner = make_meta(2, parent_id=1, depth=2)
+    selector = make_selector([outer, inner])
+    stats = {
+        1: make_stats(1, threads=50, avg_cycles=4000.0,
+                      arc_threads=50, constraint=4100.0),
+        2: make_stats(2, threads=2500, avg_cycles=100.0, entries=50),
+    }
+    plans = selector.select(stats)
+    assert 2 in plans
+    assert plans[2].hoist

@@ -1,0 +1,223 @@
+"""STL recompiler: descriptor structure and host rewrite."""
+
+from repro.hydra.config import HydraConfig
+from repro.hydra.machine import Machine
+from repro.jit.compiler import compile_annotated
+from repro.jit.ir import IROp
+from repro.jit.stl import StlOptions, recompile_with_stls
+from repro.minijava import compile_source
+from repro.tracer import Selector, TestProfiler
+
+from conftest import wrap_main
+
+
+def plan_and_recompile(src, options=None, config=None):
+    config = config or HydraConfig()
+    program = compile_source(src)
+    annotated = compile_annotated(program, config)
+    profiler = TestProfiler(config, annotated.loop_table)
+    Machine(annotated, config, profiler=profiler).run()
+    selector = Selector(config, annotated.loop_table)
+    plans = selector.select(profiler.stats, profiler.dynamic_nesting)
+    compiled = recompile_with_stls(program, config, plans,
+                                   options or StlOptions())
+    return plans, compiled
+
+
+SIMPLE = wrap_main("""
+    int[] a = new int[400];
+    int s = 0;
+    for (int i = 0; i < 400; i++) {
+        a[i] = i * 3;
+        s += a[i] & 7;
+    }
+    Sys.printInt(s);
+    return s;
+""")
+
+# A rarely-written, read+written carried local: stays general (no sync,
+# arcs too rare) and must be communicated through a stack slot.
+CARRIED = wrap_main("""
+    int[] a = new int[500];
+    int last = 1;
+    for (int i = 0; i < 500; i++) {
+        a[i] = (i * 97) %% 256;
+        if (a[i] > 250) { last = last * 2 + i; }
+    }
+    Sys.printInt(last);
+    return last;
+""".replace("%%", "%"))
+
+# A short, every-iteration carried dependency ahead of a longer body:
+# the selector inserts a thread synchronizing lock (paper Fig. 6).
+SYNCED = wrap_main("""
+    int seed = 3;
+    int acc = 0;
+    for (int i = 0; i < 600; i++) {
+        seed = (seed * 48271 + 11) & 0x7FFFFFFF;
+        int w = seed %% 64;
+        int v = (w * w + w) %% 101;
+        acc = (acc + v) & 0xFFFF;
+    }
+    Sys.printInt(acc);
+    Sys.printInt(seed);
+    return acc;
+""".replace("%%", "%"))
+
+
+def descriptor_of(compiled, method="Main.main"):
+    stls = compiled.methods[method].stls
+    assert stls
+    return next(iter(stls.values()))
+
+
+def test_host_contains_stl_run():
+    __, compiled = plan_and_recompile(SIMPLE)
+    ops = [i.op for i in compiled.methods["Main.main"].code]
+    assert IROp.STL_RUN in ops
+
+
+def test_descriptor_shape():
+    __, compiled = plan_and_recompile(SIMPLE)
+    desc = descriptor_of(compiled)
+    assert desc.thread_code
+    assert 0 < desc.warm_entry < len(desc.thread_code)
+    assert desc.fp_reg != desc.iter_reg
+    assert desc.num_exits >= 1
+    assert desc.frame_words >= 1
+
+
+def test_thread_code_ends_in_eoi_or_exit():
+    __, compiled = plan_and_recompile(SIMPLE)
+    desc = descriptor_of(compiled)
+    terminators = {i.op for i in desc.thread_code
+                   if i.op in (IROp.STL_EOI_END, IROp.STL_EXIT)}
+    assert IROp.STL_EOI_END in terminators
+    assert IROp.STL_EXIT in terminators
+
+
+def test_inductor_not_communicated():
+    __, compiled = plan_and_recompile(SIMPLE)
+    desc = descriptor_of(compiled)
+    # i is an inductor and s a reduction: no general slots expected.
+    assert not desc.general_slots
+    assert desc.reductions
+
+
+def test_inductor_cold_init_uses_iteration_register():
+    __, compiled = plan_and_recompile(SIMPLE)
+    desc = descriptor_of(compiled)
+    cold = desc.thread_code[:desc.warm_entry]
+    assert any(i.op == IROp.MUL and desc.iter_reg in (i.a, i.b)
+               for i in cold)
+
+
+def test_general_carried_local_gets_slot_and_def_site_store():
+    __, compiled = plan_and_recompile(CARRIED)
+    desc = descriptor_of(compiled)
+    assert desc.general_slots
+    slot_offsets = set(desc.general_slots.values())
+    stores = [i for i in desc.thread_code
+              if i.op == IROp.SW and i.b == desc.fp_reg
+              and i.imm in slot_offsets]
+    assert stores, "no def-site store of the carried local"
+    warm_loads = [i for i in desc.thread_code[desc.warm_entry:]
+                  if i.op == IROp.LW and i.a == desc.fp_reg
+                  and i.imm in slot_offsets]
+    assert warm_loads, "carried local never reloaded at warm entry"
+
+
+def test_init_and_exit_values_cover_carried_state():
+    __, compiled = plan_and_recompile(CARRIED)
+    desc = descriptor_of(compiled)
+    init_offsets = {off for off, __ in desc.init_values}
+    assert set(desc.general_slots.values()) <= init_offsets
+    # 'last' is printed after the loop: restored into the master.
+    assert desc.exit_values
+
+
+def test_disabling_inductors_makes_them_general():
+    __, with_opt = plan_and_recompile(SIMPLE)
+    __, without = plan_and_recompile(
+        SIMPLE, options=StlOptions(noncomm_inductors=False))
+    assert len(descriptor_of(without).general_slots) > \
+        len(descriptor_of(with_opt).general_slots)
+
+
+def test_disabling_reductions_makes_them_general():
+    __, without = plan_and_recompile(
+        SIMPLE, options=StlOptions(reductions=False))
+    desc = descriptor_of(without)
+    assert not desc.reductions
+    assert desc.general_slots
+
+
+def test_invariant_regalloc_off_moves_loads_to_warm():
+    src = wrap_main("""
+        int[] a = new int[300];
+        int bias = 17;
+        int s = 0;
+        for (int i = 0; i < 300; i++) { s += a[i] + bias; }
+        Sys.printInt(s);
+        return s;
+    """)
+    __, with_opt = plan_and_recompile(src)
+    __, without = plan_and_recompile(
+        src, options=StlOptions(invariant_regalloc=False))
+    desc_on = descriptor_of(with_opt)
+    desc_off = descriptor_of(without)
+    cold_loads_on = sum(1 for i in desc_on.thread_code[:desc_on.warm_entry]
+                        if i.op == IROp.LW)
+    cold_loads_off = sum(1 for i in desc_off.thread_code[:desc_off.warm_entry]
+                         if i.op == IROp.LW)
+    assert cold_loads_on > cold_loads_off
+
+
+def test_sync_lock_emits_waitlock_and_signal():
+    plans, compiled = plan_and_recompile(SYNCED)
+    assert any(p.sync is not None for p in plans.values())
+    desc = descriptor_of(compiled)
+    ops = [i.op for i in desc.thread_code]
+    assert IROp.WAITLOCK in ops
+    assert IROp.SIGNAL in ops
+    assert desc.sync_lock_off is not None
+
+
+def test_resetable_emits_force_reset():
+    src = wrap_main("""
+        int pos = 0;
+        int acc = 0;
+        for (int i = 0; i < 900; i++) {
+            acc = (acc + pos) & 0xFFFF;
+            pos = pos + 11;
+            if (pos > 850) { pos = i % 13; }
+        }
+        Sys.printInt(acc);
+        Sys.printInt(pos);
+        return acc;
+    """)
+    __, compiled = plan_and_recompile(src)
+    desc = descriptor_of(compiled)
+    assert desc.resetables
+    assert any(i.op == IROp.FORCE_RESET for i in desc.thread_code)
+
+
+def test_exit_dispatch_covers_all_exits():
+    src = wrap_main("""
+        int[] a = new int[600];
+        for (int i = 0; i < 600; i++) { a[i] = (i * 29) % 512; }
+        int found = -1;
+        for (int i = 0; i < 600; i++) {
+            if (a[i] == 400) { found = i; break; }
+        }
+        Sys.printInt(found);
+        return found;
+    """)
+    __, compiled = plan_and_recompile(src)
+    descs = [d for method in compiled.methods.values()
+             for d in method.stls.values()]
+    search = [d for d in descs if d.num_exits >= 2]
+    assert search, "break loop should have two exits"
+    exits = {i.aux for d in search for i in d.thread_code
+             if i.op == IROp.STL_EXIT}
+    assert exits == set(range(search[0].num_exits))

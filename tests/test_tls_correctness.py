@@ -1,0 +1,239 @@
+"""Differential correctness: the full pipeline's speculative run must
+preserve sequential semantics (the central TLS guarantee, paper §2)."""
+
+import pytest
+
+from repro.bytecode import run_program
+from repro.core.pipeline import Jrpm
+from repro.jit.stl import StlOptions
+from repro.minijava import compile_source
+
+from conftest import wrap_main
+
+CASES = {
+    "independent-fill": wrap_main("""
+        int[] a = new int[600];
+        for (int i = 0; i < 600; i++) { a[i] = (i * 17 + 3) % 101; }
+        int s = 0;
+        for (int i = 0; i < 600; i++) { s += a[i]; }
+        Sys.printInt(s);
+        return s;
+    """),
+    "serial-recurrence": wrap_main("""
+        int[] b = new int[400];
+        b[0] = 1;
+        for (int i = 1; i < 400; i++) { b[i] = b[i-1] * 3 + 1; }
+        Sys.printInt(b[399]);
+        return 0;
+    """),
+    "conditional-carried": wrap_main("""
+        int last = -1;
+        int[] a = new int[500];
+        for (int i = 0; i < 500; i++) {
+            a[i] = (i * 97) % 256;
+            if (a[i] > 250) { last = i; }
+        }
+        Sys.printInt(last);
+        return last;
+    """),
+    "lcg-sync": wrap_main("""
+        int seed = 7;
+        int hits = 0;
+        for (int i = 0; i < 600; i++) {
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+            int x = seed % 100;
+            int y = (x * x + i) % 97;
+            if (y < 50) { hits++; }
+        }
+        Sys.printInt(hits);
+        Sys.printInt(seed);
+        return hits;
+    """),
+    "early-return": """
+class Main {
+    static int find(int[] a, int key) {
+        for (int i = 0; i < a.length; i++) {
+            if (a[i] == key) { return i; }
+        }
+        return -1;
+    }
+    static int main() {
+        int[] a = new int[800];
+        for (int i = 0; i < 800; i++) { a[i] = (i * 31) % 1024; }
+        Sys.printInt(find(a, a[700]));
+        Sys.printInt(find(a, -5));
+        return 0;
+    }
+}
+""",
+    "break-multi-exit": wrap_main("""
+        int[] a = new int[900];
+        for (int i = 0; i < 900; i++) { a[i] = (i * 37) % 2048; }
+        int found = -1;
+        for (int i = 0; i < 900; i++) {
+            if (a[i] == 1850) { found = i; break; }
+        }
+        Sys.printInt(found);
+        return found;
+    """),
+    "methods-in-loop": """
+class Main {
+    static int f(int x) { return (x * x + 7) % 991; }
+    static int g(int x) { return x < 100 ? f(x) : f(x % 100); }
+    static int main() {
+        int t = 0;
+        for (int i = 0; i < 400; i++) { t += g(i); }
+        Sys.printInt(t);
+        return t;
+    }
+}
+""",
+    "alloc-in-loop": """
+class Pair { int a; int b; Pair(int x, int y) { a = x; b = y; } }
+class Main {
+    static int main() {
+        int s = 0;
+        for (int i = 0; i < 300; i++) {
+            Pair p = new Pair(i, i * 2);
+            s += p.a + p.b;
+        }
+        Sys.printInt(s);
+        return s;
+    }
+}
+""",
+    "resetable-position": wrap_main("""
+        int[] data = new int[2000];
+        int pos = 0;
+        int acc = 0;
+        for (int i = 0; i < 1500; i++) {
+            data[pos] = data[pos] + i;
+            acc = (acc + data[pos]) & 0xFFFFF;
+            pos = pos + 41;
+            if (pos >= 2000) { pos = (i * 3) % 29; }
+        }
+        Sys.printInt(acc);
+        Sys.printInt(pos);
+        return acc;
+    """),
+    "float-reductions": wrap_main("""
+        float[] x = new float[500];
+        for (int i = 0; i < 500; i++) { x[i] = (float)(i % 17) * 0.25; }
+        float total = 0.0;
+        float biggest = -1.0;
+        for (int i = 0; i < 500; i++) {
+            total = total + x[i] * x[i];
+            biggest = Math.fmax(biggest, x[i]);
+        }
+        Sys.printFloat(total);
+        Sys.printFloat(biggest);
+        return (int) total;
+    """),
+    "nested-selected": wrap_main("""
+        int n = 24;
+        int[][] m = new int[n][n];
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) { m[i][j] = (i * 31 + j * 7) % 64; }
+        }
+        int t = 0;
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) { t += m[i][j] * m[j][i]; }
+        }
+        Sys.printInt(t);
+        return t;
+    """),
+    "static-state": """
+class Global {
+    static int counter;
+    static int limit;
+}
+class Main {
+    static int main() {
+        Global.limit = 350;
+        int[] a = new int[350];
+        for (int i = 0; i < Global.limit; i++) {
+            a[i] = i * 3;
+        }
+        int s = 0;
+        for (int i = 0; i < Global.limit; i++) { s += a[i] & 7; }
+        Global.counter = s;
+        Sys.printInt(Global.counter);
+        return s;
+    }
+}
+""",
+}
+
+
+def run_case(src, **jrpm_kwargs):
+    program = compile_source(src)
+    oracle = run_program(program)
+    report = Jrpm(**jrpm_kwargs).run(program)
+    assert report.sequential.output == oracle.output, "sequential diverged"
+    assert report.outputs_match(), (
+        "TLS diverged: %r vs %r" % (report.tls.output,
+                                    report.sequential.output))
+    return report
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_tls_preserves_semantics(name):
+    run_case(CASES[name])
+
+
+@pytest.mark.parametrize("name", ["independent-fill", "lcg-sync",
+                                  "resetable-position", "nested-selected"])
+def test_tls_correct_with_all_optimizations_off(name):
+    options = StlOptions(invariant_regalloc=False, noncomm_inductors=False,
+                         resetable_inductors=False, sync_locks=False,
+                         reductions=False, multilevel=False, hoisting=False)
+    run_case(CASES[name], stl_options=options)
+
+
+@pytest.mark.parametrize("flag", ["invariant_regalloc", "noncomm_inductors",
+                                  "resetable_inductors", "sync_locks",
+                                  "reductions", "multilevel", "hoisting"])
+def test_tls_correct_with_single_optimization_off(flag):
+    options = StlOptions(**{flag: False})
+    run_case(CASES["resetable-position"], stl_options=options)
+    run_case(CASES["lcg-sync"], stl_options=options)
+
+
+def test_parallel_loop_actually_speeds_up():
+    report = run_case(CASES["independent-fill"])
+    assert report.tls_speedup > 2.0
+
+
+def test_serial_loop_not_selected():
+    program = compile_source(CASES["serial-recurrence"])
+    report = Jrpm().run(program)
+    assert not report.plans or report.tls_speedup > 0.8
+
+
+def test_shared_allocator_still_correct():
+    from repro.core.pipeline import VmOptions
+    run_case(CASES["alloc-in-loop"],
+             vm_options=VmOptions(parallel_allocator=False))
+
+
+def test_serializing_locks_still_correct():
+    from repro.core.pipeline import VmOptions
+    src = """
+class Log {
+    int entries;
+    synchronized void add(int x) { entries += x & 3; }
+}
+class Main {
+    static int main() {
+        Log log = new Log();
+        int[] a = new int[400];
+        for (int i = 0; i < 400; i++) {
+            a[i] = i * 5;
+            log.add(i);
+        }
+        Sys.printInt(log.entries);
+        return log.entries;
+    }
+}
+"""
+    run_case(src, vm_options=VmOptions(speculation_aware_locks=False))

@@ -1,0 +1,194 @@
+"""TEST profiler: dependency arcs, buffer accounting, bank management."""
+
+import pytest
+
+from repro.hydra.config import HydraConfig
+from repro.hydra.machine import Machine
+from repro.jit.compiler import compile_annotated
+from repro.minijava import compile_source
+from repro.tracer import Selector, TestProfiler
+
+from conftest import wrap_main
+
+
+def profile(src, config=None):
+    config = config or HydraConfig()
+    program = compile_source(src)
+    compiled = compile_annotated(program, config)
+    profiler = TestProfiler(config, compiled.loop_table)
+    machine = Machine(compiled, config, profiler=profiler)
+    result = machine.run()
+    return profiler, compiled, result
+
+
+def single_stats(profiler):
+    assert len(profiler.stats) >= 1
+    return profiler.stats[min(profiler.stats)]
+
+
+def test_thread_count_matches_iterations():
+    profiler, __, __r = profile(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 50; i++) { s += i; }
+        return s;
+    """))
+    stats = single_stats(profiler)
+    # 50 body iterations + the final exit evaluation
+    assert 50 <= stats.threads <= 51
+    assert stats.entries == 1
+
+
+def test_independent_loop_has_no_arcs():
+    profiler, __, __r = profile(wrap_main("""
+        int[] a = new int[100];
+        for (int i = 0; i < 100; i++) { a[i] = i * 2; }
+        return a[99];
+    """))
+    stats = max(profiler.stats.values(), key=lambda s: s.threads)
+    assert stats.arc_frequency == 0.0
+
+
+def test_serial_heap_chain_has_arcs_every_iteration():
+    profiler, __, __r = profile(wrap_main("""
+        int[] a = new int[100];
+        a[0] = 1;
+        for (int i = 1; i < 100; i++) { a[i] = a[i-1] + 3; }
+        return a[99];
+    """))
+    stats = max(profiler.stats.values(), key=lambda s: s.threads)
+    assert stats.arc_frequency > 0.9
+    assert stats.avg_critical_constraint > 0
+
+
+def test_carried_local_detected_via_lwl_swl():
+    profiler, __, __r = profile(wrap_main("""
+        int x = 1;
+        int t = 0;
+        for (int i = 0; i < 80; i++) {
+            x = (x * 5 + 1) % 1000;
+            t += x;
+        }
+        return t;
+    """))
+    stats = max(profiler.stats.values(), key=lambda s: s.threads)
+    assert stats.arc_frequency > 0.9
+    dominant = stats.dominant_arc()
+    assert dominant is not None
+    (store_site, load_site), arc = dominant
+    assert load_site[0] == "local"
+
+
+def test_buffer_usage_counted_in_lines():
+    profiler, __, __r = profile(wrap_main("""
+        int[] a = new int[800];
+        int s = 0;
+        for (int i = 0; i < 10; i++) {
+            // each iteration reads 80 ints = 10 cache lines
+            for (int j = 0; j < 80; j++) { s += a[i * 80 + j]; }
+        }
+        return s;
+    """))
+    outer = min(profiler.stats.values(), key=lambda s: s.threads)
+    assert outer.avg_load_lines >= 9
+
+
+def test_overflow_detected_with_tiny_buffers():
+    config = HydraConfig(load_buffer_lines=4, store_buffer_lines=2)
+    profiler, __, __r = profile(wrap_main("""
+        int[] a = new int[400];
+        int s = 0;
+        for (int i = 0; i < 8; i++) {
+            for (int j = 0; j < 50; j++) { a[i * 50 + j] = j; }
+        }
+        return s;
+    """), config=config)
+    outer = min(profiler.stats, key=lambda lid: profiler.stats[lid].threads)
+    assert profiler.stats[outer].overflow_frequency > 0.5
+
+
+def test_nested_loops_profiled_simultaneously():
+    profiler, __, __r = profile(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 6; i++) {
+            for (int j = 0; j < 9; j++) { s += i ^ j; }
+        }
+        return s;
+    """))
+    assert len(profiler.stats) == 2
+    threads = sorted(stats.threads for stats in profiler.stats.values())
+    assert threads[0] in (6, 7)           # outer
+    assert threads[1] >= 54               # inner across entries
+
+
+def test_dynamic_nesting_recorded_across_calls():
+    profiler, __, __r = profile("""
+class Main {
+    static int inner(int n) {
+        int s = 0;
+        for (int j = 0; j < n; j++) { s += j; }
+        return s;
+    }
+    static int main() {
+        int t = 0;
+        for (int i = 0; i < 5; i++) { t += inner(6); }
+        return t;
+    }
+}
+""")
+    assert profiler.dynamic_nesting
+    assert profiler.max_dynamic_depth == 2
+
+
+def test_bank_limit_leaves_deep_loops_unprofiled():
+    config = HydraConfig(comparator_banks=1)
+    profiler, __, __r = profile(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 4; i++) {
+            for (int j = 0; j < 4; j++) { s += i * j; }
+        }
+        return s;
+    """), config=config)
+    assert profiler.missed_allocations > 0
+    # the inner loop got no bank while the outer held the only one
+    unprofiled = [s for s in profiler.stats.values()
+                  if s.unprofiled_entries > 0]
+    assert unprofiled
+
+
+def test_bank_stealing_on_consistent_overflow():
+    config = HydraConfig(comparator_banks=1, load_buffer_lines=2,
+                         store_buffer_lines=1)
+    profiler, __, __r = profile(wrap_main("""
+        int[] a = new int[4000];
+        int s = 0;
+        for (int i = 0; i < 10; i++) {
+            for (int j = 0; j < 100; j++) {
+                a[i * 100 + j] = i + j;
+            }
+            s += a[i];
+        }
+        return s;
+    """), config=config)
+    assert profiler.bank_steals > 0
+
+
+def test_iterations_per_entry():
+    profiler, __, __r = profile(wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 5; i++) {
+            for (int j = 0; j < 7; j++) { s++; }
+        }
+        return s;
+    """))
+    inner = max(profiler.stats.values(), key=lambda s: s.threads)
+    assert 7.0 <= inner.iterations_per_entry <= 8.5
+
+
+def test_profiler_events_counted():
+    profiler, __, __r = profile(wrap_main("""
+        int[] a = new int[16];
+        for (int i = 0; i < 10; i++) { a[i] = i; }
+        return a[3];
+    """))
+    # sloop + 10 EOIs + eloop + at least one memory event per iteration
+    assert profiler.events > 20

@@ -1,0 +1,142 @@
+"""VM services: allocator free lists, parallel allocation, locks."""
+
+from repro.core.pipeline import Jrpm, VmOptions
+from repro.hydra.config import HydraConfig
+from repro.hydra.machine import Machine
+from repro.jit.compiler import compile_program
+from repro.minijava import compile_source
+
+from conftest import wrap_main
+
+ALLOC_HEAVY = """
+class Node { int v; Node(int x) { v = x; } }
+class Main {
+    static int main() {
+        int s = 0;
+        for (int i = 0; i < 500; i++) {
+            Node n = new Node(i * 3);
+            s += n.v & 7;
+        }
+        Sys.printInt(s);
+        return s;
+    }
+}
+"""
+
+LOCK_HEAVY = """
+class Meter {
+    int total;
+    synchronized void tick(int x) { total += x; }
+}
+class Main {
+    static int main() {
+        Meter m = new Meter();
+        int[] a = new int[400];
+        for (int i = 0; i < 400; i++) {
+            a[i] = (i * 13) % 64;
+            m.tick(1);
+        }
+        int s = m.total;
+        for (int i = 0; i < 400; i++) { s += a[i]; }
+        Sys.printInt(s);
+        return s;
+    }
+}
+"""
+
+
+def test_allocator_reuses_freed_blocks():
+    config = HydraConfig(gc_threshold_bytes=4 * 1024)
+    compiled = compile_program(compile_source(ALLOC_HEAVY), config)
+    machine = Machine(compiled, config)
+    result = machine.run()
+    assert result.guest_exception is None
+    assert machine.gc.collections >= 1
+    # With recycling, the bump pointer should stay well below
+    # 500 * blocksize of fresh allocations.
+    from repro.vm.heap import Allocator
+    bump = machine.memory.load(Allocator.SHARED_BUMP)
+    from repro.hydra.config import HEAP_BASE
+    assert bump - HEAP_BASE < 500 * 16
+
+
+def test_parallel_allocator_beats_shared_under_speculation():
+    shared = Jrpm(vm_options=VmOptions(parallel_allocator=False)).run(
+        compile_source(ALLOC_HEAVY))
+    private = Jrpm(vm_options=VmOptions(parallel_allocator=True)).run(
+        compile_source(ALLOC_HEAVY))
+    assert shared.outputs_match() and private.outputs_match()
+    if private.plans:
+        # Paper §5.2: the shared free list serializes the STL (either
+        # via violations or via a synchronizing lock TEST inserts on
+        # the allocator dependency).
+        assert private.tls.cycles < shared.tls.cycles
+
+
+def test_speculation_aware_locks_beat_serializing_locks():
+    aware = Jrpm(vm_options=VmOptions(speculation_aware_locks=True)).run(
+        compile_source(LOCK_HEAVY))
+    naive = Jrpm(vm_options=VmOptions(speculation_aware_locks=False)).run(
+        compile_source(LOCK_HEAVY))
+    assert aware.outputs_match() and naive.outputs_match()
+    if aware.plans:
+        assert aware.tls.cycles <= naive.tls.cycles
+
+
+def test_reentrant_lock_does_not_deadlock():
+    src = """
+class R {
+    int depth;
+    synchronized int enter(int n) {
+        if (n == 0) { return depth; }
+        depth++;
+        return enter(n - 1);
+    }
+}
+class Main {
+    static int main() {
+        R r = new R();
+        return r.enter(5);
+    }
+}
+"""
+    result = Machine(compile_program(compile_source(src), HydraConfig()),
+                     HydraConfig()).run()
+    assert result.return_value == 5
+
+
+def test_static_synchronized_method():
+    src = """
+class S {
+    static int count;
+    static synchronized void bump() { count++; }
+}
+class Main {
+    static int main() {
+        for (int i = 0; i < 10; i++) { S.bump(); }
+        return S.count;
+    }
+}
+"""
+    config = HydraConfig()
+    result = Machine(compile_program(compile_source(src), config),
+                     config).run()
+    assert result.return_value == 10
+
+
+def test_lock_statistics_recorded():
+    config = HydraConfig()
+    machine = Machine(compile_program(compile_source(LOCK_HEAVY), config),
+                      config)
+    machine.run()
+    assert machine.locks.acquisitions >= 400
+
+
+def test_negative_array_size_raises_guest_exception():
+    result = Machine(
+        compile_program(compile_source(wrap_main(
+            "int n = -3; int[] a = new int[n]; return a.length;")),
+            HydraConfig()),
+        HydraConfig()).run()
+    assert result.guest_exception is not None
+    assert "NegativeArraySize" in result.guest_exception.kind

@@ -1,0 +1,98 @@
+"""The 26-benchmark suite: registry integrity and program correctness.
+
+Full-pipeline runs of every workload live in the benchmark harness; the
+tests here check the registry's shape and that every program (at the
+small size) compiles, verifies, and runs on both the interpreter and
+the machine with identical results.
+"""
+
+import pytest
+
+from repro.bytecode import run_program, verify_program
+from repro.minijava import compile_source
+from repro.workloads import (CATEGORY_SPEEDUP_BANDS, FLOATING, INTEGER,
+                             MULTIMEDIA, all_workloads, by_category, lookup,
+                             names)
+
+from conftest import machine_run
+
+
+def test_registry_has_26_workloads():
+    assert len(all_workloads()) == 26
+
+
+def test_category_counts_match_table3():
+    assert len(by_category(INTEGER)) == 14
+    assert len(by_category(FLOATING)) == 7
+    assert len(by_category(MULTIMEDIA)) == 5
+
+
+def test_all_table3_names_present():
+    expected = {
+        "Assignment", "BitOps", "compress", "db", "deltaBlue",
+        "EmFloatPnt", "Huffman", "IDEA", "jess", "jLex", "MipsSimulator",
+        "monteCarlo", "NumHeapSort", "raytrace",
+        "euler", "fft", "FourierTest", "LuFactor", "moldyn", "NeuralNet",
+        "shallow",
+        "decJpeg", "encJpeg", "h263dec", "mpegVideo", "mp3",
+    }
+    assert set(names()) == expected
+
+
+def test_manual_variants_match_table4():
+    expected_manual = {"NumHeapSort", "Huffman", "MipsSimulator", "db",
+                       "compress", "monteCarlo"}
+    actual = {w.name for w in all_workloads() if w.has_manual_variant}
+    assert actual == expected_manual
+
+
+def test_manual_notes_have_required_fields():
+    for workload in all_workloads():
+        if workload.has_manual_variant:
+            notes = workload.manual_notes
+            assert notes["difficulty"] in ("Low", "Med", "High")
+            assert isinstance(notes["lines"], int)
+            assert notes["operation"]
+
+
+def test_speedup_bands_cover_categories():
+    for category in (INTEGER, FLOATING, MULTIMEDIA):
+        low, high = CATEGORY_SPEEDUP_BANDS[category]
+        assert 1.0 < low < high <= 4.0
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(KeyError):
+        lookup("not-a-benchmark")
+
+
+def test_sizes_produce_growing_programs():
+    workload = lookup("IDEA")
+    small = run_program(compile_source(workload.source("small")))
+    large = run_program(compile_source(workload.source("large")))
+    assert large.instructions > small.instructions * 1.5
+
+
+@pytest.mark.parametrize("name", names())
+def test_workload_compiles_and_verifies(name):
+    program = compile_source(lookup(name).source("small"))
+    verify_program(program)
+
+
+@pytest.mark.parametrize("name", names())
+def test_workload_machine_matches_interpreter(name):
+    src = lookup(name).source("small")
+    expected = run_program(compile_source(src))
+    actual = machine_run(src)
+    assert actual.guest_exception is None
+    assert actual.output == expected.output
+
+
+@pytest.mark.parametrize("name", sorted(
+    w.name for w in all_workloads() if w.has_manual_variant))
+def test_manual_variant_runs(name):
+    src = lookup(name).manual_source("small")
+    result = run_program(compile_source(src))
+    assert result.output
+    actual = machine_run(src)
+    assert actual.output == result.output

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fast-tier smoke check for the Jrpm reproduction.
+#
+# 1. runs three representative workloads (one per paper category)
+#    through the parallel suite runner — cold cache, 4 workers;
+# 2. re-runs the same suite warm to prove the persistent report cache
+#    serves it near-instantly (expect a 100% hit rate in the metrics
+#    summary printed on stderr);
+# 3. runs the fast test tier (everything not marked `slow`).
+#
+# Usage: scripts/smoke.sh [extra pytest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# one integer, one floating-point, one multimedia workload
+WORKLOADS="BitOps,euler,decJpeg"
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+
+echo "== smoke: cold cache, --jobs 4 =="
+time python -m repro suite --size small --only "$WORKLOADS" \
+    --jobs 4 --cache-dir "$CACHE_DIR"
+
+echo
+echo "== smoke: warm cache =="
+time python -m repro suite --size small --only "$WORKLOADS" \
+    --jobs 4 --cache-dir "$CACHE_DIR"
+
+echo
+echo "== smoke: fast test tier (pytest -m 'not slow') =="
+python -m pytest -q -m "not slow" "$@"

@@ -4,12 +4,15 @@ Commands:
 
 * ``run FILE [--verbose]``      — run the full pipeline on a MiniJava file
 * ``bench NAME [--size S]``     — run one of the 26 paper benchmarks
-* ``suite [--size S]``          — run the whole suite, print the summary
+* ``suite [--size S] [--jobs N]`` — run the whole suite in parallel,
+  memoized in the report cache, and print the summary
 * ``list``                      — list the available benchmarks
 * ``profile FILE``              — show only the TEST profile + verdicts
 """
 
 import argparse
+import json
+import os
 import sys
 
 from .core.pipeline import Jrpm
@@ -44,11 +47,14 @@ def cmd_run(args):
 def cmd_bench(args):
     from .workloads import lookup
     workload = lookup(args.name)
-    source = (workload.manual_source(args.size) if args.manual
-              else workload.source(args.size))
-    if source is None:
-        print("%s has no manual variant" % workload.name, file=sys.stderr)
-        return 2
+    if args.manual:
+        source = workload.manual_source(args.size)
+        if source is None:
+            print("%s has no manual variant" % workload.name,
+                  file=sys.stderr)
+            return 2
+    else:
+        source = workload.source(args.size)
     report = Jrpm(config=_config_from(args)).run(
         compile_source(source), name=workload.name)
     print(format_report(report, verbose=args.verbose))
@@ -56,14 +62,59 @@ def cmd_bench(args):
 
 
 def cmd_suite(args):
-    from .workloads import all_workloads
-    reports = {}
-    for workload in all_workloads():
-        print("running %s..." % workload.name, file=sys.stderr)
-        reports[workload.name] = Jrpm(config=_config_from(args)).run(
-            compile_source(workload.source(args.size)), name=workload.name)
-    print(format_suite_summary(reports))
+    from .runner import SuiteRunError, SuiteRunner
+    runner = SuiteRunner(jobs=args.jobs, cache_dir=args.cache_dir,
+                         use_cache=not args.no_cache)
+    workloads = None
+    if args.only:
+        workloads = [name.strip() for name in args.only.split(",")
+                     if name.strip()]
+    try:
+        reports = runner.run_suite(
+            size=args.size, config=_config_from(args),
+            workloads=workloads,
+            progress=lambda message: print(message, file=sys.stderr))
+    except SuiteRunError as error:
+        print(error, file=sys.stderr)
+        print(runner.metrics.summary(), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(_suite_json(reports, runner.metrics), indent=2,
+                         sort_keys=True))
+    else:
+        print(format_suite_summary(reports))
+    # metrics go to stderr so stdout stays byte-comparable across --jobs
+    print(runner.metrics.summary(), file=sys.stderr)
+    if runner.cache.root:
+        runner.metrics.write_jsonl(
+            os.path.join(runner.cache.root, "metrics.jsonl"))
     return 0
+
+
+def _suite_json(reports, metrics):
+    return {
+        "workloads": {
+            name: {
+                "sequential_cycles": report.sequential.cycles,
+                "tls_cycles": report.tls.cycles,
+                "tls_speedup": report.tls_speedup,
+                "predicted_speedup": report.predicted_speedup,
+                "total_speedup": report.total_speedup,
+                "profiling_slowdown": report.profiling_slowdown,
+                "selected_stls": len(report.plans),
+                "outputs_match": report.outputs_match(),
+            }
+            for name, report in reports.items()},
+        "metrics": {
+            "runs": len(metrics.records),
+            "cache_hits": metrics.hits,
+            "cache_misses": metrics.misses,
+            "cache_hit_rate": metrics.hit_rate,
+            "wall_time": metrics.wall_time,
+            "jobs": metrics.jobs,
+            "records": [record.to_dict() for record in metrics.records],
+        },
+    }
 
 
 def cmd_list(args):
@@ -76,24 +127,20 @@ def cmd_list(args):
 
 
 def cmd_profile(args):
-    from .hydra.machine import Machine
-    from .jit.compiler import compile_annotated
-    from .tracer import Selector, TestProfiler
+    """TEST profile via the staged pipeline API (steps 1-3 only)."""
     with open(args.file) as fh:
         source = fh.read()
-    config = _config_from(args)
-    program = compile_source(source)
-    annotated = compile_annotated(program, config)
-    profiler = TestProfiler(config, annotated.loop_table)
-    Machine(annotated, config, profiler=profiler).run()
-    selector = Selector(config, annotated.loop_table)
-    plans = selector.select(profiler.stats, profiler.dynamic_nesting)
+    jrpm = Jrpm(config=_config_from(args))
+    profile = jrpm.profile(compile_source(source))
+    selector = jrpm.make_selector(profile.loop_table)
+    plans = selector.select(profile.stats,
+                            profile.profiler.dynamic_nesting)
     print("%-5s %-6s %8s %9s %8s %8s  %s"
           % ("loop", "line", "threads", "avg cyc", "arcfreq", "pred",
              "verdict"))
-    for loop_id in sorted(profiler.stats):
-        stats = profiler.stats[loop_id]
-        meta = annotated.loop_table[loop_id]
+    for loop_id in sorted(profile.stats):
+        stats = profile.stats[loop_id]
+        meta = profile.loop_table[loop_id]
         prediction = selector.predict(stats)
         if loop_id in plans:
             verdict = "SELECTED"
@@ -135,6 +182,19 @@ def main(argv=None):
                                            "suite")
     p_suite.add_argument("--size", default="small",
                          choices=["small", "default", "large"])
+    p_suite.add_argument("--jobs", "-j", type=int, default=1,
+                         help="worker processes for cache misses "
+                              "(default 1: in-process)")
+    p_suite.add_argument("--cache-dir", default=None,
+                         help="report cache directory (default "
+                              "benchmarks/.cache)")
+    p_suite.add_argument("--no-cache", action="store_true",
+                         help="ignore and do not update the report cache")
+    p_suite.add_argument("--json", action="store_true",
+                         help="emit machine-readable results + metrics "
+                              "on stdout")
+    p_suite.add_argument("--only", default=None, metavar="NAMES",
+                         help="comma-separated workload subset")
     _add_hw_flags(p_suite)
     p_suite.set_defaults(fn=cmd_suite)
 

@@ -32,6 +32,14 @@ class VmOptions:
     parallel_allocator: bool = True       # §5.2 private free lists
     speculation_aware_locks: bool = True  # §5.3 non-serializing locks
 
+    def to_dict(self):
+        return {"parallel_allocator": self.parallel_allocator,
+                "speculation_aware_locks": self.speculation_aware_locks}
+
+    @staticmethod
+    def from_dict(data):
+        return VmOptions(**data)
+
 
 @dataclass
 class RunMeasurement:
@@ -53,6 +61,29 @@ class RunMeasurement:
             output=result.output,
             return_value=result.return_value,
             guest_exception=result.guest_exception,
+        )
+
+    def to_dict(self):
+        """JSON-safe dict (guest exceptions are stored by repr)."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "gc_cycles": self.gc_cycles,
+            "output": list(self.output),
+            "return_value": self.return_value,
+            "guest_exception": (None if self.guest_exception is None
+                                else repr(self.guest_exception)),
+        }
+
+    @staticmethod
+    def from_dict(data):
+        return RunMeasurement(
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            gc_cycles=data["gc_cycles"],
+            output=list(data["output"]),
+            return_value=data["return_value"],
+            guest_exception=data["guest_exception"],
         )
 
 
@@ -206,71 +237,252 @@ class JrpmReport:
                 return False
         return True
 
+    # -- serialization -------------------------------------------------------
+    #: bumped whenever the report dict layout changes (cache versioning)
+    SCHEMA_VERSION = 1
+
+    def to_dict(self):
+        """Lossless JSON-safe dict of every measurement in the report.
+
+        The only attribute not serialized is :attr:`profiler` — the live
+        :class:`TestProfiler` with its comparator-bank hardware state —
+        whose measured results are already captured in ``loop_stats`` /
+        ``dynamic_nesting`` / ``max_dynamic_depth``.  Round-trips are
+        exact: ``report.to_dict() ==
+        JrpmReport.from_dict(report.to_dict()).to_dict()``.
+        """
+        from ..serialize import set_to_pairs
+        return {
+            "schema": self.SCHEMA_VERSION,
+            "name": self.name,
+            "config": self.config.to_dict() if self.config else None,
+            "sequential": (self.sequential.to_dict()
+                           if self.sequential else None),
+            "profiling": (self.profiling.to_dict()
+                          if self.profiling else None),
+            "tls": self.tls.to_dict() if self.tls else None,
+            "tls_is_sequential": self.tls is self.sequential,
+            "loop_table": {str(loop_id): meta.to_dict()
+                           for loop_id, meta in self.loop_table.items()},
+            "loop_stats": {str(loop_id): stats.to_dict()
+                           for loop_id, stats in self.loop_stats.items()},
+            "plans": {str(loop_id): plan.to_dict()
+                      for loop_id, plan in self.plans.items()},
+            "predicted_tls_cycles": self.predicted_tls_cycles,
+            "annotations": self.annotations,
+            "compile_cycles": self.compile_cycles,
+            "recompile_cycles": self.recompile_cycles,
+            "breakdown": self.breakdown.to_dict() if self.breakdown
+                         else None,
+            "stl_run_stats": {str(loop_id): stats.to_dict()
+                              for loop_id, stats
+                              in self.stl_run_stats.items()},
+            "dynamic_nesting": set_to_pairs(self.dynamic_nesting),
+            "max_dynamic_depth": self.max_dynamic_depth,
+        }
+
+    @staticmethod
+    def from_dict(data):
+        """Rebuild a report from :meth:`to_dict` output (or its JSON)."""
+        from ..hydra.config import HydraConfig
+        from ..jit.annotate import LoopMeta
+        from ..serialize import pairs_to_set
+        from ..tls.stats import StlRunStats, TlsStateBreakdown
+        from ..tracer.selector import StlPlan
+        from ..tracer.stats import LoopStats
+        report = JrpmReport(data["name"])
+        if data["config"] is not None:
+            report.config = HydraConfig.from_dict(data["config"])
+        if data["sequential"] is not None:
+            report.sequential = RunMeasurement.from_dict(data["sequential"])
+        if data["profiling"] is not None:
+            report.profiling = RunMeasurement.from_dict(data["profiling"])
+        if data.get("tls_is_sequential"):
+            report.tls = report.sequential
+        elif data["tls"] is not None:
+            report.tls = RunMeasurement.from_dict(data["tls"])
+        report.loop_table = {int(k): LoopMeta.from_dict(v)
+                             for k, v in data["loop_table"].items()}
+        report.loop_stats = {int(k): LoopStats.from_dict(v)
+                             for k, v in data["loop_stats"].items()}
+        report.plans = {int(k): StlPlan.from_dict(v, report.loop_table)
+                        for k, v in data["plans"].items()}
+        report.predicted_tls_cycles = data["predicted_tls_cycles"]
+        report.annotations = data["annotations"]
+        report.compile_cycles = data["compile_cycles"]
+        report.recompile_cycles = data["recompile_cycles"]
+        if data["breakdown"] is not None:
+            report.breakdown = TlsStateBreakdown.from_dict(
+                data["breakdown"])
+        report.stl_run_stats = {int(k): StlRunStats.from_dict(v)
+                                for k, v in data["stl_run_stats"].items()}
+        report.dynamic_nesting = pairs_to_set(data["dynamic_nesting"])
+        report.max_dynamic_depth = data["max_dynamic_depth"]
+        return report
+
+
+@dataclass
+class BaselineArtifact:
+    """Artifact of :meth:`Jrpm.compile_baseline` — the plain native
+    compile plus its sequential reference run."""
+
+    compiled: object                 # CompiledProgram (plain native)
+    measurement: RunMeasurement
+    compile_cycles: int
+
+
+@dataclass
+class ProfileArtifact:
+    """Artifact of :meth:`Jrpm.profile` — steps 1-2 of the pipeline."""
+
+    annotated: object                # CompiledProgram (with annotations)
+    profiler: object                 # TestProfiler after the run
+    measurement: RunMeasurement
+    annotations: int
+
+    @property
+    def loop_table(self):
+        return self.annotated.loop_table
+
+    @property
+    def stats(self):
+        return self.profiler.stats
+
+
+@dataclass
+class TlsArtifact:
+    """Artifact of :meth:`Jrpm.execute_tls` — step 5 of the pipeline
+    (or the sequential fallback when nothing was selected)."""
+
+    measurement: RunMeasurement
+    breakdown: object                # TlsStateBreakdown
+    stl_stats: dict
+    recompile_cycles: int
+
 
 class Jrpm:
-    """The complete Java runtime parallelizing machine."""
+    """The complete Java runtime parallelizing machine.
+
+    The five paper steps are exposed as explicit staged methods —
+    :meth:`compile_baseline`, :meth:`profile`, :meth:`select`,
+    :meth:`recompile`, :meth:`execute_tls` — each returning its
+    artifact, so callers (the CLI profiler, the parallel suite runner,
+    ablation sweeps) can reuse individual phases.  :meth:`run` is a
+    thin facade chaining all five into a :class:`JrpmReport`.
+    """
 
     def __init__(self, config=None, stl_options=None, vm_options=None):
         self.config = config or HydraConfig()
         self.stl_options = stl_options or StlOptions()
         self.vm_options = vm_options or VmOptions()
 
-    # -- pipeline ------------------------------------------------------------
-    def run(self, source_or_program, name="program", args=()):
-        """Run the full five-step pipeline; returns a JrpmReport."""
+    # -- staged pipeline -----------------------------------------------------
+    def compile_baseline(self, source_or_program, args=()):
+        """Step 0: plain native compile + sequential reference run."""
         program = self._program_of(source_or_program)
-        report = JrpmReport(name)
-        report.config = self.config
-
-        # Baseline: plain native code, sequential.
         plain = compile_program(program, self.config)
         machine = Machine(plain, self.config)
-        report.sequential = RunMeasurement.from_result(machine.run(*args))
-        report.compile_cycles = plain.compile_cycles
+        measurement = RunMeasurement.from_result(machine.run(*args))
+        return BaselineArtifact(compiled=plain, measurement=measurement,
+                                compile_cycles=plain.compile_cycles)
 
-        # Steps 1-2: annotated run under TEST.
+    def profile(self, source_or_program, args=()):
+        """Steps 1-2: annotated compile + sequential run under TEST."""
+        program = self._program_of(source_or_program)
         annotated = compile_annotated(program, self.config)
         profiler = TestProfiler(self.config, annotated.loop_table)
         machine = Machine(annotated, self.config, profiler=profiler)
-        report.profiling = RunMeasurement.from_result(machine.run(*args))
-        report.loop_table = annotated.loop_table
-        report.loop_stats = profiler.stats
-        report.annotations = annotation_count(annotated)
-        report.profiler = profiler
-        report.dynamic_nesting = profiler.dynamic_nesting
-        report.max_dynamic_depth = profiler.max_dynamic_depth
+        measurement = RunMeasurement.from_result(machine.run(*args))
+        return ProfileArtifact(annotated=annotated, profiler=profiler,
+                               measurement=measurement,
+                               annotations=annotation_count(annotated))
 
-        # Step 3: choose decompositions.
-        selector = Selector(
-            self.config, annotated.loop_table,
+    def make_selector(self, loop_table):
+        """The §3.1 selector configured for this Jrpm instance."""
+        return Selector(
+            self.config, loop_table,
             ignore_allocator_arcs=self.vm_options.parallel_allocator)
-        plans = selector.select(profiler.stats, profiler.dynamic_nesting)
+
+    def select(self, profile_artifact):
+        """Step 3: choose thread decompositions from TEST statistics."""
+        profiler = profile_artifact.profiler
+        selector = self.make_selector(profile_artifact.loop_table)
+        return selector.select(profiler.stats, profiler.dynamic_nesting)
+
+    def recompile(self, source_or_program, plans):
+        """Step 4: recompile selected loops into STLs.
+
+        Returns the recompiled program, or ``None`` when nothing was
+        selected.
+        """
+        if not plans:
+            return None
+        program = self._program_of(source_or_program)
+        return recompile_with_stls(program, self.config, plans,
+                                   self.stl_options)
+
+    def execute_tls(self, recompiled, plans, args=(), fallback=None):
+        """Step 5: run the speculative code on the Hydra simulator.
+
+        ``fallback`` is the baseline :class:`RunMeasurement` reused
+        verbatim when no decomposition was selected (``plans`` empty).
+        """
+        if not plans or recompiled is None:
+            from ..tls.stats import TlsStateBreakdown
+            if fallback is None:
+                raise ValueError("execute_tls with no plans requires the "
+                                 "baseline measurement as fallback")
+            breakdown = TlsStateBreakdown()
+            breakdown.serial = fallback.cycles
+            return TlsArtifact(measurement=fallback, breakdown=breakdown,
+                               stl_stats={}, recompile_cycles=0)
+        machine = Machine(
+            recompiled, self.config,
+            parallel_allocator=self.vm_options.parallel_allocator,
+            speculation_aware_locks=self.vm_options.speculation_aware_locks)
+        runtime = TlsRuntime(machine)
+        measurement = RunMeasurement.from_result(machine.run(*args))
+        breakdown = runtime.breakdown
+        breakdown.serial = max(
+            0.0, measurement.cycles - self._stl_wall_cycles(runtime))
+        return TlsArtifact(measurement=measurement, breakdown=breakdown,
+                           stl_stats=runtime.stl_stats,
+                           recompile_cycles=recompiled.compile_cycles)
+
+    def assemble_report(self, name, baseline, profile_artifact, plans,
+                        tls_artifact):
+        """Package the stage artifacts into a :class:`JrpmReport`."""
+        report = JrpmReport(name)
+        report.config = self.config
+        report.sequential = baseline.measurement
+        report.compile_cycles = baseline.compile_cycles
+        report.profiling = profile_artifact.measurement
+        report.loop_table = profile_artifact.loop_table
+        report.loop_stats = profile_artifact.profiler.stats
+        report.annotations = profile_artifact.annotations
+        report.profiler = profile_artifact.profiler
+        report.dynamic_nesting = profile_artifact.profiler.dynamic_nesting
+        report.max_dynamic_depth = profile_artifact.profiler.max_dynamic_depth
         report.plans = plans
         report.predicted_tls_cycles = self._predict_total(report, plans)
-
-        # Steps 4-5: recompile + speculative run.
-        if plans:
-            tls_compiled = recompile_with_stls(program, self.config, plans,
-                                               self.stl_options)
-            report.recompile_cycles = tls_compiled.compile_cycles
-            machine = Machine(
-                tls_compiled, self.config,
-                parallel_allocator=self.vm_options.parallel_allocator,
-                speculation_aware_locks=(
-                    self.vm_options.speculation_aware_locks))
-            runtime = TlsRuntime(machine)
-            report.tls = RunMeasurement.from_result(machine.run(*args))
-            report.breakdown = runtime.breakdown
-            report.breakdown.serial = max(
-                0.0, report.tls.cycles
-                - self._stl_wall_cycles(runtime))
-            report.stl_run_stats = runtime.stl_stats
-        else:
-            report.tls = report.sequential
-            from ..tls.stats import TlsStateBreakdown
-            report.breakdown = TlsStateBreakdown()
-            report.breakdown.serial = report.sequential.cycles
+        report.tls = tls_artifact.measurement
+        report.breakdown = tls_artifact.breakdown
+        report.stl_run_stats = tls_artifact.stl_stats
+        report.recompile_cycles = tls_artifact.recompile_cycles
         return report
+
+    # -- facade --------------------------------------------------------------
+    def run(self, source_or_program, name="program", args=()):
+        """Run the full five-step pipeline; returns a JrpmReport."""
+        program = self._program_of(source_or_program)
+        baseline = self.compile_baseline(program, args)
+        profile_artifact = self.profile(program, args)
+        plans = self.select(profile_artifact)
+        recompiled = self.recompile(program, plans)
+        tls_artifact = self.execute_tls(recompiled, plans, args,
+                                        fallback=baseline.measurement)
+        return self.assemble_report(name, baseline, profile_artifact,
+                                    plans, tls_artifact)
 
     @staticmethod
     def _stl_wall_cycles(runtime):

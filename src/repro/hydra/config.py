@@ -5,7 +5,7 @@ so experiments can sweep it (the paper's "retargetability" argument:
 different decompositions for CMPs with more CPUs or larger buffers).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 # ---------------------------------------------------------------------------
 # memory map of the simulated machine (word-addressed, byte addresses)
@@ -42,6 +42,13 @@ class SpeculationOverheads:
     @staticmethod
     def old_handlers():
         return SpeculationOverheads(41, 46, 14, 13)
+
+    def to_dict(self):
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data):
+        return SpeculationOverheads(**data)
 
 
 @dataclass
@@ -120,6 +127,20 @@ class HydraConfig:
 
     def line_of(self, addr):
         return addr >> CACHE_LINE_SHIFT
+
+    def to_dict(self):
+        """Flat JSON-safe dict (nested overheads included) — also the
+        canonical fingerprint input for the runner's report cache."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data):
+        data = dict(data)
+        overheads = data.pop("overheads", None)
+        config = HydraConfig(**data)
+        if overheads is not None:
+            config.overheads = SpeculationOverheads.from_dict(overheads)
+        return config
 
 
 DEFAULT_CONFIG = HydraConfig()

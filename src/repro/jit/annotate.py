@@ -47,6 +47,38 @@ class LoopMeta:
             self.loop_id, self.method_name, self.ordinal, self.depth,
             "" if self.candidate else " (rejected: %s)" % self.reject_reason)
 
+    def to_dict(self):
+        """JSON-safe dict (carried-local classifications included)."""
+        return {
+            "loop_id": self.loop_id,
+            "method_name": self.method_name,
+            "ordinal": self.ordinal,
+            "depth": self.depth,
+            "parent_id": self.parent_id,
+            "body_size": self.body_size,
+            "carried_slots": {str(reg): slot for reg, slot
+                              in self.carried_slots.items()},
+            "candidate": self.candidate,
+            "reject_reason": self.reject_reason,
+            "line": self.line,
+            "carried_kinds": {str(reg): info.to_dict() for reg, info
+                              in self.carried_kinds.items()},
+        }
+
+    @staticmethod
+    def from_dict(data):
+        from .patterns import CarriedLocal
+        meta = LoopMeta(
+            data["loop_id"], data["method_name"], data["ordinal"],
+            data["depth"], data["body_size"],
+            {int(reg): slot for reg, slot
+             in data["carried_slots"].items()},
+            data["candidate"], data["reject_reason"], data["line"],
+            carried_kinds={int(reg): CarriedLocal.from_dict(info)
+                           for reg, info in data["carried_kinds"].items()})
+        meta.parent_id = data["parent_id"]
+        return meta
+
 
 def identify_loops(ir_method):
     """Find natural loops with stable ordinals.

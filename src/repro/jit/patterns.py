@@ -80,6 +80,35 @@ class CarriedLocal:
             extra += " op=%s" % self.reduce_op
         return "<r%d %s%s>" % (self.reg, self.kind, extra)
 
+    def to_dict(self):
+        """JSON-safe dict of the classification facts.
+
+        ``step_instr``/``reset_sites`` are live IR-instruction handles
+        consumed by the recompiler only; they are intentionally dropped
+        — a deserialized CarriedLocal describes a finished run and is
+        never fed back into :mod:`repro.jit.stl`.
+        """
+        identity = self.identity
+        if isinstance(identity, float) and (identity != identity
+                                            or identity in (float("inf"),
+                                                            float("-inf"))):
+            identity = repr(identity)       # JSON has no inf/nan literals
+        return {"reg": self.reg, "kind": self.kind,
+                "step_imm": self.step_imm, "step_reg": self.step_reg,
+                "is_float": self.is_float, "reduce_op": self.reduce_op,
+                "identity": identity, "mask": self.mask}
+
+    @staticmethod
+    def from_dict(data):
+        identity = data["identity"]
+        if isinstance(identity, str):
+            identity = float(identity)
+        return CarriedLocal(
+            data["reg"], data["kind"], step_imm=data["step_imm"],
+            step_reg=data["step_reg"], is_float=data["is_float"],
+            reduce_op=data["reduce_op"], identity=identity,
+            mask=data["mask"])
+
 
 class _LoopFacts:
     """Shared context for classifying one loop's carried locals."""

@@ -40,6 +40,14 @@ class StlOptions:
     multilevel: bool = True               # §4.2.6
     hoisting: bool = True                 # §4.2.7
 
+    def to_dict(self):
+        from dataclasses import asdict
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data):
+        return StlOptions(**data)
+
 
 class ReductionSpec:
     __slots__ = ("acc_reg", "tmp_reg", "op_name", "identity", "is_float",

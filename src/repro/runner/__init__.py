@@ -1,0 +1,26 @@
+"""Parallel suite runner with a persistent report cache.
+
+Public surface:
+
+* :class:`SuiteRunner` / :class:`RunRequest` — fan pipeline runs
+  across worker processes, memoized on disk,
+* :class:`ReportCache` / :func:`cache_key` — the content-addressed
+  store under ``benchmarks/.cache/``,
+* :class:`SuiteMetrics` / :class:`RunRecord` — structured per-run
+  metrics (JSONL + human summary),
+* :class:`ProcessPool` — the crash-isolated executor underneath.
+"""
+
+from .cache import (NullCache, ReportCache, cache_key, code_fingerprint,
+                    options_fingerprint)
+from .metrics import RunRecord, SuiteMetrics
+from .pool import ProcessPool, TaskOutcome
+from .suite import (RunRequest, SuiteRunError, SuiteRunner,
+                    default_cache_dir, execute_request)
+
+__all__ = ["SuiteRunner", "RunRequest", "SuiteRunError",
+           "execute_request", "default_cache_dir",
+           "ReportCache", "NullCache", "cache_key", "code_fingerprint",
+           "options_fingerprint",
+           "SuiteMetrics", "RunRecord",
+           "ProcessPool", "TaskOutcome"]

@@ -1,0 +1,164 @@
+"""Persistent content-addressed report cache.
+
+A finished :class:`~repro.core.pipeline.JrpmReport` is a pure function
+of
+
+* the MiniJava **source text** of the workload variant,
+* the program **arguments**,
+* the full **configuration** (:class:`HydraConfig`, :class:`StlOptions`,
+  :class:`VmOptions` — every field participates, so any sweep knob
+  invalidates), and
+* the **code version** of this package (a salt hashed over every
+  ``repro/**/*.py`` so stale reports never survive a code change),
+
+so warm re-runs of any bench script can be served from disk in
+milliseconds instead of re-simulating for seconds.  Entries are JSON
+files named by the SHA-256 of a canonical JSON encoding of the key
+material, stored flat under the cache root (default
+``benchmarks/.cache/``).
+
+Writes are atomic (tempfile + rename) so concurrent workers or suites
+can share one cache directory; corrupt or truncated entries read as
+misses and are discarded.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+#: bump to invalidate every existing cache entry on schema changes
+CACHE_FORMAT = 1
+
+_CODE_FINGERPRINT = None
+
+
+def code_fingerprint():
+    """SHA-256 over the source text of every module in the ``repro``
+    package (memoized per process).  Serves as the cache-key salt: a
+    report produced by different code never collides with the current
+    version."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def options_fingerprint(config, stl_options, vm_options):
+    """Canonical JSON of the three option objects."""
+    return json.dumps(
+        {"config": config.to_dict(),
+         "stl": stl_options.to_dict(),
+         "vm": vm_options.to_dict()},
+        sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(source, args, config, stl_options, vm_options, salt=None):
+    """Content-addressed key for one pipeline run."""
+    material = json.dumps(
+        {"format": CACHE_FORMAT,
+         "source": hashlib.sha256(source.encode()).hexdigest(),
+         "args": list(args),
+         "options": options_fingerprint(config, stl_options, vm_options),
+         "code": salt if salt is not None else code_fingerprint()},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ReportCache:
+    """On-disk JSON store of report payload dicts, keyed by hex digest."""
+
+    def __init__(self, root):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key):
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key):
+        """Payload dict for *key*, or None.  Corrupt entries are
+        removed and read as misses."""
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload):
+        """Atomically persist *payload* (tempfile + rename, safe for
+        concurrent writers)."""
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp_path, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def clear(self):
+        if not os.path.isdir(self.root):
+            return 0
+        removed = 0
+        for filename in os.listdir(self.root):
+            if filename.endswith(".json") or filename.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.root, filename))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self):
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(1 for name in os.listdir(self.root)
+                   if name.endswith(".json"))
+
+
+class NullCache(ReportCache):
+    """Cache disabled: every lookup misses, nothing is stored."""
+
+    def __init__(self):
+        super().__init__(root=None)
+
+    def get(self, key):
+        self.misses += 1
+        return None
+
+    def put(self, key, payload):
+        pass
+
+    def clear(self):
+        return 0
+
+    def __len__(self):
+        return 0

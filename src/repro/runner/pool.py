@@ -1,0 +1,239 @@
+"""Crash-isolated process pool for pipeline runs.
+
+``concurrent.futures.ProcessPoolExecutor`` marks the whole pool broken
+when one worker dies; the suite runner instead wants *per-run* fault
+isolation: a worker segfaulting (or being OOM-killed) on one workload
+must not poison the other 25.  This pool therefore manages workers
+explicitly:
+
+* each worker owns a private task queue, so the parent always knows
+  exactly which task a dead worker was running;
+* a worker that dies mid-task is replaced and its task retried once
+  (``retries=1``) before being reported as ``crashed``;
+* a task exceeding ``timeout`` seconds gets its worker terminated and
+  is reported as ``timeout`` (no retry — simulated workloads are
+  deterministic, it would time out again);
+* in-worker Python exceptions travel back as formatted tracebacks with
+  status ``error``.
+
+The executed callable must be module-level (picklable) so the pool also
+works under the ``spawn`` start method; ``fork`` is preferred when the
+platform offers it because workers then inherit the warm interpreter.
+"""
+
+import os
+import time
+import traceback
+import multiprocessing
+import queue as queue_module
+from dataclasses import dataclass
+
+#: how often the parent polls results / liveness (seconds)
+_POLL_INTERVAL = 0.05
+#: grace period for worker shutdown before termination (seconds)
+_JOIN_TIMEOUT = 2.0
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one submitted task."""
+
+    task_id: object
+    status: str                 # "ok" | "error" | "crashed" | "timeout"
+    value: object = None        # fn's return value when status == "ok"
+    error: str = None           # traceback / diagnostic otherwise
+    wall_time: float = 0.0      # in-worker seconds (parent-side for crashes)
+    attempts: int = 1
+    pid: int = None
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+
+def _worker_main(fn, task_queue, result_queue):
+    """Worker loop: pull (task_id, payload), run fn, push the result."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task_id, payload = item
+        start = time.perf_counter()
+        try:
+            value = fn(payload)
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:
+            result_queue.put((task_id, "error", None,
+                              time.perf_counter() - start,
+                              "%s: %s\n%s" % (type(exc).__name__, exc,
+                                              traceback.format_exc()),
+                              os.getpid()))
+        else:
+            result_queue.put((task_id, "ok", value,
+                              time.perf_counter() - start, None,
+                              os.getpid()))
+
+
+class _Worker:
+    __slots__ = ("process", "task_queue", "task_id", "started_at")
+
+    def __init__(self, ctx, fn, result_queue):
+        self.task_queue = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(fn, self.task_queue, result_queue), daemon=True)
+        self.process.start()
+        self.task_id = None
+        self.started_at = None
+
+    @property
+    def idle(self):
+        return self.task_id is None
+
+    def assign(self, task_id, payload):
+        self.task_id = task_id
+        self.started_at = time.perf_counter()
+        self.task_queue.put((task_id, payload))
+
+    def release(self):
+        self.task_id = None
+        self.started_at = None
+
+    def stop(self):
+        try:
+            self.task_queue.put(None)
+        except (OSError, ValueError):
+            pass
+
+    def kill(self):
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_JOIN_TIMEOUT)
+            if self.process.is_alive():  # pragma: no cover - stuck kernel
+                self.process.kill()
+                self.process.join(_JOIN_TIMEOUT)
+
+
+def _make_context(name=None):
+    methods = multiprocessing.get_all_start_methods()
+    if name is None:
+        name = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(name)
+
+
+class ProcessPool:
+    """Run ``fn(payload)`` for many payloads across worker processes."""
+
+    def __init__(self, fn, jobs, timeout=None, retries=1,
+                 start_method=None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %r" % (jobs,))
+        self.fn = fn
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.start_method = start_method
+
+    def map(self, tasks, on_outcome=None):
+        """Execute ``[(task_id, payload), ...]``; returns
+        ``{task_id: TaskOutcome}`` (one entry per task, in any order).
+
+        *on_outcome* (optional callable) observes each settled outcome
+        as it arrives — used for progress reporting.
+        """
+        tasks = list(tasks)
+        outcomes = {}
+        if not tasks:
+            return outcomes
+        payloads = dict(tasks)
+        if len(payloads) != len(tasks):
+            raise ValueError("duplicate task ids in pool submission")
+
+        ctx = _make_context(self.start_method)
+        result_queue = ctx.Queue()
+        pending = [task_id for task_id, _ in tasks]
+        attempts = {task_id: 0 for task_id, _ in tasks}
+        workers = [_Worker(ctx, self.fn, result_queue)
+                   for _ in range(min(self.jobs, len(tasks)))]
+
+        def settle(outcome):
+            outcomes[outcome.task_id] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        try:
+            while len(outcomes) < len(tasks):
+                # 1. hand work to idle workers
+                for worker in workers:
+                    if pending and worker.idle and worker.process.is_alive():
+                        task_id = pending.pop(0)
+                        attempts[task_id] += 1
+                        worker.assign(task_id, payloads[task_id])
+
+                # 2. drain finished results (before liveness checks, so a
+                #    worker that finished then exited is not miscounted
+                #    as a crash)
+                drained = False
+                try:
+                    while True:
+                        (task_id, status, value, wall, error,
+                         pid) = result_queue.get(
+                            timeout=0.0 if drained else _POLL_INTERVAL)
+                        drained = True
+                        settle(TaskOutcome(
+                            task_id=task_id, status=status, value=value,
+                            error=error, wall_time=wall,
+                            attempts=attempts[task_id], pid=pid))
+                        for worker in workers:
+                            if worker.task_id == task_id:
+                                worker.release()
+                except queue_module.Empty:
+                    pass
+
+                # 3. crash / timeout surveillance
+                now = time.perf_counter()
+                for index, worker in enumerate(workers):
+                    if worker.idle:
+                        continue
+                    task_id = worker.task_id
+                    if task_id in outcomes:       # settled in step 2
+                        worker.release()
+                        continue
+                    if not worker.process.is_alive():
+                        wall = now - worker.started_at
+                        worker.release()
+                        if attempts[task_id] <= self.retries:
+                            pending.append(task_id)   # retry once
+                        else:
+                            settle(TaskOutcome(
+                                task_id=task_id, status="crashed",
+                                error="worker process died (exitcode %s)"
+                                      % worker.process.exitcode,
+                                wall_time=wall,
+                                attempts=attempts[task_id],
+                                pid=worker.process.pid))
+                        workers[index] = _Worker(ctx, self.fn,
+                                                 result_queue)
+                    elif (self.timeout is not None
+                            and now - worker.started_at > self.timeout):
+                        worker.kill()
+                        wall = now - worker.started_at
+                        settle(TaskOutcome(
+                            task_id=task_id, status="timeout",
+                            error="run exceeded %.0fs timeout"
+                                  % self.timeout,
+                            wall_time=wall, attempts=attempts[task_id],
+                            pid=worker.process.pid))
+                        worker.release()
+                        workers[index] = _Worker(ctx, self.fn,
+                                                 result_queue)
+        finally:
+            for worker in workers:
+                worker.stop()
+            for worker in workers:
+                worker.process.join(_JOIN_TIMEOUT)
+            for worker in workers:
+                worker.kill()
+            result_queue.close()
+        return outcomes

@@ -1,0 +1,48 @@
+"""JSON-safe serialization helpers shared by the report model.
+
+The report cache stores :class:`~repro.core.pipeline.JrpmReport` objects
+as JSON on disk, and the parallel runner ships them between processes,
+so every measurement class grows a ``to_dict``/``from_dict`` pair.  The
+helpers here deal with the two impedance mismatches between the live
+objects and JSON:
+
+* profiling *sites* are (possibly nested) tuples of scalars — JSON has
+  no tuples, so they round-trip through lists;
+* several tables are keyed by integer loop ids — JSON object keys are
+  strings, so loaders coerce keys back with :func:`int_keys`.
+
+No module in the package may be imported from here (this file sits at
+the bottom of the dependency graph on purpose).
+"""
+
+
+def site_to_jsonable(site):
+    """Recursively convert tuples to lists (JSON-encodable)."""
+    if isinstance(site, tuple):
+        return [site_to_jsonable(part) for part in site]
+    if isinstance(site, list):
+        return [site_to_jsonable(part) for part in site]
+    return site
+
+
+def site_from_jsonable(site):
+    """Recursively convert lists back to tuples (inverse of
+    :func:`site_to_jsonable`)."""
+    if isinstance(site, (list, tuple)):
+        return tuple(site_from_jsonable(part) for part in site)
+    return site
+
+
+def int_keys(mapping):
+    """Coerce dict keys to int (JSON stringifies integer keys)."""
+    return {int(key): value for key, value in mapping.items()}
+
+
+def pairs_to_set(pairs):
+    """[[a, b], ...] -> {(a, b), ...} (for dynamic-nesting edges)."""
+    return {tuple(pair) for pair in pairs}
+
+
+def set_to_pairs(edges):
+    """{(a, b), ...} -> sorted [[a, b], ...] (deterministic JSON)."""
+    return [list(pair) for pair in sorted(edges)]

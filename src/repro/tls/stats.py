@@ -71,6 +71,17 @@ class TlsStateBreakdown:
                                        "wait_violated"))
         return "<TlsStateBreakdown %s>" % parts
 
+    def to_dict(self):
+        """Lossless JSON-safe dict of every accounting slot."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @staticmethod
+    def from_dict(data):
+        breakdown = TlsStateBreakdown()
+        for name in TlsStateBreakdown.__slots__:
+            setattr(breakdown, name, data[name])
+        return breakdown
+
 
 class StlRunStats:
     """Per-STL aggregate statistics for Table 3 columns."""
@@ -108,3 +119,15 @@ class StlRunStats:
     def avg_store_lines(self):
         return (self.sum_store_lines / self.threads_committed
                 if self.threads_committed else 0.0)
+
+    def to_dict(self):
+        """Lossless JSON-safe dict of the raw counters (derived
+        properties are recomputed on load)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @staticmethod
+    def from_dict(data):
+        stats = StlRunStats(data["loop_id"])
+        for name in StlRunStats.__slots__:
+            setattr(stats, name, data[name])
+        return stats

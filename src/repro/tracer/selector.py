@@ -13,7 +13,9 @@ are recompiled into speculative threads, and within a loop nest only the
 level with the best estimated execution time is chosen.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+from ..serialize import site_from_jsonable, site_to_jsonable
 
 
 @dataclass
@@ -30,6 +32,13 @@ class Prediction:
     arc_frequency: float
     benefit_cycles: float = 0.0
 
+    def to_dict(self):
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data):
+        return Prediction(**data)
+
 
 @dataclass
 class SyncPlan:
@@ -41,6 +50,24 @@ class SyncPlan:
     avg_length: float
     #: set when the dependency is a carried local: (loop_id, slot)
     local_slot: object = None
+
+    def to_dict(self):
+        return {"store_site": site_to_jsonable(self.store_site),
+                "load_site": site_to_jsonable(self.load_site),
+                "arc_frequency": self.arc_frequency,
+                "avg_length": self.avg_length,
+                "local_slot": site_to_jsonable(self.local_slot)}
+
+    @staticmethod
+    def from_dict(data):
+        local_slot = data["local_slot"]
+        return SyncPlan(
+            store_site=site_from_jsonable(data["store_site"]),
+            load_site=site_from_jsonable(data["load_site"]),
+            arc_frequency=data["arc_frequency"],
+            avg_length=data["avg_length"],
+            local_slot=(site_from_jsonable(local_slot)
+                        if local_slot is not None else None))
 
 
 @dataclass
@@ -55,6 +82,40 @@ class StlPlan:
     multilevel_parent: int = None
     hoist: bool = False
     options: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {
+            "loop_id": self.loop_id,
+            "meta": self.meta.to_dict(),
+            "prediction": self.prediction.to_dict(),
+            "sync": self.sync.to_dict() if self.sync else None,
+            "multilevel_inner": self.multilevel_inner,
+            "multilevel_parent": self.multilevel_parent,
+            "hoist": self.hoist,
+            "options": dict(self.options),
+        }
+
+    @staticmethod
+    def from_dict(data, loop_table=None):
+        """Rebuild a plan; when *loop_table* (``{loop_id: LoopMeta}``) is
+        given the plan shares the table's LoopMeta instance instead of
+        deserializing a private copy (mirrors the live object graph)."""
+        from ..jit.annotate import LoopMeta
+        meta = None
+        if loop_table is not None:
+            meta = loop_table.get(data["loop_id"])
+        if meta is None:
+            meta = LoopMeta.from_dict(data["meta"])
+        return StlPlan(
+            loop_id=data["loop_id"],
+            meta=meta,
+            prediction=Prediction.from_dict(data["prediction"]),
+            sync=(SyncPlan.from_dict(data["sync"])
+                  if data["sync"] else None),
+            multilevel_inner=data["multilevel_inner"],
+            multilevel_parent=data["multilevel_parent"],
+            hoist=data["hoist"],
+            options=dict(data["options"]))
 
 
 class Selector:

@@ -5,6 +5,8 @@ about a loop across all its profiled entries; the selector turns these
 into speedup predictions.
 """
 
+from ..serialize import site_from_jsonable, site_to_jsonable
+
 
 class ArcStats:
     """Statistics for one (store site -> load site) dependency arc."""
@@ -36,6 +38,16 @@ class ArcStats:
     @property
     def allocator_fraction(self):
         return self.allocator_hits / self.count if self.count else 0.0
+
+    def to_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @staticmethod
+    def from_dict(data):
+        arc = ArcStats()
+        for name in ArcStats.__slots__:
+            setattr(arc, name, data[name])
+        return arc
 
     @property
     def avg_constraint(self):
@@ -135,3 +147,28 @@ class LoopStats:
         return ("<LoopStats %d threads=%d avg=%.0fcy arcs=%.2f ovf=%.2f>"
                 % (self.loop_id, self.threads, self.avg_thread_cycles,
                    self.arc_frequency, self.overflow_frequency))
+
+    def to_dict(self):
+        """Lossless JSON-safe dict.  Arc keys are (store, load) site
+        tuples; JSON has no tuple keys, so arcs are emitted as a list of
+        ``[store_site, load_site, arc]`` triples (sites tuple->list
+        converted recursively)."""
+        data = {name: getattr(self, name) for name in self.__slots__
+                if name != "arcs"}
+        data["arcs"] = [
+            [site_to_jsonable(store), site_to_jsonable(load),
+             arc.to_dict()]
+            for (store, load), arc in self.arcs.items()]
+        return data
+
+    @staticmethod
+    def from_dict(data):
+        stats = LoopStats(data["loop_id"])
+        for name in LoopStats.__slots__:
+            if name != "arcs":
+                setattr(stats, name, data[name])
+        stats.arcs = {
+            (site_from_jsonable(store), site_from_jsonable(load)):
+                ArcStats.from_dict(arc)
+            for store, load, arc in data["arcs"]}
+        return stats

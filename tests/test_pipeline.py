@@ -123,3 +123,55 @@ def test_retargetability_more_cpus(report):
         compile_source(PROGRAM))
     assert bigger.outputs_match()
     assert bigger.tls_speedup > report.tls_speedup
+
+
+# -- staged pipeline API ------------------------------------------------------
+
+def test_staged_api_matches_run_facade(report):
+    """Driving the five stages by hand reproduces run() exactly."""
+    jrpm = Jrpm()
+    program = compile_source(PROGRAM)
+    baseline = jrpm.compile_baseline(program)
+    profile = jrpm.profile(program)
+    plans = jrpm.select(profile)
+    recompiled = jrpm.recompile(program, plans)
+    tls = jrpm.execute_tls(recompiled, plans,
+                           fallback=baseline.measurement)
+    staged = jrpm.assemble_report("pipeline-test", baseline, profile,
+                                  plans, tls)
+    assert staged.to_dict() == report.to_dict()
+
+
+def test_staged_artifacts_expose_their_measurements():
+    jrpm = Jrpm()
+    program = compile_source(PROGRAM)
+    baseline = jrpm.compile_baseline(program)
+    assert baseline.measurement.cycles > 0
+    assert baseline.compile_cycles > 0
+    profile = jrpm.profile(program)
+    assert profile.annotations > 0
+    assert profile.loop_table and profile.stats
+    plans = jrpm.select(profile)
+    assert plans
+    recompiled = jrpm.recompile(program, plans)
+    assert recompiled is not None
+    tls = jrpm.execute_tls(recompiled, plans,
+                           fallback=baseline.measurement)
+    assert 0 < tls.measurement.cycles < baseline.measurement.cycles
+    assert tls.recompile_cycles > 0
+
+
+def test_execute_tls_without_plans_falls_back_to_baseline():
+    jrpm = Jrpm()
+    program = compile_source(wrap_main("""
+        int x = 1 + 2;
+        Sys.printInt(x);
+        return x;
+    """))
+    baseline = jrpm.compile_baseline(program)
+    assert jrpm.recompile(program, {}) is None
+    tls = jrpm.execute_tls(None, {}, fallback=baseline.measurement)
+    assert tls.measurement is baseline.measurement
+    assert tls.breakdown.serial == baseline.measurement.cycles
+    with pytest.raises(ValueError):
+        jrpm.execute_tls(None, {})          # fallback is mandatory

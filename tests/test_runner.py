@@ -1,0 +1,298 @@
+"""Tests for the parallel suite runner, report cache and serialization.
+
+Tiny synthetic workloads (explicit ``source=``) keep the multiprocess
+tests fast; real registry workloads appear only where the contract is
+about the registry (size/variant resolution).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.pipeline import Jrpm, JrpmReport
+from repro.hydra.config import HydraConfig
+from repro.minijava import compile_source
+from repro.runner import (ProcessPool, ReportCache, RunRequest,
+                          SuiteMetrics, SuiteRunError, SuiteRunner,
+                          cache_key)
+
+#: a small but genuinely parallelizable program (reduction loop)
+TINY = """
+class Main {
+    static int main() {
+        int sum = 0;
+        for (int i = 0; i < 4000; i++) {
+            sum = sum + (i & 1023);
+        }
+        Sys.printInt(sum);
+        return sum;
+    }
+}
+"""
+
+TINY_B = TINY.replace("4000", "3000")
+
+
+def tiny_request(**kwargs):
+    kwargs.setdefault("workload", "tiny")
+    kwargs.setdefault("source", TINY)
+    return RunRequest(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# serialization round-trip
+# ---------------------------------------------------------------------------
+
+def test_report_roundtrip_is_lossless():
+    report = Jrpm().run(compile_source(TINY), name="tiny")
+    data = report.to_dict()
+    # must survive actual JSON (string keys, no tuples, no sets)
+    restored = JrpmReport.from_dict(json.loads(json.dumps(data)))
+    assert restored.to_dict() == data
+    # derived metrics identical
+    assert restored.tls_speedup == report.tls_speedup
+    assert restored.total_speedup == report.total_speedup
+    assert restored.serial_fraction == report.serial_fraction
+    assert restored.profile_fraction == report.profile_fraction
+    assert restored.phase_cycles() == report.phase_cycles()
+    assert restored.outputs_match() == report.outputs_match()
+    # object-graph invariants mirrored
+    assert restored.dynamic_nesting == report.dynamic_nesting
+    for loop_id, plan in restored.plans.items():
+        assert plan.meta is restored.loop_table[loop_id]
+    # rendering identical
+    from repro.core.report import format_report
+    assert (format_report(restored, verbose=True)
+            == format_report(report, verbose=True))
+
+
+def test_tls_fallback_report_roundtrip():
+    """A report whose TLS run aliases the sequential run (no plans)
+    preserves that aliasing through the round-trip."""
+    source = """
+class Main {
+    static int main() {
+        int x = 3;
+        Sys.printInt(x);
+        return x;
+    }
+}
+"""
+    report = Jrpm().run(compile_source(source), name="noplans")
+    assert not report.plans
+    restored = JrpmReport.from_dict(json.loads(json.dumps(
+        report.to_dict())))
+    assert restored.tls is restored.sequential
+    assert restored.to_dict() == report.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# cache behaviour
+# ---------------------------------------------------------------------------
+
+def test_cache_hit_and_invalidation(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = SuiteRunner(jobs=1, cache_dir=cache_dir)
+    [report] = cold.run([tiny_request()])
+    assert cold.metrics.hits == 0 and cold.metrics.misses == 1
+
+    # identical request -> hit
+    warm = SuiteRunner(jobs=1, cache_dir=cache_dir)
+    [cached] = warm.run([tiny_request()])
+    assert warm.metrics.hits == 1 and warm.metrics.misses == 0
+    assert cached.to_dict() == report.to_dict()
+
+    # config change -> miss
+    cfg = SuiteRunner(jobs=1, cache_dir=cache_dir)
+    cfg.run([tiny_request(config=HydraConfig(num_cpus=2))])
+    assert cfg.metrics.misses == 1
+
+    # source change -> miss
+    src = SuiteRunner(jobs=1, cache_dir=cache_dir)
+    src.run([tiny_request(source=TINY_B)])
+    assert src.metrics.misses == 1
+
+    # code-version salt participates in the key
+    key_now = tiny_request().cache_key()
+    key_other = tiny_request().cache_key(salt="different-code-version")
+    assert key_now != key_other
+
+
+def test_cache_corrupt_entry_reads_as_miss(tmp_path):
+    cache = ReportCache(str(tmp_path))
+    key = cache_key(TINY, (), HydraConfig(),
+                    __import__("repro.jit.stl", fromlist=["StlOptions"])
+                    .StlOptions(),
+                    __import__("repro.core.pipeline",
+                               fromlist=["VmOptions"]).VmOptions())
+    cache.put(key, {"report": {"bogus": True}})
+    assert cache.get(key) is not None
+    with open(cache.path_for(key), "w") as fh:
+        fh.write("{truncated")
+    assert cache.get(key) is None           # corrupt -> miss
+    assert not os.path.exists(cache.path_for(key))   # and removed
+
+
+def test_no_cache_runner_stores_nothing(tmp_path):
+    runner = SuiteRunner(jobs=1, use_cache=False)
+    runner.run([tiny_request()])
+    assert runner.metrics.misses == 1
+    assert len(runner.cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# parallel execution
+# ---------------------------------------------------------------------------
+
+def test_parallel_reports_identical_to_serial(tmp_path):
+    requests = [tiny_request(), tiny_request(source=TINY_B, tag="b")]
+    serial = SuiteRunner(jobs=1, use_cache=False).run(
+        [tiny_request(), tiny_request(source=TINY_B, tag="b")])
+    parallel = SuiteRunner(jobs=4, use_cache=False).run(requests)
+    assert len(serial) == len(parallel) == 2
+    for left, right in zip(serial, parallel):
+        assert left.to_dict() == right.to_dict()
+
+
+def test_worker_crash_is_retried_once(tmp_path):
+    marker = str(tmp_path / "crash.marker")
+    runner = SuiteRunner(jobs=2, use_cache=False)
+    [report] = runner.run([tiny_request(crash_marker=marker)])
+    record = runner.metrics.records[-1]
+    assert record.status == "ok"
+    assert record.attempts == 2              # died once, retried once
+    assert os.path.exists(marker)
+    assert report.outputs_match()
+
+
+def test_failed_run_raises_with_diagnostics(tmp_path):
+    bad = tiny_request(source="class Main { static int main() { return }")
+    runner = SuiteRunner(jobs=1, use_cache=False)
+    with pytest.raises(SuiteRunError) as excinfo:
+        runner.run([bad])
+    assert "tiny" in str(excinfo.value)
+    assert runner.metrics.failures
+
+
+def test_manual_variant_resolution_errors_before_running():
+    from repro.workloads import all_workloads
+    name = next(w.name for w in all_workloads()
+                if not w.has_manual_variant)
+    with pytest.raises(ValueError, match="manual"):
+        RunRequest(workload=name, variant="manual",
+                   size="small").resolve_source()
+
+
+# ---------------------------------------------------------------------------
+# process pool unit tests (module-level fns so they pickle under spawn)
+# ---------------------------------------------------------------------------
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError("boom %s" % x)
+
+
+def _die(x):
+    os._exit(3)
+
+
+def _sleep(x):
+    time.sleep(30)
+
+
+def test_pool_runs_all_tasks():
+    pool = ProcessPool(_square, jobs=3)
+    outcomes = pool.map([(i, i) for i in range(7)])
+    assert sorted(outcomes) == list(range(7))
+    assert all(outcomes[i].ok and outcomes[i].value == i * i
+               for i in range(7))
+
+
+def test_pool_reports_python_errors():
+    pool = ProcessPool(_boom, jobs=2)
+    outcomes = pool.map([(0, "x")])
+    assert outcomes[0].status == "error"
+    assert "boom x" in outcomes[0].error
+
+
+def test_pool_gives_up_after_retry():
+    pool = ProcessPool(_die, jobs=2, retries=1)
+    outcomes = pool.map([(0, None)])
+    assert outcomes[0].status == "crashed"
+    assert outcomes[0].attempts == 2
+
+
+def test_pool_enforces_timeout():
+    pool = ProcessPool(_sleep, jobs=1, timeout=0.5)
+    start = time.perf_counter()
+    outcomes = pool.map([(0, None)])
+    assert outcomes[0].status == "timeout"
+    assert time.perf_counter() - start < 15
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+def test_metrics_jsonl_and_summary(tmp_path):
+    runner = SuiteRunner(jobs=1, cache_dir=str(tmp_path / "c"))
+    runner.run([tiny_request()])
+    warm = SuiteRunner(jobs=1, cache_dir=str(tmp_path / "c"),
+                       metrics=runner.metrics)
+    warm.run([tiny_request()])
+    metrics = warm.metrics
+    assert metrics.hits == 1 and metrics.misses == 1
+    assert metrics.hit_rate == 0.5
+    summary = metrics.summary()
+    assert "1 hit" in summary and "1 miss" in summary
+    path = metrics.write_jsonl(str(tmp_path / "m" / "metrics.jsonl"))
+    lines = [json.loads(line) for line in open(path)]
+    assert lines[0]["event"] == "suite"
+    assert lines[0]["cache_hits"] == 1
+    runs = [line for line in lines if line["event"] == "run"]
+    assert len(runs) == 2
+    assert {run["cache_hit"] for run in runs} == {True, False}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_bench_manual_missing_errors_cleanly(capsys):
+    from repro.cli import main
+    from repro.workloads import all_workloads
+    name = next(w.name for w in all_workloads()
+                if not w.has_manual_variant)
+    start = time.perf_counter()
+    assert main(["bench", name, "--manual"]) == 2
+    # errors out before compiling/running anything
+    assert time.perf_counter() - start < 5.0
+    captured = capsys.readouterr()
+    assert "no manual variant" in captured.err
+    assert captured.out == ""
+
+
+def test_cli_suite_json_subset(tmp_path, capsys):
+    from repro.cli import main
+    from repro.workloads import all_workloads
+    name = all_workloads()[0].name
+    code = main(["suite", "--size", "small", "--only", name,
+                 "--jobs", "2", "--json",
+                 "--cache-dir", str(tmp_path / "cache")])
+    assert code == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert name in data["workloads"]
+    assert data["workloads"][name]["outputs_match"] is True
+    assert data["metrics"]["cache_misses"] == 1
+    # warm re-run hits the cache
+    main(["suite", "--size", "small", "--only", name, "--json",
+          "--cache-dir", str(tmp_path / "cache")])
+    data = json.loads(capsys.readouterr().out)
+    assert data["metrics"]["cache_hits"] == 1
+    assert data["metrics"]["cache_hit_rate"] == 1.0

@@ -4,24 +4,22 @@ meaningful, so they are guarded here at the small size)."""
 
 import pytest
 
+from repro.core.pipeline import Jrpm
 from repro.hydra.config import HydraConfig
-from repro.hydra.machine import Machine
-from repro.jit.compiler import compile_annotated
 from repro.jit.patterns import KIND_GENERAL, KIND_REDUCTION, KIND_RESETABLE
 from repro.minijava import compile_source
-from repro.tracer import Selector, TestProfiler
 from repro.workloads import lookup
+
+#: whole-workload profiling sweeps — excluded from the fast tier
+pytestmark = pytest.mark.slow
 
 
 def profile(name, size="small"):
-    config = HydraConfig()
-    program = compile_source(lookup(name).source(size))
-    annotated = compile_annotated(program, config)
-    profiler = TestProfiler(config, annotated.loop_table)
-    Machine(annotated, config, profiler=profiler).run()
-    selector = Selector(config, annotated.loop_table)
-    plans = selector.select(profiler.stats, profiler.dynamic_nesting)
-    return annotated, profiler, plans
+    """Steps 1-3 of the pipeline via the staged Jrpm API."""
+    jrpm = Jrpm(config=HydraConfig())
+    artifact = jrpm.profile(compile_source(lookup(name).source(size)))
+    plans = jrpm.select(artifact)
+    return artifact.annotated, artifact.profiler, plans
 
 
 def all_kinds(annotated):
@@ -63,16 +61,12 @@ def test_compress_dictionary_is_serial():
 
 
 def test_fft_overflow_pressure_at_large_size():
-    from repro.hydra.config import HydraConfig
-    config = HydraConfig()
-    program = compile_source(lookup("fft").source("large"))
-    annotated = compile_annotated(program, config)
-    profiler = TestProfiler(config, annotated.loop_table)
-    Machine(annotated, config, profiler=profiler).run()
+    artifact = Jrpm().profile(
+        compile_source(lookup("fft").source("large")))
     # The outer butterfly structure produces large per-iteration state
     # somewhere in the nest (the paper's fft buffer-overflow effect).
     assert any(stats.max_load_lines > 64 or stats.overflow_frequency > 0
-               for stats in profiler.stats.values())
+               for stats in artifact.stats.values())
 
 
 def test_jess_and_raytrace_allocate_in_loops():

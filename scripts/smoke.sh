@@ -6,7 +6,10 @@
 # 2. re-runs the same suite warm to prove the persistent report cache
 #    serves it near-instantly (expect a 100% hit rate in the metrics
 #    summary printed on stderr);
-# 3. runs the fast test tier (everything not marked `slow`).
+# 3. runs one traced workload and validates the exported Chrome trace
+#    against the repro.trace schema (Perfetto-loadable);
+# 4. runs the fast test tier (everything not marked `slow`), which
+#    includes the docs link lint (tests/test_docs_links.py).
 #
 # Usage: scripts/smoke.sh [extra pytest args]
 set -euo pipefail
@@ -27,6 +30,12 @@ echo
 echo "== smoke: warm cache =="
 time python -m repro suite --size small --only "$WORKLOADS" \
     --jobs 4 --cache-dir "$CACHE_DIR"
+
+echo
+echo "== smoke: traced run + Chrome-trace schema check =="
+python -m repro trace BitOps --size small --out "$CACHE_DIR/trace.json" \
+    > /dev/null
+python scripts/check_trace_schema.py "$CACHE_DIR/trace.json"
 
 echo
 echo "== smoke: fast test tier (pytest -m 'not slow') =="

@@ -18,9 +18,11 @@ from .core.pipeline import Jrpm, JrpmReport, VmOptions, run_jrpm
 from .hydra.config import DEFAULT_CONFIG, HydraConfig, SpeculationOverheads
 from .jit.stl import StlOptions
 from .minijava import compile_source
+from .trace import TraceAggregates, TraceCollector, TraceOptions
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["Jrpm", "JrpmReport", "run_jrpm", "VmOptions", "StlOptions",
            "HydraConfig", "DEFAULT_CONFIG", "SpeculationOverheads",
-           "compile_source", "__version__"]
+           "compile_source", "TraceCollector", "TraceOptions",
+           "TraceAggregates", "__version__"]

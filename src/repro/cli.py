@@ -8,6 +8,9 @@ Commands:
   memoized in the report cache, and print the summary
 * ``list``                      — list the available benchmarks
 * ``profile FILE``              — show only the TEST profile + verdicts
+* ``trace NAME|FILE --out T.json`` — run with the cycle-level event
+  collector attached and export a Chrome/Perfetto trace (see
+  docs/observability.md)
 """
 
 import argparse
@@ -44,20 +47,73 @@ def cmd_run(args):
     return 0 if report.outputs_match() else 1
 
 
-def cmd_bench(args):
+class _WorkloadError(Exception):
+    """Unusable bench/trace target (e.g. no manual variant)."""
+
+
+def _resolve_workload_source(args):
+    """(source, name) for a bench/trace target: registry name, or a
+    MiniJava file path (anything that exists on disk)."""
+    if os.path.exists(args.name):
+        with open(args.name) as fh:
+            return fh.read(), args.name
     from .workloads import lookup
     workload = lookup(args.name)
-    if args.manual:
+    if getattr(args, "manual", False):
         source = workload.manual_source(args.size)
         if source is None:
-            print("%s has no manual variant" % workload.name,
-                  file=sys.stderr)
-            return 2
+            raise _WorkloadError("%s has no manual variant"
+                                 % workload.name)
     else:
         source = workload.source(args.size)
-    report = Jrpm(config=_config_from(args)).run(
-        compile_source(source), name=workload.name)
+    return source, workload.name
+
+
+def cmd_bench(args):
+    try:
+        source, name = _resolve_workload_source(args)
+    except _WorkloadError as error:
+        print(error, file=sys.stderr)
+        return 2
+    trace = bool(args.trace or args.trace_out)
+    report = Jrpm(config=_config_from(args), trace=trace).run(
+        compile_source(source), name=name)
     print(format_report(report, verbose=args.verbose))
+    if trace:
+        _emit_trace(report, name, args.trace_out, timeline=False)
+    return 0 if report.outputs_match() else 1
+
+
+def _emit_trace(report, name, out, timeline=False):
+    """Print trace aggregates (stderr) and optionally export the
+    Chrome trace / per-loop timeline of a traced report."""
+    from .trace import format_timeline, write_chrome_trace
+    aggregates = report.trace_aggregates
+    if aggregates is not None:
+        for line in aggregates.summary_lines():
+            print(line, file=sys.stderr)
+    if out and report.trace is not None:
+        write_chrome_trace(report.trace, out, name=name)
+        print("trace:  wrote %s (%d events; open in "
+              "https://ui.perfetto.dev or chrome://tracing)"
+              % (out, aggregates.events_recorded if aggregates else 0),
+              file=sys.stderr)
+    if timeline and report.trace is not None:
+        print(format_timeline(report.trace))
+
+
+def cmd_trace(args):
+    try:
+        source, name = _resolve_workload_source(args)
+    except _WorkloadError as error:
+        print(error, file=sys.stderr)
+        return 2
+    from .trace import TraceOptions
+    options = TraceOptions(capacity=args.ring)
+    report = Jrpm(config=_config_from(args), trace=options).run(
+        compile_source(source), name=name)
+    print(format_report(report, verbose=args.verbose))
+    _emit_trace(report, name, args.out, timeline=args.timeline)
     return 0 if report.outputs_match() else 1
 
 
@@ -72,7 +128,7 @@ def cmd_suite(args):
     try:
         reports = runner.run_suite(
             size=args.size, config=_config_from(args),
-            workloads=workloads,
+            workloads=workloads, trace=args.trace,
             progress=lambda message: print(message, file=sys.stderr))
     except SuiteRunError as error:
         print(error, file=sys.stderr)
@@ -175,6 +231,12 @@ def main(argv=None):
                          choices=["small", "default", "large"])
     p_bench.add_argument("--manual", action="store_true")
     p_bench.add_argument("--verbose", "-v", action="store_true")
+    p_bench.add_argument("--trace", action="store_true",
+                         help="attach the event collector and print "
+                              "trace aggregates on stderr")
+    p_bench.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="also export a Chrome trace JSON "
+                              "(implies --trace)")
     _add_hw_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
@@ -195,6 +257,9 @@ def main(argv=None):
                               "on stdout")
     p_suite.add_argument("--only", default=None, metavar="NAMES",
                          help="comma-separated workload subset")
+    p_suite.add_argument("--trace", action="store_true",
+                         help="trace every run; aggregates flow into "
+                              "the JSONL metrics (separate cache keys)")
     _add_hw_flags(p_suite)
     p_suite.set_defaults(fn=cmd_suite)
 
@@ -206,6 +271,27 @@ def main(argv=None):
     p_prof.add_argument("file")
     _add_hw_flags(p_prof)
     p_prof.set_defaults(fn=cmd_profile)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one workload with cycle-level event tracing")
+    p_trace.add_argument("name",
+                         help="benchmark name or MiniJava file path")
+    p_trace.add_argument("--size", default="default",
+                         choices=["small", "default", "large"])
+    p_trace.add_argument("--manual", action="store_true")
+    p_trace.add_argument("--out", "-o", default=None, metavar="FILE",
+                         help="write a Chrome trace-event JSON "
+                              "(load in Perfetto / chrome://tracing)")
+    p_trace.add_argument("--timeline", action="store_true",
+                         help="print the per-loop text timeline on "
+                              "stdout")
+    p_trace.add_argument("--ring", type=int, default=65536,
+                         help="trace ring-buffer capacity in events "
+                              "(default 65536; oldest events drop "
+                              "first)")
+    p_trace.add_argument("--verbose", "-v", action="store_true")
+    _add_hw_flags(p_trace)
+    p_trace.set_defaults(fn=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.fn(args)

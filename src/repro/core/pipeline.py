@@ -110,6 +110,11 @@ class JrpmReport:
         self.profiler = None
         self.dynamic_nesting = set()
         self.max_dynamic_depth = 0
+        # observability (repro.trace): the aggregate counters survive
+        # serialization; the live collector (event ring) is transient,
+        # like `profiler`.
+        self.trace_aggregates = None     # TraceAggregates or None
+        self.trace = None                # live TraceCollector or None
 
     # -- headline numbers ----------------------------------------------------
     @property
@@ -239,16 +244,18 @@ class JrpmReport:
 
     # -- serialization -------------------------------------------------------
     #: bumped whenever the report dict layout changes (cache versioning)
-    SCHEMA_VERSION = 1
+    SCHEMA_VERSION = 2
 
     def to_dict(self):
         """Lossless JSON-safe dict of every measurement in the report.
 
-        The only attribute not serialized is :attr:`profiler` — the live
-        :class:`TestProfiler` with its comparator-bank hardware state —
-        whose measured results are already captured in ``loop_stats`` /
-        ``dynamic_nesting`` / ``max_dynamic_depth``.  Round-trips are
-        exact: ``report.to_dict() ==
+        The only attributes not serialized are :attr:`profiler` — the
+        live :class:`TestProfiler` with its comparator-bank hardware
+        state — and :attr:`trace` — the live event ring — whose measured
+        results are already captured in ``loop_stats`` /
+        ``dynamic_nesting`` / ``max_dynamic_depth`` /
+        ``trace_aggregates``.  Round-trips are exact:
+        ``report.to_dict() ==
         JrpmReport.from_dict(report.to_dict()).to_dict()``.
         """
         from ..serialize import set_to_pairs
@@ -279,6 +286,8 @@ class JrpmReport:
                               in self.stl_run_stats.items()},
             "dynamic_nesting": set_to_pairs(self.dynamic_nesting),
             "max_dynamic_depth": self.max_dynamic_depth,
+            "trace_aggregates": (self.trace_aggregates.to_dict()
+                                 if self.trace_aggregates else None),
         }
 
     @staticmethod
@@ -318,6 +327,11 @@ class JrpmReport:
                                 for k, v in data["stl_run_stats"].items()}
         report.dynamic_nesting = pairs_to_set(data["dynamic_nesting"])
         report.max_dynamic_depth = data["max_dynamic_depth"]
+        trace_aggregates = data.get("trace_aggregates")
+        if trace_aggregates is not None:
+            from ..trace import TraceAggregates
+            report.trace_aggregates = TraceAggregates.from_dict(
+                trace_aggregates)
         return report
 
 
@@ -371,10 +385,27 @@ class Jrpm:
     thin facade chaining all five into a :class:`JrpmReport`.
     """
 
-    def __init__(self, config=None, stl_options=None, vm_options=None):
+    def __init__(self, config=None, stl_options=None, vm_options=None,
+                 trace=None):
         self.config = config or HydraConfig()
         self.stl_options = stl_options or StlOptions()
         self.vm_options = vm_options or VmOptions()
+        #: observability (repro.trace): ``trace`` may be ``None`` (off,
+        #: the default), ``True`` (collector with default options), a
+        #: :class:`~repro.trace.TraceOptions`, or a ready-made
+        #: :class:`~repro.trace.TraceCollector`.
+        self.trace = self._normalize_trace(trace)
+
+    @staticmethod
+    def _normalize_trace(trace):
+        if trace is None or trace is False:
+            return None
+        from ..trace import TraceCollector, TraceOptions
+        if trace is True:
+            return TraceCollector()
+        if isinstance(trace, TraceOptions):
+            return TraceCollector(trace)
+        return trace
 
     # -- staged pipeline -----------------------------------------------------
     def compile_baseline(self, source_or_program, args=()):
@@ -390,7 +421,10 @@ class Jrpm:
         """Steps 1-2: annotated compile + sequential run under TEST."""
         program = self._program_of(source_or_program)
         annotated = compile_annotated(program, self.config)
-        profiler = TestProfiler(self.config, annotated.loop_table)
+        if self.trace is not None:
+            self.trace.set_phase("profile")
+        profiler = TestProfiler(self.config, annotated.loop_table,
+                                trace=self.trace)
         machine = Machine(annotated, self.config, profiler=profiler)
         measurement = RunMeasurement.from_result(machine.run(*args))
         return ProfileArtifact(annotated=annotated, profiler=profiler,
@@ -436,12 +470,17 @@ class Jrpm:
             breakdown.serial = fallback.cycles
             return TlsArtifact(measurement=fallback, breakdown=breakdown,
                                stl_stats={}, recompile_cycles=0)
+        if self.trace is not None:
+            self.trace.set_phase("tls")
         machine = Machine(
             recompiled, self.config,
             parallel_allocator=self.vm_options.parallel_allocator,
-            speculation_aware_locks=self.vm_options.speculation_aware_locks)
+            speculation_aware_locks=self.vm_options.speculation_aware_locks,
+            trace=self.trace)
         runtime = TlsRuntime(machine)
         measurement = RunMeasurement.from_result(machine.run(*args))
+        if self.trace is not None:
+            self.trace.finish(machine.hierarchy)
         breakdown = runtime.breakdown
         breakdown.serial = max(
             0.0, measurement.cycles - self._stl_wall_cycles(runtime))
@@ -469,6 +508,9 @@ class Jrpm:
         report.breakdown = tls_artifact.breakdown
         report.stl_run_stats = tls_artifact.stl_stats
         report.recompile_cycles = tls_artifact.recompile_cycles
+        if self.trace is not None:
+            report.trace = self.trace
+            report.trace_aggregates = self.trace.finish()
         return report
 
     # -- facade --------------------------------------------------------------

@@ -61,6 +61,33 @@ def format_report(report, verbose=False):
                 for reg, info in sorted(meta.carried_kinds.items()))
             if kinds:
                 out("      carried locals: %s" % kinds)
+    if verbose and report.stl_run_stats:
+        out("")
+        out("speculative run (per STL):")
+        out("  %-5s %7s %8s %9s %8s %9s %11s" % (
+            "loop", "entries", "threads", "avg cyc", "restarts",
+            "hwm load", "hwm store"))
+        load_limit = report.config.load_buffer_lines
+        store_limit = report.config.store_buffer_lines
+        for loop_id in sorted(report.stl_run_stats):
+            stats = report.stl_run_stats[loop_id]
+            load_mark = "%d/%d%s" % (stats.max_load_lines, load_limit,
+                                     "!" if stats.max_load_lines
+                                     > load_limit else "")
+            store_mark = "%d/%d%s" % (stats.max_store_lines, store_limit,
+                                      "!" if stats.max_store_lines
+                                      > store_limit else "")
+            out("  %-5d %7d %8d %9.1f %8d %9s %11s"
+                % (loop_id, stats.entries, stats.threads_committed,
+                   stats.avg_thread_cycles, stats.restarts,
+                   load_mark, store_mark))
+        out("  (hwm = speculative-buffer high-water mark in cache "
+            "lines, vs the hardware limit; '!' = overflowed)")
+    trace_aggregates = getattr(report, "trace_aggregates", None)
+    if verbose and trace_aggregates is not None:
+        out("")
+        for line in trace_aggregates.summary_lines():
+            out(line)
     if verbose and report.loop_stats:
         out("")
         out("TEST profile (per prospective STL):")

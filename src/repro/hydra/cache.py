@@ -96,3 +96,15 @@ class MemoryHierarchy:
 
     def flush_l1(self, cpu):
         self.l1[cpu].flush()
+
+    def counters(self):
+        """Cumulative hit/miss counters across all L1s plus the shared
+        L2 — harvested by the trace layer (``repro.trace``) into
+        counter tracks and :class:`~repro.trace.TraceAggregates`, so
+        cache observability costs nothing on the per-access path."""
+        return {
+            "l1_hits": sum(l1.hits for l1 in self.l1),
+            "l1_misses": sum(l1.misses for l1 in self.l1),
+            "l2_hits": self.l2.hits,
+            "l2_misses": self.l2.misses,
+        }

@@ -356,6 +356,8 @@ class CpuContext:
             for frame in self.frames:
                 roots.extend(frame.regs)
             gc_cycles = machine.gc.collect(roots)
+            if machine.trace is not None:
+                machine.trace.gc(self.time, self.cpu_id, gc_cycles)
             self.time += gc_cycles
             machine.gc_cycles += gc_cycles
         addr, latency = machine.allocator.allocate(
@@ -425,7 +427,8 @@ class Machine:
     """Owns the simulated hardware + VM services and runs programs."""
 
     def __init__(self, compiled, config, profiler=None,
-                 parallel_allocator=False, speculation_aware_locks=True):
+                 parallel_allocator=False, speculation_aware_locks=True,
+                 trace=None):
         self.compiled = compiled
         self.config = config
         self.memory = Memory()
@@ -436,6 +439,10 @@ class Machine:
         self.gc = GarbageCollector(compiled.program, compiled.layout,
                                    self.memory, self.allocator, config)
         self.profiler = profiler
+        #: Optional :class:`repro.trace.TraceCollector`; ``None`` (the
+        #: default) keeps every instrumentation site on the same
+        #: is-None guard the profiler hooks use — near-zero cost.
+        self.trace = trace
         self.tls_runtime = None
         self.output = []
         self.gc_cycles = 0

@@ -65,15 +65,25 @@ def options_fingerprint(config, stl_options, vm_options):
         sort_keys=True, separators=(",", ":"))
 
 
-def cache_key(source, args, config, stl_options, vm_options, salt=None):
-    """Content-addressed key for one pipeline run."""
-    material = json.dumps(
-        {"format": CACHE_FORMAT,
-         "source": hashlib.sha256(source.encode()).hexdigest(),
-         "args": list(args),
-         "options": options_fingerprint(config, stl_options, vm_options),
-         "code": salt if salt is not None else code_fingerprint()},
-        sort_keys=True, separators=(",", ":"))
+def cache_key(source, args, config, stl_options, vm_options, salt=None,
+              extra=None):
+    """Content-addressed key for one pipeline run.
+
+    *extra* is an optional JSON-safe dict of additional key material
+    (e.g. ``{"trace": True}`` for traced runs, whose reports carry
+    trace aggregates and must not collide with untraced ones).  ``None``
+    keeps keys identical to pre-*extra* versions of this function.
+    """
+    key_material = {
+        "format": CACHE_FORMAT,
+        "source": hashlib.sha256(source.encode()).hexdigest(),
+        "args": list(args),
+        "options": options_fingerprint(config, stl_options, vm_options),
+        "code": salt if salt is not None else code_fingerprint()}
+    if extra:
+        key_material["extra"] = extra
+    material = json.dumps(key_material, sort_keys=True,
+                          separators=(",", ":"))
     return hashlib.sha256(material.encode()).hexdigest()
 
 

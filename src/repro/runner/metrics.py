@@ -34,12 +34,25 @@ class RunRecord:
     commits: int = None
     violations: int = None
     overflow_stalls: int = None
+    # trace-subsystem aggregates (None unless the run was traced)
+    trace_events: int = None
+    trace_dropped: int = None
+    restarts: int = None
+    max_load_lines: int = None
+    max_store_lines: int = None
     error: str = None
 
     @staticmethod
     def from_report(report, **kwargs):
         """Record the headline numbers of a finished report."""
         breakdown = report.breakdown
+        trace = getattr(report, "trace_aggregates", None)
+        if trace is not None:
+            kwargs.setdefault("trace_events", trace.events_recorded)
+            kwargs.setdefault("trace_dropped", trace.events_dropped)
+            kwargs.setdefault("restarts", trace.restarts)
+            kwargs.setdefault("max_load_lines", trace.max_load_lines)
+            kwargs.setdefault("max_store_lines", trace.max_store_lines)
         return RunRecord(
             sequential_cycles=report.sequential.cycles,
             tls_cycles=report.tls.cycles,
@@ -134,6 +147,18 @@ class SuiteMetrics:
         overflows = sum(r.overflow_stalls or 0 for r in self.records)
         out("tls:    %d commits, %d violations, %d overflow stalls"
             % (commits, violations, overflows))
+        traced = [r for r in self.records if r.trace_events is not None]
+        if traced:
+            out("trace:  %d run%s traced, %d event%s recorded, "
+                "%d dropped, %d restart%s"
+                % (len(traced), "" if len(traced) == 1 else "s",
+                   sum(r.trace_events for r in traced),
+                   "" if sum(r.trace_events for r in traced) == 1
+                   else "s",
+                   sum(r.trace_dropped or 0 for r in traced),
+                   sum(r.restarts or 0 for r in traced),
+                   "" if sum(r.restarts or 0 for r in traced) == 1
+                   else "s"))
         if self.retried:
             out("retry:  %d run%s retried after worker death"
                 % (len(self.retried),

@@ -61,6 +61,10 @@ class RunRequest:
     source: str = None                # explicit source (skips registry)
     verify: bool = True               # assert sequential == TLS output
     tag: str = "default"              # ablation label for metrics/keys
+    #: run with the repro.trace event collector attached; the report's
+    #: trace aggregates flow into the JSONL metrics (and the cache key
+    #: diverges from the untraced run so reports never mix)
+    trace: bool = False
     #: test hook — path of a marker file; the first worker to execute
     #: this request creates the marker and dies (exercises retry logic)
     crash_marker: str = None
@@ -98,7 +102,8 @@ class RunRequest:
 
     def cache_key(self, salt=None):
         return cache_key(self.resolve_source(), self.args, self.config,
-                         self.stl_options, self.vm_options, salt=salt)
+                         self.stl_options, self.vm_options, salt=salt,
+                         extra={"trace": True} if self.trace else None)
 
 
 def execute_request(request):
@@ -115,7 +120,7 @@ def execute_request(request):
     start = time.perf_counter()
     source = request.resolve_source()
     jrpm = Jrpm(config=request.config, stl_options=request.stl_options,
-                vm_options=request.vm_options)
+                vm_options=request.vm_options, trace=request.trace)
     report = jrpm.run(compile_source(source), name=request.name,
                       args=request.args)
     if request.verify and not report.outputs_match():
@@ -273,14 +278,14 @@ class SuiteRunner:
     # -- conveniences ------------------------------------------------------------
     def run_suite(self, size="default", workloads=None, config=None,
                   stl_options=None, vm_options=None, args=(),
-                  progress=None):
+                  progress=None, trace=False):
         """Run the (sub)suite; returns ``{workload name: JrpmReport}``
         in registry order."""
         from ..workloads import all_workloads
         selected = workloads or [w.name for w in all_workloads()]
         requests = [RunRequest(workload=name, size=size, args=args,
                                config=config, stl_options=stl_options,
-                               vm_options=vm_options)
+                               vm_options=vm_options, trace=trace)
                     for name in selected]
         reports = self.run(requests, progress=progress)
         return {request.workload: report

@@ -22,11 +22,12 @@ class SpecThreadState:
     """Speculative state of one thread attempt on one CPU."""
 
     __slots__ = ("cpu_id", "iteration", "store_buffer", "store_lines",
-                 "read_versions", "read_lines", "state", "exit_id",
-                 "fp_addr", "violated", "overflowed", "request_reset",
-                 "pending_exception", "acc_compute", "acc_wait",
-                 "acc_overhead", "start_time", "switch_request",
-                 "pending_resets", "pending_output", "block_time")
+                 "read_versions", "read_lines", "read_sites", "state",
+                 "exit_id", "fp_addr", "violated", "overflowed",
+                 "request_reset", "pending_exception", "acc_compute",
+                 "acc_wait", "acc_overhead", "start_time",
+                 "switch_request", "pending_resets", "pending_output",
+                 "block_time")
 
     RUNNING = "running"
     WAIT_HEAD = "wait_head"       # finished EOI, waiting to commit
@@ -43,6 +44,7 @@ class SpecThreadState:
         self.store_lines = set()
         self.read_versions = {}       # addr -> version iteration (-1 = mem)
         self.read_lines = set()
+        self.read_sites = {}          # addr -> load site (tracing only)
         self.state = self.RUNNING
         self.exit_id = None
         self.violated = False
@@ -65,6 +67,8 @@ class SpecThreadState:
         self.store_lines.clear()
         self.read_versions.clear()
         self.read_lines.clear()
+        if self.read_sites:
+            self.read_sites.clear()
         self.state = self.RUNNING
         self.exit_id = None
         self.violated = False
@@ -80,13 +84,16 @@ class SpecMemoryInterface:
     """Memory interface installed on a CPU while it runs a speculative
     thread.  Implements forwarding, read tagging and overflow checks."""
 
-    __slots__ = ("ctx", "machine", "runtime", "config")
+    __slots__ = ("ctx", "machine", "runtime", "config", "trace")
 
     def __init__(self, ctx, runtime):
         self.ctx = ctx
         self.machine = ctx.machine
         self.runtime = runtime
         self.config = ctx.machine.config
+        # Trace collector (or None).  Cached here so the per-first-read
+        # guard below is one attribute load, not a machine lookup.
+        self.trace = getattr(ctx.machine, "trace", None)
 
     # -- lookups --------------------------------------------------------------
     def _find_version(self, addr):
@@ -127,6 +134,12 @@ class SpecMemoryInterface:
         # store buffer renames it; True means "vulnerable").
         if addr not in my.read_versions:
             my.read_versions[addr] = source != "own"
+            if self.trace is not None:
+                # Remember *which load* consumed the value so a later
+                # violation can report the arc's sink PC (paper Fig. 10
+                # wants arcs, not just counts).  Tracing-only: costs one
+                # dict store per first-read of an address.
+                my.read_sites[addr] = self.ctx.current_site
             line = addr >> CACHE_LINE_SHIFT
             my.read_lines.add(line)
             if (len(my.read_lines) > self.config.load_buffer_lines

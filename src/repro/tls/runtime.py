@@ -71,6 +71,10 @@ class _StlExecution:
         self.machine = runtime.machine
         self.config = runtime.config
         self.breakdown = runtime.breakdown
+        #: trace collector (or None) — every emission site below is
+        #: guarded so disabled tracing costs one is-None check on
+        #: control events only (see repro.trace)
+        self.trace = runtime.machine.trace
         self.master = master_ctx
         self.desc = descriptor
         self.n = self.config.num_cpus
@@ -104,6 +108,7 @@ class _StlExecution:
         speculative-read tag for *addr* is vulnerable must restart — and
         (Hydra protocol, Fig. 4) so must everything above it."""
         min_violated = None
+        victim = None
         for thread in self.threads:
             if thread.iteration <= storer.iteration:
                 continue
@@ -111,8 +116,18 @@ class _StlExecution:
                 if min_violated is None or \
                         thread.iteration < min_violated:
                     min_violated = thread.iteration
+                    victim = thread
         if min_violated is not None:
             now = self.ctxs[storer.cpu_id].time
+            if self.trace is not None:
+                # The RAW arc: the storer's current instruction is the
+                # source; the victim's tagged first-read of addr is the
+                # sink (recorded by SpecMemoryInterface while tracing).
+                self.trace.violation(
+                    now, storer.cpu_id, self.desc.stl_id,
+                    storer.iteration, min_violated, addr,
+                    self.ctxs[storer.cpu_id].current_site,
+                    victim.read_sites.get(addr))
             self.restart_from(min_violated, now, cause="violation")
 
     def restart_from(self, first_iteration, now, cause):
@@ -133,9 +148,11 @@ class _StlExecution:
         self.breakdown.run_violated += thread.acc_compute
         self.breakdown.wait_violated += thread.acc_wait + wait_extra
         self.breakdown.overhead += thread.acc_overhead
+        stats = self.runtime.stats_for(self.desc.stl_id)
+        stats.restarts += 1
         if primary and cause == "violation":
             self.breakdown.violations += 1
-            self.runtime.stats_for(self.desc.stl_id).violations += 1
+            stats.violations += 1
         else:
             self.breakdown.squashes += 1
         # Reset: same iteration, cold entry, registers persist.
@@ -144,6 +161,14 @@ class _StlExecution:
         frame.pc = 0
         ctx.frames = [frame]
         restart = self.config.overheads.restart
+        if self.trace is not None:
+            self.trace.thread_span(
+                thread.start_time, now, cpu, self.desc.stl_id,
+                thread.iteration, "restart" if primary else "squash")
+            self.trace.restart(now, cpu, self.desc.stl_id,
+                               thread.iteration, cause, primary)
+            self.trace.handler(max(ctx.time, now), cpu,
+                               self.desc.stl_id, "restart", restart)
         ctx.time = max(ctx.time, now) + restart
         ctx.status = "running"
         thread.acc_compute = 0.0
@@ -226,6 +251,15 @@ class _StlExecution:
                 spec.block_time = ctx.time
                 self.breakdown.overflow_stalls += 1
                 self.runtime.stats_for(self.desc.stl_id).overflow_stalls += 1
+                if self.trace is not None:
+                    load_lines = len(spec.read_lines)
+                    if load_lines > config.load_buffer_lines:
+                        buffer, lines = "load", load_lines
+                    else:
+                        buffer, lines = "store", len(spec.store_lines)
+                    self.trace.overflow(ctx.time, spec.cpu_id,
+                                        self.desc.stl_id, spec.iteration,
+                                        buffer, lines)
                 continue
 
             if signal is None:
@@ -236,6 +270,10 @@ class _StlExecution:
                 spec.acc_overhead += overhead
                 spec.acc_compute -= 1  # STL_EOI_END's cycle is overhead
                 spec.acc_overhead += 1
+                if self.trace is not None:
+                    self.trace.handler(ctx.time - overhead - 1,
+                                       spec.cpu_id, self.desc.stl_id,
+                                       "eoi", overhead + 1)
                 spec.state = _WAIT_HEAD
                 spec.block_time = ctx.time
             elif signal == "exit":
@@ -264,7 +302,16 @@ class _StlExecution:
         master.time += startup_cost
         self.breakdown.overhead += startup_cost
         self.breakdown.stl_entries += 1
-        self.runtime.stats_for(desc.stl_id).entries += 1
+        stats = self.runtime.stats_for(desc.stl_id)
+        stats.entries += 1
+        if self.trace is not None:
+            self.trace.stl(master.time - startup_cost, master.cpu_id,
+                           desc.stl_id, "enter", stats.entries)
+            self.trace.handler(master.time - startup_cost,
+                               master.cpu_id, desc.stl_id, "startup",
+                               startup_cost)
+            self.trace.cache_snapshot(master.time, machine.hierarchy,
+                                      force=True)
 
         self.fp_addr = machine.stack_alloc(max(desc.frame_words, 1) * 4)
         master_regs = master.frames[-1].regs
@@ -344,11 +391,23 @@ class _StlExecution:
         self.breakdown.wait_used += thread.acc_wait
         self.breakdown.overhead += thread.acc_overhead
         self.breakdown.commits += 1
+        load_lines = len(thread.read_lines)
+        store_lines = len(thread.store_lines)
         stats = self.runtime.stats_for(self.desc.stl_id)
         stats.threads_committed += 1
         stats.cycles_total += thread.acc_compute
-        stats.sum_load_lines += len(thread.read_lines)
-        stats.sum_store_lines += len(thread.store_lines)
+        stats.sum_load_lines += load_lines
+        stats.sum_store_lines += store_lines
+        if load_lines > stats.max_load_lines:
+            stats.max_load_lines = load_lines
+        if store_lines > stats.max_store_lines:
+            stats.max_store_lines = store_lines
+        if self.trace is not None:
+            self.trace.thread_span(thread.start_time, now, cpu,
+                                   self.desc.stl_id, thread.iteration,
+                                   "commit")
+            self.trace.buffers(self.desc.stl_id, load_lines, store_lines)
+            self.trace.cache_snapshot(now, self.machine.hierarchy)
 
         self.last_commit_time = now
         self.head_iteration += 1
@@ -426,6 +485,10 @@ class _StlExecution:
         self.breakdown.run_used += thread.acc_compute
         self.breakdown.wait_used += thread.acc_wait
         self.breakdown.overhead += thread.acc_overhead
+        if self.trace is not None:
+            self.trace.thread_span(thread.start_time, now,
+                                   thread.cpu_id, self.desc.stl_id,
+                                   thread.iteration, "exit")
 
         # Squash every other in-flight thread.
         for other_cpu, other in enumerate(self.threads):
@@ -438,6 +501,10 @@ class _StlExecution:
             self.breakdown.wait_violated += other.acc_wait + wait_extra
             self.breakdown.overhead += other.acc_overhead
             self.breakdown.squashes += 1
+            if self.trace is not None:
+                self.trace.thread_span(other.start_time, now, other_cpu,
+                                       self.desc.stl_id, other.iteration,
+                                       "squash")
 
         shutdown_cost = config.overheads.shutdown
         if self.desc.hoist:
@@ -445,6 +512,13 @@ class _StlExecution:
                                 - config.hoisted_shutdown_cycles)
         now += shutdown_cost
         self.breakdown.overhead += shutdown_cost
+        if self.trace is not None:
+            self.trace.handler(now - shutdown_cost, thread.cpu_id,
+                               self.desc.stl_id, "shutdown",
+                               shutdown_cost)
+            self.trace.stl(now, thread.cpu_id, self.desc.stl_id, "exit")
+            self.trace.cache_snapshot(now, self.machine.hierarchy,
+                                      force=True)
 
         # Copy communicated values back into the master's registers.
         master = self.master
@@ -520,6 +594,15 @@ class _StlExecution:
                 self.breakdown.wait_violated += other.acc_wait
                 self.breakdown.overhead += other.acc_overhead
                 self.breakdown.squashes += 1
+                self.runtime.stats_for(self.desc.stl_id).restarts += 1
+                if self.trace is not None:
+                    self.trace.thread_span(other.start_time, now,
+                                           other.cpu_id,
+                                           self.desc.stl_id,
+                                           other.iteration, "squash")
+                    self.trace.restart(now, other.cpu_id,
+                                       self.desc.stl_id,
+                                       other.iteration, "switch", False)
 
         frame = ctx.frames[-1]
         inner_desc = frame.code[frame.pc].aux

@@ -88,7 +88,8 @@ class StlRunStats:
 
     __slots__ = ("loop_id", "entries", "threads_committed", "cycles_total",
                  "sum_load_lines", "sum_store_lines", "violations",
-                 "overflow_stalls")
+                 "overflow_stalls", "restarts", "max_load_lines",
+                 "max_store_lines")
 
     def __init__(self, loop_id):
         self.loop_id = loop_id
@@ -99,6 +100,13 @@ class StlRunStats:
         self.sum_store_lines = 0
         self.violations = 0
         self.overflow_stalls = 0
+        #: every discarded thread attempt (primary restarts + collateral
+        #: squashes) — the restart-storm signal `format_report -v` shows
+        self.restarts = 0
+        #: speculative-buffer high-water marks (lines), vs the limits in
+        #: ``HydraConfig.load_buffer_lines`` / ``store_buffer_lines``
+        self.max_load_lines = 0
+        self.max_store_lines = 0
 
     @property
     def threads_per_entry(self):
@@ -129,5 +137,6 @@ class StlRunStats:
     def from_dict(data):
         stats = StlRunStats(data["loop_id"])
         for name in StlRunStats.__slots__:
-            setattr(stats, name, data[name])
+            if name in data:        # tolerate dicts from older schemas
+                setattr(stats, name, data[name])
         return stats

@@ -1,0 +1,56 @@
+"""A fixed-capacity ring buffer for trace events.
+
+The simulator can emit millions of events on a long run; recording must
+never grow without bound or slow down as the run progresses.  The ring
+preallocates ``capacity`` slots and overwrites the oldest event once
+full, counting what it dropped — exactly how hardware trace buffers
+(and the paper's repurposed store-buffer timestamp tables) behave.
+"""
+
+
+class TraceRing:
+    """Append-only ring of :class:`~repro.trace.events.TraceEvent`."""
+
+    __slots__ = ("capacity", "_slots", "_next", "_count", "dropped")
+
+    def __init__(self, capacity=65536):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._slots = [None] * capacity
+        self._next = 0          # next write index
+        self._count = 0         # live events (<= capacity)
+        self.dropped = 0        # events overwritten after wraparound
+
+    def append(self, event):
+        index = self._next
+        if self._count == self.capacity:
+            self.dropped += 1
+        else:
+            self._count += 1
+        self._slots[index] = event
+        self._next = (index + 1) % self.capacity
+
+    def __len__(self):
+        return self._count
+
+    @property
+    def total_seen(self):
+        """Events ever appended (live + dropped)."""
+        return self._count + self.dropped
+
+    def events(self):
+        """The live events, oldest first (handles wraparound)."""
+        if self._count < self.capacity:
+            return self._slots[:self._count]
+        head = self._next
+        return self._slots[head:] + self._slots[:head]
+
+    def __iter__(self):
+        return iter(self.events())
+
+    def clear(self):
+        self._slots = [None] * self.capacity
+        self._next = 0
+        self._count = 0
+        self.dropped = 0

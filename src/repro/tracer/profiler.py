@@ -96,9 +96,13 @@ class TestProfiler:
     #: not a pytest test class, despite the paper's naming of TEST
     __test__ = False
 
-    def __init__(self, config, loop_table=None):
+    def __init__(self, config, loop_table=None, trace=None):
         self.config = config
         self.loop_table = loop_table or {}
+        #: optional repro.trace.TraceCollector — records profile-phase
+        #: loop activations and comparator-bank pressure on the "TEST
+        #: profile" track of the exported Chrome trace
+        self.trace = trace
         self.stats = {}               # loop_id -> LoopStats
         self.active = []              # stack of ActiveLoop
         self.banks_in_use = 0
@@ -136,8 +140,12 @@ class TestProfiler:
                 bank = active.bank
                 active.bank = None
                 self.bank_steals += 1
+                if self.trace is not None:
+                    self.trace.bank(now, active.loop_id, "steal")
                 return ComparatorBank(instance, now, self.config.bank_history)
         self.missed_allocations += 1
+        if self.trace is not None:
+            self.trace.bank(now, instance.loop_id, "missed")
         return None
 
     # -- loop events ----------------------------------------------------------
@@ -152,6 +160,8 @@ class TestProfiler:
         active = ActiveLoop(loop_id, instance_id, None)
         active.bank = self._allocate_bank(active, now)
         self.active.append(active)
+        if self.trace is not None:
+            self.trace.profile_loop(now, loop_id, "enter")
         stats = self.stats_for(loop_id)
         stats.entries += 1
         if active.bank is not None:
@@ -181,6 +191,8 @@ class TestProfiler:
             stats.total_iterations += 1
             self._finish_thread(stats, active.bank, now)
             self.banks_in_use -= 1
+        if self.trace is not None:
+            self.trace.profile_loop(now, loop_id, "exit")
         self.active.remove(active)
 
     def _finish_thread(self, stats, bank, now):

@@ -1,0 +1,65 @@
+"""Docs hygiene: every relative link in the repo's markdown resolves.
+
+Fast-tier guard: a renamed doc or a typo'd ``[text](path)`` fails here
+instead of shipping a dead link.  External URLs and pure anchors are
+out of scope — only relative file links are checked.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) — excluding images' inner ! is fine, same rule applies
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    found = []
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames
+                       if d not in (".git", ".cache", "__pycache__",
+                                    ".pytest_cache", "node_modules",
+                                    ".hypothesis")]
+        for filename in filenames:
+            if filename.endswith(".md"):
+                found.append(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def relative_links(path):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # strip fenced code blocks — shell/one-liner examples are not links
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("md_path", markdown_files(),
+                         ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_relative_markdown_links_resolve(md_path):
+    base = os.path.dirname(md_path)
+    dead = []
+    for target in relative_links(md_path):
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            dead.append(target)
+    assert not dead, ("dead relative link(s) in %s: %s"
+                      % (os.path.relpath(md_path, REPO_ROOT), dead))
+
+
+def test_docs_are_linked_from_readme():
+    with open(os.path.join(REPO_ROOT, "README.md"),
+              encoding="utf-8") as fh:
+        readme = fh.read()
+    for doc in ("docs/architecture.md", "docs/observability.md",
+                "docs/minijava.md"):
+        assert doc in readme, "%s not linked from README" % doc

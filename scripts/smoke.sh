@@ -8,7 +8,9 @@
 #    summary printed on stderr);
 # 3. runs one traced workload and validates the exported Chrome trace
 #    against the repro.trace schema (Perfetto-loadable);
-# 4. runs the fast test tier (everything not marked `slow`), which
+# 4. runs one workload under the adaptive recompilation controller and
+#    validates the emitted decision log against the repro.adapt schema;
+# 5. runs the fast test tier (everything not marked `slow`), which
 #    includes the docs link lint (tests/test_docs_links.py).
 #
 # Usage: scripts/smoke.sh [extra pytest args]
@@ -36,6 +38,12 @@ echo "== smoke: traced run + Chrome-trace schema check =="
 python -m repro trace BitOps --size small --out "$CACHE_DIR/trace.json" \
     > /dev/null
 python scripts/check_trace_schema.py "$CACHE_DIR/trace.json"
+
+echo
+echo "== smoke: adaptive recompilation + decision-log schema check =="
+python -m repro adapt BitOps --size small --epochs 3 --json \
+    > "$CACHE_DIR/adapt.json"
+python scripts/check_adapt_log.py "$CACHE_DIR/adapt.json"
 
 echo
 echo "== smoke: fast test tier (pytest -m 'not slow') =="

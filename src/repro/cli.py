@@ -11,6 +11,9 @@ Commands:
 * ``trace NAME|FILE --out T.json`` — run with the cycle-level event
   collector attached and export a Chrome/Perfetto trace (see
   docs/observability.md)
+* ``adapt NAME|FILE [--epochs N] [--policy P] [--json]`` — run under
+  the epoch-based adaptive recompilation controller and print the
+  decision log (see docs/adaptation.md)
 """
 
 import argparse
@@ -76,8 +79,12 @@ def cmd_bench(args):
         print(error, file=sys.stderr)
         return 2
     trace = bool(args.trace or args.trace_out)
-    report = Jrpm(config=_config_from(args), trace=trace).run(
-        compile_source(source), name=name)
+    jrpm = Jrpm(config=_config_from(args), trace=trace)
+    if args.adapt:
+        report = jrpm.run_adaptive(compile_source(source), name=name,
+                                   epochs=args.adapt_epochs)
+    else:
+        report = jrpm.run(compile_source(source), name=name)
     print(format_report(report, verbose=args.verbose))
     if trace:
         _emit_trace(report, name, args.trace_out, timeline=False)
@@ -117,6 +124,36 @@ def cmd_trace(args):
     return 0 if report.outputs_match() else 1
 
 
+def cmd_adapt(args):
+    """Adaptive recompilation: run epochs under the feedback
+    controller, print (or emit as JSON) the decision log."""
+    try:
+        source, name = _resolve_workload_source(args)
+    except _WorkloadError as error:
+        print(error, file=sys.stderr)
+        return 2
+    from .adapt import make_policy
+    policy = make_policy(args.policy,
+                         decommit_threshold=args.decommit_threshold,
+                         violation_cutoff=args.violation_cutoff,
+                         cooldown=args.cooldown)
+    jrpm = Jrpm(config=_config_from(args), trace=args.trace)
+    report = jrpm.run_adaptive(compile_source(source), name=name,
+                               args=(), policy=policy,
+                               epochs=args.epochs, verify=True)
+    log = report.adaptation
+    if args.json:
+        payload = log.to_dict()
+        payload["outputs_match"] = report.outputs_match()
+        payload["tls_speedup"] = report.tls_speedup
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_report(report, verbose=args.verbose))
+    if args.trace and args.trace_out:
+        _emit_trace(report, name, args.trace_out, timeline=False)
+    return 0 if report.outputs_match() else 1
+
+
 def cmd_suite(args):
     from .runner import SuiteRunError, SuiteRunner
     runner = SuiteRunner(jobs=args.jobs, cache_dir=args.cache_dir,
@@ -129,6 +166,7 @@ def cmd_suite(args):
         reports = runner.run_suite(
             size=args.size, config=_config_from(args),
             workloads=workloads, trace=args.trace,
+            adapt=args.adapt, adapt_epochs=args.adapt_epochs,
             progress=lambda message: print(message, file=sys.stderr))
     except SuiteRunError as error:
         print(error, file=sys.stderr)
@@ -147,20 +185,34 @@ def cmd_suite(args):
     return 0
 
 
+def _workload_json(report):
+    entry = {
+        "sequential_cycles": report.sequential.cycles,
+        "tls_cycles": report.tls.cycles,
+        "tls_speedup": report.tls_speedup,
+        "predicted_speedup": report.predicted_speedup,
+        "total_speedup": report.total_speedup,
+        "profiling_slowdown": report.profiling_slowdown,
+        "selected_stls": len(report.plans),
+        "outputs_match": report.outputs_match(),
+    }
+    if report.adaptation is not None:
+        log = report.adaptation
+        entry["adapt"] = {
+            "epochs": log.epochs_run,
+            "decisions": len(log.applied_decisions()),
+            "converged_epoch": log.converged_epoch,
+            "initial_cycles": log.initial_cycles,
+            "final_cycles": log.final_cycles,
+            "steady_state_gain": log.steady_state_gain,
+        }
+    return entry
+
+
 def _suite_json(reports, metrics):
     return {
-        "workloads": {
-            name: {
-                "sequential_cycles": report.sequential.cycles,
-                "tls_cycles": report.tls.cycles,
-                "tls_speedup": report.tls_speedup,
-                "predicted_speedup": report.predicted_speedup,
-                "total_speedup": report.total_speedup,
-                "profiling_slowdown": report.profiling_slowdown,
-                "selected_stls": len(report.plans),
-                "outputs_match": report.outputs_match(),
-            }
-            for name, report in reports.items()},
+        "workloads": {name: _workload_json(report)
+                      for name, report in reports.items()},
         "metrics": {
             "runs": len(metrics.records),
             "cache_hits": metrics.hits,
@@ -237,6 +289,12 @@ def main(argv=None):
     p_bench.add_argument("--trace-out", default=None, metavar="FILE",
                          help="also export a Chrome trace JSON "
                               "(implies --trace)")
+    p_bench.add_argument("--adapt", action="store_true",
+                         help="run under the adaptive recompilation "
+                              "controller (docs/adaptation.md)")
+    p_bench.add_argument("--adapt-epochs", type=int, default=4,
+                         metavar="N",
+                         help="epochs for --adapt (default 4)")
     _add_hw_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
@@ -260,6 +318,13 @@ def main(argv=None):
     p_suite.add_argument("--trace", action="store_true",
                          help="trace every run; aggregates flow into "
                               "the JSONL metrics (separate cache keys)")
+    p_suite.add_argument("--adapt", action="store_true",
+                         help="run every workload under the adaptive "
+                              "recompilation controller (separate "
+                              "cache keys)")
+    p_suite.add_argument("--adapt-epochs", type=int, default=4,
+                         metavar="N",
+                         help="epochs for --adapt (default 4)")
     _add_hw_flags(p_suite)
     p_suite.set_defaults(fn=cmd_suite)
 
@@ -292,6 +357,46 @@ def main(argv=None):
     p_trace.add_argument("--verbose", "-v", action="store_true")
     _add_hw_flags(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_adapt = sub.add_parser(
+        "adapt", help="run one workload under the adaptive "
+                      "recompilation controller")
+    p_adapt.add_argument("name",
+                         help="benchmark name or MiniJava file path")
+    p_adapt.add_argument("--size", default="default",
+                         choices=["small", "default", "large"])
+    p_adapt.add_argument("--manual", action="store_true")
+    p_adapt.add_argument("--epochs", type=int, default=4,
+                         help="maximum epochs (default 4)")
+    p_adapt.add_argument("--policy", default="threshold",
+                         choices=["threshold", "null"],
+                         help="adaptation policy (default threshold)")
+    p_adapt.add_argument("--decommit-threshold", type=float,
+                         default=None, metavar="X",
+                         help="decommit STLs whose realized speedup "
+                              "falls below X (policy default 1.0)")
+    p_adapt.add_argument("--violation-cutoff", type=float, default=None,
+                         metavar="X",
+                         help="lock-escalate above X violations per "
+                              "committed thread (policy default 0.25)")
+    p_adapt.add_argument("--cooldown", type=int, default=None,
+                         metavar="N",
+                         help="hysteresis: leave an acted-on STL alone "
+                              "for N epochs (policy default 1)")
+    p_adapt.add_argument("--json", action="store_true",
+                         help="emit the adaptation log as JSON on "
+                              "stdout (schema checked by "
+                              "scripts/check_adapt_log.py)")
+    p_adapt.add_argument("--trace", action="store_true",
+                         help="attach the event collector (adapt "
+                              "decisions appear on the Perfetto "
+                              "timeline)")
+    p_adapt.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="export a Chrome trace JSON (with "
+                              "--trace)")
+    p_adapt.add_argument("--verbose", "-v", action="store_true")
+    _add_hw_flags(p_adapt)
+    p_adapt.set_defaults(fn=cmd_adapt)
 
     args = parser.parse_args(argv)
     return args.fn(args)

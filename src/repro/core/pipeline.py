@@ -25,6 +25,21 @@ from ..tracer.profiler import TestProfiler
 from ..tracer.selector import Selector
 
 
+def outputs_equal(a, b, tolerance=1e-6):
+    """Elementwise output comparison; floats approximately (reductions
+    are re-associated across CPUs), everything else exactly."""
+    if len(a) != len(b):
+        return False
+    for left, right in zip(a, b):
+        if isinstance(left, float) or isinstance(right, float):
+            scale = max(abs(left), abs(right), 1.0)
+            if abs(left - right) > tolerance * scale:
+                return False
+        elif left != right:
+            return False
+    return True
+
+
 @dataclass
 class VmOptions:
     """VM-level modifications from paper §5 (Table 3 columns t, u)."""
@@ -115,6 +130,9 @@ class JrpmReport:
         # like `profiler`.
         self.trace_aggregates = None     # TraceAggregates or None
         self.trace = None                # live TraceCollector or None
+        # adaptive recompilation (repro.adapt): the epoch/decision log
+        # produced by Jrpm.run_adaptive(); None on one-shot runs
+        self.adaptation = None           # AdaptationLog or None
 
     # -- headline numbers ----------------------------------------------------
     @property
@@ -229,22 +247,12 @@ class JrpmReport:
     def outputs_match(self, tolerance=1e-6):
         """Check sequential vs TLS output equality (floats approximately:
         reductions are re-associated across CPUs)."""
-        a = self.sequential.output
-        b = self.tls.output
-        if len(a) != len(b):
-            return False
-        for left, right in zip(a, b):
-            if isinstance(left, float) or isinstance(right, float):
-                scale = max(abs(left), abs(right), 1.0)
-                if abs(left - right) > tolerance * scale:
-                    return False
-            elif left != right:
-                return False
-        return True
+        return outputs_equal(self.sequential.output, self.tls.output,
+                             tolerance)
 
     # -- serialization -------------------------------------------------------
     #: bumped whenever the report dict layout changes (cache versioning)
-    SCHEMA_VERSION = 2
+    SCHEMA_VERSION = 3
 
     def to_dict(self):
         """Lossless JSON-safe dict of every measurement in the report.
@@ -288,6 +296,8 @@ class JrpmReport:
             "max_dynamic_depth": self.max_dynamic_depth,
             "trace_aggregates": (self.trace_aggregates.to_dict()
                                  if self.trace_aggregates else None),
+            "adaptation": (self.adaptation.to_dict()
+                           if self.adaptation else None),
         }
 
     @staticmethod
@@ -332,6 +342,10 @@ class JrpmReport:
             from ..trace import TraceAggregates
             report.trace_aggregates = TraceAggregates.from_dict(
                 trace_aggregates)
+        adaptation = data.get("adaptation")
+        if adaptation is not None:
+            from ..adapt.log import AdaptationLog
+            report.adaptation = AdaptationLog.from_dict(adaptation)
         return report
 
 
@@ -525,6 +539,28 @@ class Jrpm:
                                         fallback=baseline.measurement)
         return self.assemble_report(name, baseline, profile_artifact,
                                     plans, tls_artifact)
+
+    def run_adaptive(self, source_or_program, name="program", args=(),
+                     policy=None, epochs=4, stop_on_converged=True,
+                     verify=False):
+        """Run the pipeline under the epoch-based feedback controller.
+
+        Unlike :meth:`run` (one-shot: the TEST profile is trusted
+        forever), the returned report's ``adaptation`` attribute is an
+        :class:`~repro.adapt.log.AdaptationLog` recording every epoch,
+        decommit, lock escalation and promotion the
+        :class:`~repro.adapt.controller.AdaptController` performed.
+        ``policy`` may be an :class:`~repro.adapt.policy.AdaptPolicy`
+        instance, a registered policy name, or ``None`` (threshold
+        defaults).
+        """
+        from ..adapt import AdaptController, make_policy
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        controller = AdaptController(self, policy=policy, epochs=epochs,
+                                     stop_on_converged=stop_on_converged,
+                                     verify=verify)
+        return controller.run(source_or_program, name=name, args=args)
 
     @staticmethod
     def _stl_wall_cycles(runtime):

@@ -83,6 +83,11 @@ def format_report(report, verbose=False):
                    load_mark, store_mark))
         out("  (hwm = speculative-buffer high-water mark in cache "
             "lines, vs the hardware limit; '!' = overflowed)")
+    adaptation = getattr(report, "adaptation", None)
+    if adaptation is not None:
+        out("")
+        for line in adaptation.summary_lines(verbose=verbose):
+            out(line)
     trace_aggregates = getattr(report, "trace_aggregates", None)
     if verbose and trace_aggregates is not None:
         out("")

@@ -40,6 +40,12 @@ class RunRecord:
     restarts: int = None
     max_load_lines: int = None
     max_store_lines: int = None
+    # adaptive recompilation (None unless the run used repro.adapt)
+    adapt_epochs: int = None
+    adapt_decisions: int = None
+    adapt_converged_epoch: int = None
+    adapt_initial_cycles: float = None
+    adapt_final_cycles: float = None
     error: str = None
 
     @staticmethod
@@ -53,6 +59,17 @@ class RunRecord:
             kwargs.setdefault("restarts", trace.restarts)
             kwargs.setdefault("max_load_lines", trace.max_load_lines)
             kwargs.setdefault("max_store_lines", trace.max_store_lines)
+        adaptation = getattr(report, "adaptation", None)
+        if adaptation is not None:
+            kwargs.setdefault("adapt_epochs", adaptation.epochs_run)
+            kwargs.setdefault("adapt_decisions",
+                              len(adaptation.applied_decisions()))
+            kwargs.setdefault("adapt_converged_epoch",
+                              adaptation.converged_epoch)
+            kwargs.setdefault("adapt_initial_cycles",
+                              adaptation.initial_cycles)
+            kwargs.setdefault("adapt_final_cycles",
+                              adaptation.final_cycles)
         return RunRecord(
             sequential_cycles=report.sequential.cycles,
             tls_cycles=report.tls.cycles,
@@ -159,6 +176,17 @@ class SuiteMetrics:
                    sum(r.restarts or 0 for r in traced),
                    "" if sum(r.restarts or 0 for r in traced) == 1
                    else "s"))
+        adapted = [r for r in self.records if r.adapt_epochs is not None]
+        if adapted:
+            out("adapt:  %d run%s adaptive, %d epoch%s, %d decision%s "
+                "applied"
+                % (len(adapted), "" if len(adapted) == 1 else "s",
+                   sum(r.adapt_epochs for r in adapted),
+                   "" if sum(r.adapt_epochs for r in adapted) == 1
+                   else "s",
+                   sum(r.adapt_decisions or 0 for r in adapted),
+                   "" if sum(r.adapt_decisions or 0 for r in adapted)
+                   == 1 else "s"))
         if self.retried:
             out("retry:  %d run%s retried after worker death"
                 % (len(self.retried),

@@ -65,6 +65,12 @@ class RunRequest:
     #: trace aggregates flow into the JSONL metrics (and the cache key
     #: diverges from the untraced run so reports never mix)
     trace: bool = False
+    #: run under the adaptive recompilation controller (repro.adapt)
+    #: instead of the one-shot pipeline; the adaptation log rides the
+    #: cached report, and the cache key diverges from one-shot runs
+    adapt: bool = False
+    adapt_epochs: int = 4
+    adapt_policy: str = "threshold"
     #: test hook — path of a marker file; the first worker to execute
     #: this request creates the marker and dies (exercises retry logic)
     crash_marker: str = None
@@ -101,9 +107,16 @@ class RunRequest:
         return self.source
 
     def cache_key(self, salt=None):
+        extra = {}
+        if self.trace:
+            extra["trace"] = True
+        if self.adapt:
+            extra["adapt"] = True
+            extra["adapt_epochs"] = self.adapt_epochs
+            extra["adapt_policy"] = self.adapt_policy
         return cache_key(self.resolve_source(), self.args, self.config,
                          self.stl_options, self.vm_options, salt=salt,
-                         extra={"trace": True} if self.trace else None)
+                         extra=extra or None)
 
 
 def execute_request(request):
@@ -121,8 +134,14 @@ def execute_request(request):
     source = request.resolve_source()
     jrpm = Jrpm(config=request.config, stl_options=request.stl_options,
                 vm_options=request.vm_options, trace=request.trace)
-    report = jrpm.run(compile_source(source), name=request.name,
-                      args=request.args)
+    if request.adapt:
+        report = jrpm.run_adaptive(
+            compile_source(source), name=request.name,
+            args=request.args, policy=request.adapt_policy,
+            epochs=request.adapt_epochs)
+    else:
+        report = jrpm.run(compile_source(source), name=request.name,
+                          args=request.args)
     if request.verify and not report.outputs_match():
         raise AssertionError(
             "%s: speculative output diverged from sequential"
@@ -278,14 +297,17 @@ class SuiteRunner:
     # -- conveniences ------------------------------------------------------------
     def run_suite(self, size="default", workloads=None, config=None,
                   stl_options=None, vm_options=None, args=(),
-                  progress=None, trace=False):
+                  progress=None, trace=False, adapt=False,
+                  adapt_epochs=4, adapt_policy="threshold"):
         """Run the (sub)suite; returns ``{workload name: JrpmReport}``
         in registry order."""
         from ..workloads import all_workloads
         selected = workloads or [w.name for w in all_workloads()]
         requests = [RunRequest(workload=name, size=size, args=args,
                                config=config, stl_options=stl_options,
-                               vm_options=vm_options, trace=trace)
+                               vm_options=vm_options, trace=trace,
+                               adapt=adapt, adapt_epochs=adapt_epochs,
+                               adapt_policy=adapt_policy)
                     for name in selected]
         reports = self.run(requests, progress=progress)
         return {request.workload: report

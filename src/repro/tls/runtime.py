@@ -88,6 +88,10 @@ class _StlExecution:
         self.unit = _ThreadCodeUnit(descriptor)
         self.steps = 0
         self.max_steps = 200_000_000
+        #: master clock at STL entry — _shutdown charges the elapsed
+        #: wall cycles to StlRunStats.wall_cycles (realized-speedup
+        #: denominator for the adapt controller)
+        self.entry_master_time = 0.0
 
     # ------------------------------------------------------------------
     # speculation services used by SpecMemoryInterface
@@ -293,6 +297,7 @@ class _StlExecution:
         master = self.master
         desc = self.desc
         overheads = config.overheads
+        self.entry_master_time = master.time
 
         startup_cost = overheads.startup
         if desc.hoist and self.runtime.last_descriptor is desc:
@@ -551,6 +556,8 @@ class _StlExecution:
         # Attribute the workers' executed instructions to the master so
         # RunResult.instructions covers the whole simulation.
         master.instret += sum(ctx.instret for ctx in self.ctxs)
+        self.runtime.stats_for(self.desc.stl_id).wall_cycles += \
+            master.time - self.entry_master_time
         self.machine.stack_release(self.fp_addr)
         return thread.exit_id
 
@@ -560,6 +567,8 @@ class _StlExecution:
         now = max(ctx.time, self.last_commit_time)
         self._drain_store_buffer(thread)
         self.master.time = now + self.config.overheads.shutdown
+        self.runtime.stats_for(self.desc.stl_id).wall_cycles += \
+            self.master.time - self.entry_master_time
         self.machine.stack_release(self.fp_addr)
         raise thread.pending_exception
 

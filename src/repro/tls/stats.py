@@ -89,13 +89,17 @@ class StlRunStats:
     __slots__ = ("loop_id", "entries", "threads_committed", "cycles_total",
                  "sum_load_lines", "sum_store_lines", "violations",
                  "overflow_stalls", "restarts", "max_load_lines",
-                 "max_store_lines")
+                 "max_store_lines", "wall_cycles")
 
     def __init__(self, loop_id):
         self.loop_id = loop_id
         self.entries = 0
         self.threads_committed = 0
         self.cycles_total = 0.0
+        #: master-clock cycles from STL entry to shutdown return —
+        #: committed work / wall is the *realized* speedup the adapt
+        #: controller compares against TEST's prediction
+        self.wall_cycles = 0.0
         self.sum_load_lines = 0
         self.sum_store_lines = 0
         self.violations = 0

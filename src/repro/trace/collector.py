@@ -16,9 +16,9 @@ cheap aggregate counter bumps, so enabled tracing stays inside the
 from dataclasses import dataclass
 
 from .aggregate import TraceAggregates
-from .events import (EV_BANK, EV_CACHE, EV_GC, EV_HANDLER, EV_LOOP,
-                     EV_OVERFLOW, EV_RESTART, EV_STL, EV_THREAD,
-                     EV_VIOLATION, TraceEvent)
+from .events import (EV_ADAPT, EV_BANK, EV_CACHE, EV_GC, EV_HANDLER,
+                     EV_LOOP, EV_OVERFLOW, EV_RESTART, EV_STL,
+                     EV_THREAD, EV_VIOLATION, TraceEvent)
 from .ring import TraceRing
 
 
@@ -157,3 +157,9 @@ class TraceCollector:
     # -- VM events -------------------------------------------------------------
     def gc(self, ts, cpu, cycles):
         self._emit(EV_GC, ts, cpu, cycles, None, ())
+
+    # -- adaptive recompilation events ----------------------------------------
+    def adapt(self, ts, loop, action, epoch, detail=""):
+        """An applied adaptive recompilation decision (repro.adapt):
+        ``action`` in ``decommit | lock_escalate | promote``."""
+        self._emit(EV_ADAPT, ts, None, 0.0, loop, (action, epoch, detail))

@@ -39,6 +39,9 @@ Payload layouts (``data``):
 * ``EV_BANK``      — ``(what,)`` comparator-bank pressure:
   ``"steal" | "missed"``.
 * ``EV_GC``        — ``()``; ``dur`` is the collection's cycles.
+* ``EV_ADAPT``     — ``(action, epoch, detail)``: an applied adaptive
+  recompilation decision (``decommit | lock_escalate | promote``) from
+  :mod:`repro.adapt`; ``loop`` is the affected STL.
 """
 
 from collections import namedtuple
@@ -56,10 +59,12 @@ EV_CACHE = "cache"            # L1/L2 hit-counter snapshot (counter)
 EV_LOOP = "loop"              # TEST profile-phase loop enter/exit
 EV_BANK = "bank"              # comparator-bank steal / exhaustion
 EV_GC = "gc"                  # garbage collection pause (span)
+EV_ADAPT = "adapt"            # adaptive recompilation decision (instant)
 
 #: Every kind, in documentation order.
 EVENT_KINDS = (EV_THREAD, EV_VIOLATION, EV_RESTART, EV_OVERFLOW,
-               EV_HANDLER, EV_STL, EV_CACHE, EV_LOOP, EV_BANK, EV_GC)
+               EV_HANDLER, EV_STL, EV_CACHE, EV_LOOP, EV_BANK, EV_GC,
+               EV_ADAPT)
 
 #: Thread-attempt outcomes (EV_THREAD payloads).
 OUTCOME_COMMIT = "commit"

@@ -18,9 +18,9 @@ kilocycles.
 
 import json
 
-from .events import (EV_BANK, EV_CACHE, EV_GC, EV_HANDLER, EV_LOOP,
-                     EV_OVERFLOW, EV_RESTART, EV_STL, EV_THREAD,
-                     EV_VIOLATION)
+from .events import (EV_ADAPT, EV_BANK, EV_CACHE, EV_GC, EV_HANDLER,
+                     EV_LOOP, EV_OVERFLOW, EV_RESTART, EV_STL,
+                     EV_THREAD, EV_VIOLATION)
 
 PID_PROFILE = 0
 PID_TLS = 1
@@ -121,6 +121,13 @@ def chrome_trace(collector, name="jrpm"):
             add({"name": "bank %s" % event.data[0], "cat": "profile",
                  "ph": "i", "ts": event.ts, "pid": PID_PROFILE,
                  "tid": 0, "s": "t", "args": {"loop": loop}})
+        elif kind == EV_ADAPT:
+            action, epoch, detail = event.data
+            add({"name": "adapt: %s loop %s" % (action, loop),
+                 "cat": "adapt", "ph": "i", "ts": event.ts,
+                 "pid": PID_TLS, "tid": 0, "s": "g",
+                 "args": {"loop": loop, "action": action,
+                          "epoch": epoch, "detail": detail}})
 
     metadata = [
         {"ph": "M", "pid": PID_PROFILE, "tid": 0, "name": "process_name",
@@ -278,4 +285,8 @@ def _timeline_line(event):
         return "%s profile loop %s" % (prefix, data[0])
     if kind == EV_BANK:
         return "%s comparator bank %s" % (prefix, data[0])
+    if kind == EV_ADAPT:
+        return "%s adapt %s (epoch %s)%s" \
+            % (prefix, data[0], data[1],
+               "  %s" % data[2] if data[2] else "")
     return "%s %s %r" % (prefix, kind, data)

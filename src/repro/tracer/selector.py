@@ -82,6 +82,13 @@ class StlPlan:
     multilevel_parent: int = None
     hoist: bool = False
     options: dict = field(default_factory=dict)
+    #: set by the adapt controller when the plan was reverted to
+    #: sequential execution (the plan then lives on only in the
+    #: adaptation log's decision evidence)
+    decommitted: bool = False
+    #: the sync plan was synthesized *online* by lock escalation, not by
+    #: the profile-time admission thresholds
+    sync_escalated: bool = False
 
     def to_dict(self):
         return {
@@ -93,6 +100,8 @@ class StlPlan:
             "multilevel_parent": self.multilevel_parent,
             "hoist": self.hoist,
             "options": dict(self.options),
+            "decommitted": self.decommitted,
+            "sync_escalated": self.sync_escalated,
         }
 
     @staticmethod
@@ -115,7 +124,10 @@ class StlPlan:
             multilevel_inner=data["multilevel_inner"],
             multilevel_parent=data["multilevel_parent"],
             hoist=data["hoist"],
-            options=dict(data["options"]))
+            options=dict(data["options"]),
+            # tolerate dicts from pre-adaptation schemas
+            decommitted=data.get("decommitted", False),
+            sync_escalated=data.get("sync_escalated", False))
 
 
 class Selector:
@@ -180,7 +192,7 @@ class Selector:
         return prediction.speedup > config.min_predicted_speedup
 
     # -- selection across loop nests --------------------------------------------
-    def select(self, all_stats, dynamic_nesting=None):
+    def select(self, all_stats, dynamic_nesting=None, banned=()):
         """Pick the best non-overlapping set of STLs.
 
         Returns {loop_id: StlPlan}.  Only one loop level in a nest can
@@ -188,10 +200,16 @@ class Selector:
         greedy choice maximizes predicted benefit (cycles saved).
         *dynamic_nesting* — (outer, inner) pairs observed by TEST — adds
         conflicts static structure cannot see (nesting through calls).
+        *banned* loop ids are excluded outright — the adapt controller
+        passes its decommitted set here so re-selection can promote the
+        candidates those loops were shadowing.
         """
         self._dynamic_nesting = frozenset(dynamic_nesting or ())
+        banned = frozenset(banned)
         predictions = {}
         for loop_id, stats in all_stats.items():
+            if loop_id in banned:
+                continue
             meta = self.loop_table.get(loop_id)
             if meta is None or not meta.candidate:
                 continue
@@ -212,7 +230,7 @@ class Selector:
                 continue
             meta = self.loop_table[loop_id]
             plan = StlPlan(loop_id=loop_id, meta=meta, prediction=prediction)
-            plan.sync = self._plan_sync(stats, prediction)
+            plan.sync = self.synthesize_sync(stats, prediction)
             chosen[loop_id] = plan
 
         self._plan_multilevel(all_stats, predictions, chosen)
@@ -240,9 +258,19 @@ class Selector:
         return set(self._ancestors(loop_id))
 
     # -- optimization planning ------------------------------------------------------
-    def _plan_sync(self, stats, prediction):
+    def synthesize_sync(self, stats, prediction, force=False):
         """Thread synchronizing lock (paper §4.2.4): protect a frequent
-        short dependency instead of violating on it."""
+        short dependency instead of violating on it.
+
+        With ``force=False`` (profile-time planning) the paper's
+        admission thresholds apply: the arc must be frequent, short
+        relative to the thread, and longer than the natural thread
+        stagger.  With ``force=True`` (online lock escalation by the
+        adapt controller) those thresholds are bypassed — observed
+        violations already proved that forwarding does not resolve the
+        dependence — but the allocator-arc filter still applies because
+        allocator metadata arcs vanish at TLS time regardless.
+        """
         dominant = stats.dominant_arc()
         if dominant is None:
             return None
@@ -251,21 +279,22 @@ class Selector:
             return None
         config = self.config
         frequency = arc.count / stats.threads if stats.threads else 0.0
-        if frequency <= config.sync_lock_arc_frequency:
-            return None
-        if arc.avg_store_offset >= (config.sync_lock_arc_ratio
-                                    * prediction.avg_thread_cycles):
-            return None
-        # Stores that land within one natural thread stagger resolve by
-        # forwarding alone — threads start about one CPU-bound commit
-        # interval apart, so the producer's store lands before the
-        # consumer (whose communicated loads are at thread start)
-        # reads.  A lock there only adds overhead.
-        natural_stagger = ((prediction.avg_thread_cycles
-                            + self.config.overheads.eoi)
-                           / self.config.num_cpus)
-        if arc.avg_store_offset <= natural_stagger * 0.5:
-            return None
+        if not force:
+            if frequency <= config.sync_lock_arc_frequency:
+                return None
+            if arc.avg_store_offset >= (config.sync_lock_arc_ratio
+                                        * prediction.avg_thread_cycles):
+                return None
+            # Stores that land within one natural thread stagger resolve
+            # by forwarding alone — threads start about one CPU-bound
+            # commit interval apart, so the producer's store lands
+            # before the consumer (whose communicated loads are at
+            # thread start) reads.  A lock there only adds overhead.
+            natural_stagger = ((prediction.avg_thread_cycles
+                                + self.config.overheads.eoi)
+                               / self.config.num_cpus)
+            if arc.avg_store_offset <= natural_stagger * 0.5:
+                return None
         local_slot = None
         if isinstance(load_site, tuple) and load_site \
                 and load_site[0] == "local":
@@ -294,7 +323,7 @@ class Selector:
             plan = StlPlan(loop_id=loop_id, meta=meta, prediction=prediction,
                            multilevel_inner=True,
                            multilevel_parent=meta.parent_id)
-            plan.sync = self._plan_sync(stats, prediction)
+            plan.sync = self.synthesize_sync(stats, prediction)
             chosen[loop_id] = plan
 
     def _plan_hoisting(self, chosen):

@@ -120,6 +120,35 @@ def test_cache_hit_and_invalidation(tmp_path):
     assert key_now != key_other
 
 
+def test_cache_key_diverges_on_adapt_knobs():
+    """Adaptive runs must never alias one-shot cache entries (and the
+    adaptation knobs themselves are part of the key)."""
+    base = tiny_request().cache_key()
+    adapt = tiny_request(adapt=True).cache_key()
+    assert adapt != base
+    assert tiny_request(adapt=True, adapt_epochs=7).cache_key() != adapt
+    assert tiny_request(adapt=True,
+                        adapt_policy="null").cache_key() != adapt
+    # the epoch/policy knobs are inert while adapt is off
+    assert tiny_request(adapt_epochs=7).cache_key() == base
+
+
+def test_cached_adapt_run_preserves_adaptation_log(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = SuiteRunner(jobs=1, cache_dir=cache_dir)
+    [report] = cold.run([tiny_request(adapt=True, adapt_epochs=2)])
+    assert cold.metrics.misses == 1
+    assert report.adaptation is not None
+    assert report.adaptation.epochs_run >= 1
+
+    warm = SuiteRunner(jobs=1, cache_dir=cache_dir)
+    [cached] = warm.run([tiny_request(adapt=True, adapt_epochs=2)])
+    assert warm.metrics.hits == 1
+    assert cached.adaptation is not None
+    assert cached.adaptation.to_dict() == report.adaptation.to_dict()
+    assert cached.to_dict() == report.to_dict()
+
+
 def test_cache_corrupt_entry_reads_as_miss(tmp_path):
     cache = ReportCache(str(tmp_path))
     key = cache_key(TINY, (), HydraConfig(),

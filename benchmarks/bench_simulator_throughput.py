@@ -1,7 +1,17 @@
 """Simulator throughput — not a paper experiment, but the practical
 figure a user of this reproduction cares about: how many simulated
 instructions per wall-clock second the behavioral simulator delivers,
-sequentially and under TLS."""
+sequentially and under TLS.
+
+Each case measures the predecoded fastpath engine (the default) with
+pytest-benchmark and then takes a single timed legacy-dispatch
+(``--no-fastpath``) run of the same work, so every
+``benchmarks/results/throughput_*.txt`` records the fastpath-vs-legacy
+rate pair and the engine speedup stays visible in the perf trajectory
+(see docs/performance.md).
+"""
+
+import time
 
 import pytest
 
@@ -42,13 +52,82 @@ def test_sequential_simulation_throughput(benchmark):
 
     result = benchmark(run_once)
     rate = result.instructions / benchmark.stats["mean"]
+
+    legacy_config = HydraConfig(fastpath=False)
+    legacy_compiled = compile_program(compile_source(KERNEL),
+                                      legacy_config)
+    start = time.perf_counter()
+    legacy_result = Machine(legacy_compiled, legacy_config).run()
+    legacy_elapsed = time.perf_counter() - start
+    legacy_rate = legacy_result.instructions / legacy_elapsed
+    assert legacy_result.instructions == result.instructions
+    assert legacy_result.cycles == result.cycles      # cycle-exact
+
     write_result("throughput_sequential", [
         "sequential simulator throughput",
         "  %d simulated instructions / run" % result.instructions,
-        "  ~%.0f simulated instructions / wall second" % rate,
+        "  fastpath:      ~%.0f simulated instructions / wall second"
+        % rate,
+        "  --no-fastpath: ~%.0f simulated instructions / wall second"
+        % legacy_rate,
+        "  engine speedup: %.2fx" % (rate / legacy_rate),
     ])
     assert result.guest_exception is None
     assert rate > 10_000     # sanity floor for pure-Python simulation
+    # the predecoded engine must stay comfortably ahead of the legacy
+    # dispatch chain (acceptance: >= 2x the pre-engine baseline rate)
+    assert rate > 2 * legacy_rate
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_tls_simulation_throughput(benchmark):
+    """Speculative-mode throughput: the step-5 TLS run re-executed on
+    prebuilt STL code (profiling and selection staged out)."""
+
+    def stage(fastpath):
+        jrpm = Jrpm(config=HydraConfig(fastpath=fastpath))
+        program = compile_source(KERNEL)
+        baseline = jrpm.compile_baseline(program)
+        profile = jrpm.profile(program)
+        plans = jrpm.select(profile)
+        recompiled = jrpm.recompile(program, plans)
+        assert plans and recompiled is not None, \
+            "throughput kernel no longer selects an STL"
+        return jrpm, recompiled, plans, baseline
+
+    jrpm, recompiled, plans, baseline = stage(fastpath=True)
+
+    def run_tls():
+        return jrpm.execute_tls(recompiled, plans,
+                                fallback=baseline.measurement)
+
+    artifact = benchmark(run_tls)
+    instructions = artifact.measurement.instructions
+    rate = instructions / benchmark.stats["mean"]
+
+    legacy_jrpm, legacy_code, legacy_plans, legacy_base = \
+        stage(fastpath=False)
+    start = time.perf_counter()
+    legacy_artifact = legacy_jrpm.execute_tls(
+        legacy_code, legacy_plans, fallback=legacy_base.measurement)
+    legacy_elapsed = time.perf_counter() - start
+    legacy_rate = legacy_artifact.measurement.instructions / legacy_elapsed
+
+    # cycle-exactness spot check while both artifacts are in hand
+    assert legacy_artifact.measurement.cycles == artifact.measurement.cycles
+    assert legacy_artifact.measurement.instructions == instructions
+
+    write_result("throughput_tls", [
+        "TLS-mode simulator throughput (step-5 speculative run)",
+        "  %d simulated instructions / run" % instructions,
+        "  %d simulated cycles / run" % artifact.measurement.cycles,
+        "  fastpath:      ~%.0f simulated instructions / wall second"
+        % rate,
+        "  --no-fastpath: ~%.0f simulated instructions / wall second"
+        % legacy_rate,
+        "  engine speedup: %.2fx" % (rate / legacy_rate),
+    ])
+    assert rate > 10_000
 
 
 @pytest.mark.benchmark(group="throughput")
@@ -62,6 +141,13 @@ def test_full_pipeline_throughput(benchmark):
     simulated = (report.sequential.instructions
                  + report.profiling.instructions
                  + report.tls.instructions)
+
+    start = time.perf_counter()
+    legacy_report = Jrpm(config=HydraConfig(fastpath=False)).run(
+        program, name="throughput")
+    legacy_elapsed = time.perf_counter() - start
+    assert legacy_report.tls.cycles == report.tls.cycles
+
     write_result("throughput_pipeline", [
         "full-pipeline cost for the throughput kernel",
         "  sequential: %d instructions" % report.sequential.instructions,
@@ -69,5 +155,8 @@ def test_full_pipeline_throughput(benchmark):
         "  speculative: %d instructions" % report.tls.instructions,
         "  total simulated: %d" % simulated,
         "  TLS speedup: %.2fx" % report.tls_speedup,
+        "  fastpath wall: %.2fs   --no-fastpath wall: %.2fs (%.2fx)"
+        % (benchmark.stats["mean"], legacy_elapsed,
+           legacy_elapsed / benchmark.stats["mean"]),
     ])
     assert report.outputs_match()

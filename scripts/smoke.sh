@@ -10,8 +10,15 @@
 #    against the repro.trace schema (Perfetto-loadable);
 # 4. runs one workload under the adaptive recompilation controller and
 #    validates the emitted decision log against the repro.adapt schema;
-# 5. runs the fast test tier (everything not marked `slow`), which
-#    includes the docs link lint (tests/test_docs_links.py).
+# 5. runs one workload under both execution engines — the predecoded
+#    fastpath (the default) and the legacy if/elif dispatch
+#    (--no-fastpath) — and diffs the serialized JSON reports: the two
+#    engines must be cycle-exact (see docs/performance.md);
+# 6. runs the fast test tier (everything not marked `slow`), which
+#    includes the docs link lint (tests/test_docs_links.py).  The
+#    exhaustive engine-differential sweep in
+#    tests/test_engine_differential.py is `slow`-marked and runs in
+#    the full tier only.
 #
 # Usage: scripts/smoke.sh [extra pytest args]
 set -euo pipefail
@@ -44,6 +51,29 @@ echo "== smoke: adaptive recompilation + decision-log schema check =="
 python -m repro adapt BitOps --size small --epochs 3 --json \
     > "$CACHE_DIR/adapt.json"
 python scripts/check_adapt_log.py "$CACHE_DIR/adapt.json"
+
+echo
+echo "== smoke: fastpath vs --no-fastpath (cycle-exact A/B) =="
+for engine in fastpath legacy; do
+    python - "$engine" "$CACHE_DIR/report-$engine.json" <<'PYEOF'
+import json, sys
+from repro.core.pipeline import Jrpm
+from repro.hydra.config import HydraConfig
+from repro.minijava import compile_source
+from repro.workloads import lookup
+
+engine, out_path = sys.argv[1], sys.argv[2]
+source = lookup("BitOps").source("small")
+config = HydraConfig(fastpath=(engine == "fastpath"))
+report = Jrpm(config=config).run(compile_source(source), name="BitOps")
+payload = report.to_dict()
+payload.pop("config", None)   # differs by the fastpath flag itself
+with open(out_path, "w") as fh:
+    json.dump(payload, fh, indent=1, sort_keys=True, default=str)
+PYEOF
+done
+diff "$CACHE_DIR/report-fastpath.json" "$CACHE_DIR/report-legacy.json" \
+    && echo "engines agree: reports byte-identical"
 
 echo
 echo "== smoke: fast test tier (pytest -m 'not slow') =="

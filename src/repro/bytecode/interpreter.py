@@ -7,6 +7,8 @@ output and return value for every program (this invariant is enforced by
 the property-based test suite).
 """
 
+import math
+
 from ..errors import (ArithmeticException, ArrayIndexException,
                       NullPointerException, VMError)
 from ..vm import intrinsics
@@ -65,14 +67,25 @@ class InterpreterResult:
 
 
 class Interpreter:
-    """Executes a sealed :class:`Program` with Java semantics."""
+    """Executes a sealed :class:`Program` with Java semantics.
 
-    def __init__(self, program, max_instructions=200_000_000):
+    *fastpath* (default True) routes execution through the predecoded
+    dispatch engine (:mod:`repro.engine.bc_engine`): per-method handler
+    tables with fused straight-line superinstruction blocks.  Printed
+    output, return values, exception behaviour and the ``instructions``
+    counter are identical to the legacy if/elif loop (``fastpath=
+    False``), which stays available for debugging and as the
+    differential-test baseline.
+    """
+
+    def __init__(self, program, max_instructions=200_000_000,
+                 fastpath=True):
         self.program = program.seal()
         self.statics = {}
         self.output = []
         self.instructions = 0
         self.max_instructions = max_instructions
+        self.fastpath = fastpath
 
     # -- public API -----------------------------------------------------------
     def run(self, *args):
@@ -82,6 +95,9 @@ class Interpreter:
 
     def call(self, method, args):
         frame = _Frame(method, args)
+        if self.fastpath:
+            from ..engine.bc_engine import execute_bytecode
+            return execute_bytecode(self, frame)
         return self._execute(frame)
 
     # -- helpers ----------------------------------------------------------------
@@ -348,10 +364,9 @@ def _float_div_by_zero(numerator):
 
 def _java_frem(a, b):
     # Java % on floats truncates toward zero (math.fmod semantics).
-    import math
     return math.fmod(a, b)
 
 
-def run_program(program, *args):
+def run_program(program, *args, fastpath=True):
     """Convenience: interpret *program* and return its result record."""
-    return Interpreter(program).run(*args)
+    return Interpreter(program, fastpath=fastpath).run(*args)

@@ -93,7 +93,8 @@ class Method:
     """A compiled guest method."""
 
     __slots__ = ("name", "owner", "param_types", "return_type", "is_static",
-                 "is_synchronized", "max_locals", "code", "local_names")
+                 "is_synchronized", "max_locals", "code", "local_names",
+                 "_fast_table")
 
     def __init__(self, name, owner, param_types, return_type,
                  is_static=False, is_synchronized=False):
@@ -106,6 +107,9 @@ class Method:
         self.max_locals = 0
         self.code = []              # list[Instr]
         self.local_names = {}       # local index -> source name (debug)
+        #: predecoded interpreter dispatch table, built lazily by
+        #: :func:`repro.engine.bc_engine.bytecode_table`
+        self._fast_table = None
 
     @property
     def num_params(self):

@@ -32,10 +32,16 @@ def _add_hw_flags(parser):
                         help="number of simulated CPUs (default 4)")
     parser.add_argument("--old-handlers", action="store_true",
                         help="use the paper's 'Old' handler overheads")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="disable the predecoded dispatch engine and "
+                             "run the legacy if/elif interpreters "
+                             "(cycle-identical, ~4x slower; for debugging "
+                             "and A/B benchmarking — see docs/performance.md)")
 
 
 def _config_from(args):
-    config = HydraConfig(num_cpus=args.cpus)
+    config = HydraConfig(num_cpus=args.cpus,
+                         fastpath=not getattr(args, "no_fastpath", False))
     if getattr(args, "old_handlers", False):
         from .hydra.config import SpeculationOverheads
         config.overheads = SpeculationOverheads.old_handlers()

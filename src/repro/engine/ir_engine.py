@@ -1,0 +1,663 @@
+"""Predecoded dispatch tables for the Hydra IR machine.
+
+:func:`dispatch_table` turns one code unit (a
+:class:`~repro.jit.compiler.CompiledMethod` or a TLS thread-code unit)
+into a list indexed by pc whose entries are handler closures
+``handler(ctx, frame) -> signal-or-None``.  Three handler species:
+
+* **block functions** — ``exec``-generated Python functions covering a
+  maximal straight-line run of *batchable* instructions (pure
+  register/ALU work: no memory access, no signals, no runtime
+  services).  One dispatch executes the whole run and, when the run
+  ends in a branch, the branch is absorbed ("fused") into the same
+  function — the hot ``ADDI+BLT`` / ``SLT+BNEZ`` inductor idioms the
+  codegen emits constantly execute without re-entering the dispatch
+  loop.  Adjacent integer-compare + ``BEQZ/BNEZ`` pairs additionally
+  fuse into a single Python comparison.
+* **specialised singletons** — hand-written closures for the hot
+  non-batchable ops (``LW/SW/LWNV``, ``CALL``, ``RET``, ``INTRIN`` and
+  the TEST annotation ops) with operands pre-bound, so the per-step
+  work is exactly the semantic action plus cycle accounting.
+* **legacy fallback** — everything rare (ALLOC, CALLV, locks, TLS
+  pseudo-ops, …) delegates to ``CpuContext.step_legacy``, the original
+  ``if/elif`` interpreter, which stays the single source of truth for
+  those semantics.
+
+Cycle exactness
+---------------
+Every handler reproduces the legacy ``step()`` observable effects
+bit-for-bit: ``frame.pc`` and ``ctx.instret`` are incremented *before*
+the instruction's effect (so a raising instruction is counted, exactly
+as the legacy dispatcher counts it), per-op cycle costs come from the
+same cost model, ``ctx.time``/``ctx.compute_cycles`` for a raising
+instruction's *predecessors* are flushed before the raise, and
+``ctx.current_site`` / profiler hook arguments are bound to
+content-identical ``(unit_name, instr)`` tuples.
+
+Two table granularities exist per code unit:
+
+* :func:`dispatch_table` — fully batched blocks.  Used wherever a
+  single simulated CPU runs alone (``Machine.run``'s sequential loop),
+  where executing a straight-line run atomically cannot change any
+  observable: memory accesses and signals are always step boundaries,
+  so they occur at identical clock values either way.
+* :func:`step_table` — single-instruction handlers (same specialised
+  closures, no multi-instruction blocks, no compare+branch fusion).
+  Used by the TLS event loop, whose smallest-clock scheduler
+  interleaves CPUs *between individual instructions*: a batched block
+  would let one thread's clock overrun a concurrent violating store
+  and inflate its squashed-work accounting.  Stepwise tables keep the
+  interleaving — and therefore every violation/restart cycle count —
+  bit-identical to the legacy engine while still replacing the
+  if/elif chain with one table index + pre-bound closure call.
+"""
+
+import math
+
+from ..bytecode.instructions import f2i, i32, idiv, irem, u32
+from ..errors import (ArithmeticException, ArrayIndexException,
+                      NullPointerException)
+from ..jit.ir import BRANCH_IR_OPS, IROp
+
+#: Ops a block function may contain: pure register/ALU work with no
+#: memory traffic, no signals, no runtime services and no profiler
+#: hooks.  Raising ops (DIV/REM/NULLCHK/BOUNDCHK) are included — their
+#: raise paths flush pc/instret/time before raising (see module doc).
+BATCHABLE_IR_OPS = frozenset({
+    IROp.LI, IROp.MOV, IROp.ADD, IROp.ADDI, IROp.SUB, IROp.MUL, IROp.DIV,
+    IROp.REM, IROp.NEG, IROp.AND, IROp.OR, IROp.XOR, IROp.SHL, IROp.SHR,
+    IROp.USHR, IROp.SLLI, IROp.FADD, IROp.FSUB, IROp.FMUL, IROp.FDIV,
+    IROp.FNEG, IROp.FREM, IROp.SEQ, IROp.SNE, IROp.SLT, IROp.SLE,
+    IROp.SGT, IROp.SGE, IROp.FCMP, IROp.I2F, IROp.F2I, IROp.NULLCHK,
+    IROp.BOUNDCHK,
+})
+
+#: Per-op cycle costs diverging from the default 1 (mirror of the
+#: legacy ``step()`` cost model — keep in sync).
+_COSTS = {
+    IROp.MUL: 2, IROp.FMUL: 3,
+    IROp.DIV: 12, IROp.REM: 12, IROp.FDIV: 12, IROp.FREM: 12,
+}
+
+_ANNOTATION_OPS = frozenset({IROp.SLOOP, IROp.EOI, IROp.ELOOP,
+                             IROp.LWL, IROp.SWL})
+
+_INT_CMP_PY = {IROp.SEQ: "==", IROp.SNE: "!=", IROp.SLT: "<",
+               IROp.SLE: "<=", IROp.SGT: ">", IROp.SGE: ">="}
+
+_COND_BR_PY = {IROp.BEQ: "regs[%(a)d] == regs[%(b)d]",
+               IROp.BNE: "regs[%(a)d] != regs[%(b)d]",
+               IROp.BLT: "regs[%(a)d] < regs[%(b)d]",
+               IROp.BGE: "regs[%(a)d] >= regs[%(b)d]",
+               IROp.BGT: "regs[%(a)d] > regs[%(b)d]",
+               IROp.BLE: "regs[%(a)d] <= regs[%(b)d]",
+               IROp.BEQZ: "regs[%(a)d] == 0",
+               IROp.BNEZ: "regs[%(a)d] != 0"}
+
+
+# ---------------------------------------------------------------------------
+# public entry point
+# ---------------------------------------------------------------------------
+
+def dispatch_table(unit):
+    """Predecoded handler table for *unit*, cached on the unit.
+
+    *unit* is anything with ``code`` (finalized IR list) and ``name``;
+    an optional ``warm_entries`` attribute lists extra block-leader pcs
+    (TLS thread code re-enters at ``StlDescriptor.warm_entry`` on every
+    commit, so that pc must start a block of its own).
+    """
+    table = getattr(unit, "_dispatch", None)
+    if table is None:
+        table = build_table(unit.code, unit.name,
+                            getattr(unit, "warm_entries", ()))
+        try:
+            unit._dispatch = table
+        except (AttributeError, TypeError):
+            pass                        # uncacheable unit: rebuild per frame
+    return table
+
+
+def step_table(unit):
+    """Single-instruction handler table for *unit*, cached on the unit.
+
+    Same handlers as :func:`dispatch_table` but with every pc its own
+    block: the TLS event loop's smallest-clock scheduler needs
+    per-instruction clock granularity (see module docstring).
+    """
+    table = getattr(unit, "_dispatch_step", None)
+    if table is None:
+        table = build_table(unit.code, unit.name, stepwise=True)
+        try:
+            unit._dispatch_step = table
+        except (AttributeError, TypeError):
+            pass
+    return table
+
+
+def build_table(code, unit_name, extra_leaders=(), stepwise=False):
+    """Predecode *code* into a pc-indexed list of handler closures."""
+    n = len(code)
+    if stepwise:
+        leaders = set(range(n))
+    else:
+        leaders = {0}
+        for pc, instr in enumerate(code):
+            op = instr.op
+            if op in BRANCH_IR_OPS:
+                if isinstance(instr.target, int):
+                    leaders.add(instr.target)
+                leaders.add(pc + 1)
+            elif op not in BATCHABLE_IR_OPS:
+                leaders.add(pc + 1)
+        for pc in extra_leaders:
+            if pc is not None:
+                leaders.add(pc)
+        leaders = {pc for pc in leaders if 0 <= pc < n}
+
+    consts = []
+    sources = []
+    block_names = {}
+    for pc in sorted(leaders):
+        op = code[pc].op
+        if op in BATCHABLE_IR_OPS or op in BRANCH_IR_OPS:
+            name, lines = _gen_block(code, pc, leaders, consts)
+            block_names[pc] = name
+            sources.append("\n".join(lines))
+
+    ns = {
+        "i32": i32, "u32": u32, "idiv": idiv, "irem": irem, "f2i": f2i,
+        "fmod": math.fmod,
+        "ArithmeticException": ArithmeticException,
+        "ArrayIndexException": ArrayIndexException,
+        "NullPointerException": NullPointerException,
+        "_NAN": float("nan"), "_INF": float("inf"),
+        "_NINF": float("-inf"),
+        "UNIT_NAME": unit_name,
+    }
+    for index, value in enumerate(consts):
+        ns["K%d" % index] = value
+    if sources:
+        exec(compile("\n\n".join(sources),
+                     "<ir-engine:%s>" % unit_name, "exec"), ns)
+
+    table = [None] * n
+    for pc, instr in enumerate(code):
+        name = block_names.get(pc)
+        if name is not None:
+            table[pc] = ns[name]
+            continue
+        op = instr.op
+        if op == IROp.LW:
+            table[pc] = _make_lw(instr, pc, unit_name)
+        elif op == IROp.LWNV:
+            table[pc] = _make_lwnv(instr, pc, unit_name)
+        elif op == IROp.SW:
+            table[pc] = _make_sw(instr, pc, unit_name)
+        elif op == IROp.CALL:
+            table[pc] = _make_call(instr, pc)
+        elif op == IROp.RET:
+            table[pc] = _make_ret(instr, pc)
+        elif op == IROp.INTRIN:
+            table[pc] = _make_intrin(instr, pc)
+        elif op in _ANNOTATION_OPS:
+            table[pc] = _make_annotation(instr, pc)
+        else:
+            # Rare runtime-service / TLS ops, plus the (normally
+            # unreachable) interiors of batched blocks: delegate to the
+            # legacy if/elif dispatcher, the source of truth.
+            table[pc] = _legacy
+    return table
+
+
+def _legacy(ctx, frame):
+    return ctx.step_legacy()
+
+
+# ---------------------------------------------------------------------------
+# block (superinstruction) code generation
+# ---------------------------------------------------------------------------
+
+def _block_span(code, start, leaders):
+    """Consecutive batchable pcs from *start*, plus an absorbed branch
+    pc (or None).  A leader interior to the scan ends the block before
+    it — some other block jumps there, so it needs its own entry."""
+    pcs = []
+    i = start
+    n = len(code)
+    while i < n:
+        if i > start and i in leaders:
+            return pcs, None
+        op = code[i].op
+        if op in BRANCH_IR_OPS:
+            return pcs, i
+        if op not in BATCHABLE_IR_OPS:
+            return pcs, None
+        pcs.append(i)
+        i += 1
+    return pcs, None
+
+
+def _const(value, consts):
+    """Inline ints; pool floats (repr can't express nan/inf exactly)."""
+    if type(value) is int:
+        return repr(value)
+    consts.append(value)
+    return "K%d" % (len(consts) - 1)
+
+
+def _gen_block(code, start, leaders, consts):
+    """Generate one block function's source.  Returns (name, lines)."""
+    pcs, branch_pc = _block_span(code, start, leaders)
+    name = "_b%d" % start
+    lines = ["def %s(ctx, frame):" % name,
+             "    regs = frame.regs"]
+    temp = [0]
+
+    def fresh():
+        temp[0] += 1
+        return "_t%d" % temp[0]
+
+    cost_done = 0                       # cycles of fully-executed instrs
+    for pc in pcs:
+        instr = code[pc]
+        op = instr.op
+        d, a, b = instr.dst, instr.a, instr.b
+        if op == IROp.LI:
+            lines.append("    regs[%d] = %s" % (d, _const(instr.imm,
+                                                          consts)))
+        elif op == IROp.MOV:
+            lines.append("    regs[%d] = regs[%d]" % (d, a))
+        elif op == IROp.ADD:
+            lines.append("    regs[%d] = i32(regs[%d] + regs[%d])"
+                         % (d, a, b))
+        elif op == IROp.ADDI:
+            lines.append("    regs[%d] = i32(regs[%d] + %d)"
+                         % (d, a, instr.imm))
+        elif op == IROp.SUB:
+            lines.append("    regs[%d] = i32(regs[%d] - regs[%d])"
+                         % (d, a, b))
+        elif op == IROp.MUL:
+            lines.append("    regs[%d] = i32(regs[%d] * regs[%d])"
+                         % (d, a, b))
+        elif op in (IROp.DIV, IROp.REM):
+            t = fresh()
+            fn, msg = (("idiv", "/ by zero") if op == IROp.DIV
+                       else ("irem", "% by zero"))
+            lines.append("    %s = regs[%d]" % (t, b))
+            lines.append("    if %s == 0:" % t)
+            lines.extend(_raise_flush(start, pc, cost_done))
+            lines.append("        raise ArithmeticException(%r)" % msg)
+            lines.append("    regs[%d] = %s(regs[%d], %s)"
+                         % (d, fn, a, t))
+        elif op == IROp.NEG:
+            lines.append("    regs[%d] = i32(-regs[%d])" % (d, a))
+        elif op == IROp.AND:
+            lines.append("    regs[%d] = i32(regs[%d] & regs[%d])"
+                         % (d, a, b))
+        elif op == IROp.OR:
+            lines.append("    regs[%d] = i32(regs[%d] | regs[%d])"
+                         % (d, a, b))
+        elif op == IROp.XOR:
+            lines.append("    regs[%d] = i32(regs[%d] ^ regs[%d])"
+                         % (d, a, b))
+        elif op == IROp.SHL:
+            lines.append("    regs[%d] = i32(regs[%d] << (regs[%d] & 31))"
+                         % (d, a, b))
+        elif op == IROp.SHR:
+            lines.append("    regs[%d] = i32(regs[%d] >> (regs[%d] & 31))"
+                         % (d, a, b))
+        elif op == IROp.USHR:
+            lines.append(
+                "    regs[%d] = i32(u32(regs[%d]) >> (regs[%d] & 31))"
+                % (d, a, b))
+        elif op == IROp.SLLI:
+            lines.append("    regs[%d] = i32(regs[%d] << %d)"
+                         % (d, a, instr.imm & 31))
+        elif op == IROp.FADD:
+            lines.append("    regs[%d] = regs[%d] + regs[%d]" % (d, a, b))
+        elif op == IROp.FSUB:
+            lines.append("    regs[%d] = regs[%d] - regs[%d]" % (d, a, b))
+        elif op == IROp.FMUL:
+            lines.append("    regs[%d] = regs[%d] * regs[%d]" % (d, a, b))
+        elif op == IROp.FDIV:
+            td, tn = fresh(), fresh()
+            lines.append("    %s = regs[%d]" % (td, b))
+            lines.append("    %s = regs[%d]" % (tn, a))
+            lines.append("    if %s == 0.0:" % td)
+            lines.append("        regs[%d] = (_NAN if %s == 0.0 else"
+                         " (_INF if %s > 0.0 else _NINF))" % (d, tn, tn))
+            lines.append("    else:")
+            lines.append("        regs[%d] = %s / %s" % (d, tn, td))
+        elif op == IROp.FNEG:
+            lines.append("    regs[%d] = -regs[%d]" % (d, a))
+        elif op == IROp.FREM:
+            t = fresh()
+            lines.append("    %s = regs[%d]" % (t, b))
+            lines.append("    regs[%d] = (fmod(regs[%d], %s)"
+                         " if %s != 0.0 else _NAN)" % (d, a, t, t))
+        elif op in _INT_CMP_PY:
+            lines.append("    regs[%d] = int(regs[%d] %s regs[%d])"
+                         % (d, a, _INT_CMP_PY[op], b))
+        elif op == IROp.FCMP:
+            ta, tb = fresh(), fresh()
+            lines.append("    %s = regs[%d]" % (ta, a))
+            lines.append("    %s = regs[%d]" % (tb, b))
+            lines.append("    if %s != %s or %s != %s:"
+                         % (ta, ta, tb, tb))
+            lines.append("        regs[%d] = -1" % d)
+            lines.append("    else:")
+            lines.append("        regs[%d] = (%s > %s) - (%s < %s)"
+                         % (d, ta, tb, ta, tb))
+        elif op == IROp.I2F:
+            lines.append("    regs[%d] = float(regs[%d])" % (d, a))
+        elif op == IROp.F2I:
+            lines.append("    regs[%d] = f2i(regs[%d])" % (d, a))
+        elif op == IROp.NULLCHK:
+            lines.append("    if regs[%d] == 0:" % a)
+            lines.extend(_raise_flush(start, pc, cost_done))
+            lines.append("        raise NullPointerException(UNIT_NAME)")
+        elif op == IROp.BOUNDCHK:
+            ti, tn = fresh(), fresh()
+            lines.append("    %s = regs[%d]" % (ti, a))
+            lines.append("    %s = regs[%d]" % (tn, b))
+            lines.append("    if %s < 0 or %s >= %s:" % (ti, ti, tn))
+            lines.extend(_raise_flush(start, pc, cost_done))
+            lines.append("        raise ArrayIndexException("
+                         "'index %%d, length %%d' %% (%s, %s))" % (ti, tn))
+        else:                            # pragma: no cover - guarded above
+            raise AssertionError("non-batchable op in block: %s" % op)
+        cost_done += _COSTS.get(op, 1)
+
+    if branch_pc is None:
+        count = len(pcs)
+        end_pc = start + count
+        lines.append("    frame.pc = %d" % end_pc)
+        lines.append("    ctx.instret += %d" % count)
+        lines.append("    ctx.time += %d" % cost_done)
+        lines.append("    ctx.compute_cycles += %d" % cost_done)
+        lines.append("    return None")
+        return name, lines
+
+    # Absorb the terminating branch (cost 1, like every branch).
+    branch = code[branch_pc]
+    count = branch_pc - start + 1
+    total = cost_done + 1
+    lines.append("    ctx.instret += %d" % count)
+    lines.append("    ctx.time += %d" % total)
+    lines.append("    ctx.compute_cycles += %d" % total)
+    if branch.op == IROp.J:
+        lines.append("    frame.pc = %d" % branch.target)
+    else:
+        cond = _branch_condition(code, branch_pc, pcs)
+        lines.append("    if %s:" % cond)
+        lines.append("        frame.pc = %d" % branch.target)
+        lines.append("    else:")
+        lines.append("        frame.pc = %d" % (branch_pc + 1))
+    lines.append("    return None")
+    return name, lines
+
+
+def _raise_flush(start, pc, cost_done):
+    """Flush lines (8-space indent) before a raise at *pc*: the legacy
+    dispatcher increments pc/instret before executing, so the raising
+    instruction is counted, while its cycle cost is not yet added."""
+    out = ["        frame.pc = %d" % (pc + 1),
+           "        ctx.instret += %d" % (pc - start + 1)]
+    if cost_done:
+        out.append("        ctx.time += %d" % cost_done)
+        out.append("        ctx.compute_cycles += %d" % cost_done)
+    return out
+
+
+def _branch_condition(code, branch_pc, pcs):
+    """Python condition for a conditional branch; fuses an adjacent
+    integer-compare + BEQZ/BNEZ pair into one comparison when the
+    compare's operands are untouched by its own destination write."""
+    branch = code[branch_pc]
+    op = branch.op
+    if op in (IROp.BEQZ, IROp.BNEZ) and pcs and pcs[-1] == branch_pc - 1:
+        cmp_instr = code[branch_pc - 1]
+        if (cmp_instr.op in _INT_CMP_PY
+                and cmp_instr.dst == branch.a
+                and cmp_instr.dst != cmp_instr.a
+                and cmp_instr.dst != cmp_instr.b):
+            expr = "regs[%d] %s regs[%d]" % (
+                cmp_instr.a, _INT_CMP_PY[cmp_instr.op], cmp_instr.b)
+            if op == IROp.BNEZ:
+                return expr
+            return "not (%s)" % expr
+    return _COND_BR_PY[op] % {"a": branch.a, "b": branch.b}
+
+
+# ---------------------------------------------------------------------------
+# specialised singleton handlers
+# ---------------------------------------------------------------------------
+
+def _make_lw(instr, pc, unit_name):
+    dst, a, imm = instr.dst, instr.a, instr.imm
+    site = (unit_name, instr)
+    next_pc = pc + 1
+    if a is None:
+        def lw_abs(ctx, frame):
+            frame.pc = next_pc
+            ctx.instret += 1
+            ctx.current_site = site
+            value, latency = ctx.mem.load(imm)
+            frame.regs[dst] = value
+            ctx.time += latency
+            ctx.compute_cycles += latency
+            return None
+        return lw_abs
+
+    def lw(ctx, frame):
+        frame.pc = next_pc
+        ctx.instret += 1
+        ctx.current_site = site
+        regs = frame.regs
+        value, latency = ctx.mem.load(regs[a] + imm)
+        regs[dst] = value
+        ctx.time += latency
+        ctx.compute_cycles += latency
+        return None
+    return lw
+
+
+def _make_lwnv(instr, pc, unit_name):
+    dst, a, imm = instr.dst, instr.a, instr.imm
+    site = (unit_name, instr)
+    next_pc = pc + 1
+    if a is None:
+        def lwnv_abs(ctx, frame):
+            frame.pc = next_pc
+            ctx.instret += 1
+            ctx.current_site = site
+            value, latency = ctx.mem.lwnv(imm)
+            frame.regs[dst] = value
+            ctx.time += latency
+            ctx.compute_cycles += latency
+            return None
+        return lwnv_abs
+
+    def lwnv(ctx, frame):
+        frame.pc = next_pc
+        ctx.instret += 1
+        ctx.current_site = site
+        regs = frame.regs
+        value, latency = ctx.mem.lwnv(regs[a] + imm)
+        regs[dst] = value
+        ctx.time += latency
+        ctx.compute_cycles += latency
+        return None
+    return lwnv
+
+
+def _make_sw(instr, pc, unit_name):
+    src, b, imm = instr.a, instr.b, instr.imm
+    site = (unit_name, instr)
+    next_pc = pc + 1
+    if b is None:
+        def sw_abs(ctx, frame):
+            frame.pc = next_pc
+            ctx.instret += 1
+            ctx.current_site = site
+            cost = ctx.mem.store(imm, frame.regs[src])
+            ctx.time += cost
+            ctx.compute_cycles += cost
+            return None
+        return sw_abs
+
+    def sw(ctx, frame):
+        frame.pc = next_pc
+        ctx.instret += 1
+        ctx.current_site = site
+        regs = frame.regs
+        cost = ctx.mem.store(regs[b] + imm, regs[src])
+        ctx.time += cost
+        ctx.compute_cycles += cost
+        return None
+    return sw
+
+
+def _make_call(instr, pc):
+    from ..hydra.machine import Frame
+    aux = instr.aux
+    arg_regs = tuple(instr.args or ())
+    dst = instr.dst
+    nargs = len(arg_regs)
+    next_pc = pc + 1
+
+    def call(ctx, frame):
+        frame.pc = next_pc
+        ctx.instret += 1
+        regs = frame.regs
+        machine = ctx.machine
+        compiled = machine.compiled.resolve(*aux)
+        args = [regs[reg] for reg in arg_regs]
+        ctx.frames.append(Frame(compiled, args, dst))
+        cost = machine.config.call_overhead_cycles + nargs
+        ctx.time += cost
+        ctx.compute_cycles += cost
+        return None
+    return call
+
+
+def _make_ret(instr, pc):
+    a = instr.a
+    next_pc = pc + 1
+
+    def ret(ctx, frame):
+        frame.pc = next_pc
+        ctx.instret += 1
+        value = frame.regs[a] if a is not None else None
+        frames = ctx.frames
+        popped = frames.pop()
+        if not frames:
+            ctx.status = "done"
+            ctx.return_value = value
+            ctx.time += 1
+            ctx.compute_cycles += 1
+            return "done"                      # SIG_DONE
+        if popped.ret_reg is not None and value is not None:
+            frames[-1].regs[popped.ret_reg] = value
+        ctx.time += 2
+        ctx.compute_cycles += 2
+        return None
+    return ret
+
+
+def _make_intrin(instr, pc):
+    from ..vm import intrinsics
+    intrinsic = intrinsics.lookup(instr.aux)
+    fn = intrinsic.fn
+    is_output = intrinsic.is_output
+    cycles = intrinsic.cycles
+    arg_regs = tuple(instr.args or ())
+    dst = instr.dst
+    next_pc = pc + 1
+
+    def intrin(ctx, frame):
+        frame.pc = next_pc
+        ctx.instret += 1
+        regs = frame.regs
+        args = [regs[reg] for reg in arg_regs]
+        if is_output:
+            buffer = ctx.output_buffer
+            if buffer is not None:
+                buffer.append(args[0])
+            else:
+                ctx.machine.output.append(args[0])
+        else:
+            result = fn(*args)
+            if dst is not None:
+                regs[dst] = result
+        ctx.time += cycles
+        ctx.compute_cycles += cycles
+        return None
+    return intrin
+
+
+def _make_annotation(instr, pc):
+    """TEST annotation ops (Table 2): profiler hook + 1 cycle.  The
+    hook sees ``ctx.time`` *before* the cycle is charged, exactly like
+    the legacy arms."""
+    op = instr.op
+    aux = instr.aux
+    imm = instr.imm
+    next_pc = pc + 1
+
+    if op == IROp.SLOOP:
+        def sloop(ctx, frame):
+            frame.pc = next_pc
+            ctx.instret += 1
+            profiler = ctx.machine.profiler
+            if profiler is not None:
+                profiler.on_sloop(aux, imm, ctx.time)
+            ctx.time += 1
+            ctx.compute_cycles += 1
+            return None
+        return sloop
+    if op == IROp.EOI:
+        def eoi(ctx, frame):
+            frame.pc = next_pc
+            ctx.instret += 1
+            profiler = ctx.machine.profiler
+            if profiler is not None:
+                profiler.on_eoi(aux, ctx.time)
+            ctx.time += 1
+            ctx.compute_cycles += 1
+            return None
+        return eoi
+    if op == IROp.ELOOP:
+        def eloop(ctx, frame):
+            frame.pc = next_pc
+            ctx.instret += 1
+            profiler = ctx.machine.profiler
+            if profiler is not None:
+                profiler.on_eloop(aux, ctx.time)
+            ctx.time += 1
+            ctx.compute_cycles += 1
+            return None
+        return eloop
+    if op == IROp.LWL:
+        def lwl(ctx, frame):
+            frame.pc = next_pc
+            ctx.instret += 1
+            profiler = ctx.machine.profiler
+            if profiler is not None:
+                profiler.on_lwl(aux, imm, ctx.time, instr)
+            ctx.time += 1
+            ctx.compute_cycles += 1
+            return None
+        return lwl
+
+    def swl(ctx, frame):
+        frame.pc = next_pc
+        ctx.instret += 1
+        profiler = ctx.machine.profiler
+        if profiler is not None:
+            profiler.on_swl(aux, imm, ctx.time, instr)
+        ctx.time += 1
+        ctx.compute_cycles += 1
+        return None
+    return swl

@@ -58,6 +58,15 @@ class HydraConfig:
     # -- CPUs ---------------------------------------------------------------
     num_cpus: int = 4
 
+    # -- execution engine ---------------------------------------------------
+    #: Predecoded threaded-dispatch engine (repro.engine): table-driven
+    #: handler dispatch, fused superinstruction blocks and the memory
+    #: hierarchy's consecutive-access memo.  Cycle-exact with the
+    #: legacy if/elif dispatcher (enforced by the differential oracle
+    #: in tests/test_engine_differential.py); set False — CLI
+    #: ``--no-fastpath`` — for debugging or A/B benchmarking.
+    fastpath: bool = True
+
     # -- memory hierarchy (paper Fig. 2) ---------------------------------------
     l1_size_bytes: int = 16 * 1024
     l1_assoc: int = 4

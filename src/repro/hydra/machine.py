@@ -7,8 +7,11 @@ smallest local clock, which totally orders memory events and makes
 violation detection exact on the simulated clock.
 """
 
+import math
+
 from ..bytecode.instructions import f2i, i32, idiv, irem, u32
 from ..bytecode.module import WORD
+from ..engine.ir_engine import dispatch_table, step_table
 from ..errors import (ArithmeticException, ArrayIndexException,
                       GuestException, NullPointerException, VMError)
 from ..jit.ir import IROp
@@ -29,11 +32,16 @@ SIG_SWITCH = "switch"
 
 
 class Frame:
-    __slots__ = ("code", "pc", "regs", "ret_reg", "name", "compiled")
+    __slots__ = ("code", "pc", "regs", "ret_reg", "name", "compiled",
+                 "handlers")
 
     def __init__(self, compiled, args, ret_reg=None):
         self.compiled = compiled
         self.code = compiled.code
+        #: predecoded dispatch table (built once per code unit, cached
+        #: on it) — the fast engine indexes this by pc instead of
+        #: walking the if/elif chain in :meth:`CpuContext.step_legacy`
+        self.handlers = dispatch_table(compiled)
         self.pc = 0
         self.regs = [0] * compiled.nregs
         for index, value in enumerate(args, start=1):
@@ -78,11 +86,12 @@ class CpuContext:
 
     __slots__ = ("machine", "cpu_id", "time", "frames", "mem", "status",
                  "return_value", "spec", "output_buffer", "instret",
-                 "current_site", "compute_cycles")
+                 "current_site", "compute_cycles", "fast")
 
     def __init__(self, machine, cpu_id):
         self.machine = machine
         self.cpu_id = cpu_id
+        self.fast = getattr(machine.config, "fastpath", True)
         self.time = 0
         self.frames = []
         self.mem = PlainMemoryInterface(self)
@@ -115,7 +124,24 @@ class CpuContext:
 
     # -- the interpreter ------------------------------------------------------
     def step(self):
-        """Execute one instruction; returns a signal or None."""
+        """Execute one dispatch unit; returns a signal or None.
+
+        Fast path (the default): index the frame's predecoded handler
+        table by pc — one dispatch may execute a whole straight-line
+        block of instructions (see :mod:`repro.engine.ir_engine`), but
+        every memory access, signal and runtime service is still its
+        own dispatch, so the TLS event loop's view of the simulated
+        clock is unchanged.  ``HydraConfig.fastpath = False`` routes
+        through :meth:`step_legacy`, the original single-instruction
+        if/elif dispatcher.
+        """
+        if self.fast:
+            frame = self.frames[-1]
+            return step_table(frame.compiled)[frame.pc](self, frame)
+        return self.step_legacy()
+
+    def step_legacy(self):
+        """Execute one instruction the legacy way (if/elif chain)."""
         frame = self.frames[-1]
         code = frame.code
         instr = code[frame.pc]
@@ -186,7 +212,6 @@ class CpuContext:
         elif op == IROp.FNEG:
             regs[instr.dst] = -regs[instr.a]
         elif op == IROp.FREM:
-            import math
             divisor = regs[instr.b]
             regs[instr.dst] = (math.fmod(regs[instr.a], divisor)
                                if divisor != 0.0 else float("nan"))
@@ -473,12 +498,24 @@ class Machine:
         ctx.push_entry(entry, list(args))
         guest_exception = None
         try:
-            while True:
-                signal = ctx.step()
-                if signal == SIG_DONE:
-                    break
-                if ctx.instret > max_instructions:
-                    raise VMError("instruction budget exceeded")
+            if ctx.fast:
+                # Inlined dispatch: one list index + closure call per
+                # step, no intermediate ``step()`` frame.
+                frames = ctx.frames
+                while True:
+                    frame = frames[-1]
+                    signal = frame.handlers[frame.pc](ctx, frame)
+                    if signal is not None and signal == SIG_DONE:
+                        break
+                    if ctx.instret > max_instructions:
+                        raise VMError("instruction budget exceeded")
+            else:
+                while True:
+                    signal = ctx.step_legacy()
+                    if signal == SIG_DONE:
+                        break
+                    if ctx.instret > max_instructions:
+                        raise VMError("instruction budget exceeded")
         except GuestException as exc:
             guest_exception = exc
             ctx.status = "done"

@@ -20,7 +20,7 @@ class CompiledMethod:
     """Executable form of one method."""
 
     __slots__ = ("name", "code", "nregs", "ir", "owner", "simple_name",
-                 "stls")
+                 "stls", "_dispatch", "_dispatch_step")
 
     def __init__(self, ir_method, owner, simple_name):
         self.ir = ir_method
@@ -30,6 +30,11 @@ class CompiledMethod:
         self.owner = owner
         self.simple_name = simple_name
         self.stls = ir_method.stls
+        #: predecoded handler table, built lazily at first execution by
+        #: :func:`repro.engine.ir_engine.dispatch_table` ("code-install
+        #: time" predecoding — rebuilt never, shared by every Frame)
+        self._dispatch = None
+        self._dispatch_step = None
 
     def __repr__(self):
         return "<CompiledMethod %s (%d instrs)>" % (self.name, len(self.code))

@@ -28,7 +28,9 @@ import os
 import tempfile
 
 #: bump to invalidate every existing cache entry on schema changes
-CACHE_FORMAT = 1
+#: (2: execution-engine identity — fastpath vs legacy dispatch — became
+#: explicit key material, see :func:`cache_key`)
+CACHE_FORMAT = 2
 
 _CODE_FINGERPRINT = None
 
@@ -73,12 +75,23 @@ def cache_key(source, args, config, stl_options, vm_options, salt=None,
     (e.g. ``{"trace": True}`` for traced runs, whose reports carry
     trace aggregates and must not collide with untraced ones).  ``None``
     keeps keys identical to pre-*extra* versions of this function.
+
+    The executing **engine** (predecoded fastpath vs legacy dispatch,
+    ``HydraConfig.fastpath``) participates explicitly: the two engines
+    are cycle-identical by construction, but a report produced by one
+    must never be served as evidence about the other — A/B comparisons
+    (``--no-fastpath``, ``scripts/smoke.sh``) rely on both runs really
+    happening.  ``fastpath`` is also part of ``config.to_dict()``, but
+    the explicit key survives config serializations that drop unknown
+    fields.
     """
     key_material = {
         "format": CACHE_FORMAT,
         "source": hashlib.sha256(source.encode()).hexdigest(),
         "args": list(args),
         "options": options_fingerprint(config, stl_options, vm_options),
+        "engine": ("fastpath" if getattr(config, "fastpath", True)
+                   else "legacy"),
         "code": salt if salt is not None else code_fingerprint()}
     if extra:
         key_material["extra"] = extra

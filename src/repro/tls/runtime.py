@@ -32,13 +32,22 @@ _LOCK_POLL_CYCLES = 3
 class _ThreadCodeUnit:
     """Adapts an StlDescriptor to the Frame interface (code/nregs/name)."""
 
-    __slots__ = ("code", "nregs", "name", "stls")
+    __slots__ = ("code", "nregs", "name", "stls", "_dispatch",
+                 "_dispatch_step", "warm_entries")
 
     def __init__(self, descriptor):
         self.code = descriptor.thread_code
         self.nregs = descriptor.nregs
         self.name = "%s$stl%d" % (descriptor.method_name, descriptor.stl_id)
         self.stls = {}
+        #: predecoded handler table caches (repro.engine.ir_engine):
+        #: block-fused for sequential dispatch, stepwise for the TLS
+        #: event loop's per-instruction smallest-clock scheduling
+        self._dispatch = None
+        self._dispatch_step = None
+        #: every commit re-enters the thread code at warm_entry, so the
+        #: predecoder must treat it as a block leader of its own
+        self.warm_entries = (descriptor.warm_entry,)
 
 
 class TlsRuntime:

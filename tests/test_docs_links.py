@@ -61,5 +61,6 @@ def test_docs_are_linked_from_readme():
               encoding="utf-8") as fh:
         readme = fh.read()
     for doc in ("docs/architecture.md", "docs/observability.md",
-                "docs/adaptation.md", "docs/minijava.md"):
+                "docs/adaptation.md", "docs/minijava.md",
+                "docs/performance.md"):
         assert doc in readme, "%s not linked from README" % doc

@@ -1,0 +1,251 @@
+"""Differential oracle: predecoded fastpath engine vs legacy dispatch.
+
+The tentpole invariant of ``repro.engine`` is **cycle exactness**: for
+any guest program, the predecoded table-dispatch engine and the legacy
+``if/elif`` interpreters must agree on *every* observable —
+
+* printed output, return value and guest-exception behaviour,
+* ``instret`` (simulated instruction count) and total simulated cycles,
+* cache hit/miss counters of every level (the memory-hierarchy memo
+  fast path must be counter-exact),
+* per-STL TLS statistics: commits, violations, squashes, restarts and
+  the cycle breakdown (the stepwise TLS tables must preserve the
+  smallest-clock interleaving bit-for-bit),
+* the full serialized pipeline report.
+
+This file enforces that over randomized MiniJava workloads at three
+levels: bare machine runs, the reference bytecode interpreter, and the
+whole Jrpm pipeline (profile → select → TLS).  A small subset runs in
+the default tier; the ~20-workload sweep is marked ``slow``.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.bytecode import run_program
+from repro.core.pipeline import Jrpm
+from repro.hydra.config import HydraConfig
+from repro.hydra.machine import Machine
+from repro.jit.compiler import compile_program
+from repro.minijava import compile_source
+
+from conftest import wrap_main
+
+
+# ---------------------------------------------------------------------------
+# randomized workload generator (deterministic per seed)
+# ---------------------------------------------------------------------------
+
+def random_workload(seed):
+    """A randomized MiniJava program exercising the engine's hot paths:
+    fused ALU runs, compare+branch idioms, array traffic, float math,
+    calls/virtual dispatch, and loop shapes the STL selector likes
+    (including loop-carried dependences that trigger TLS violations)."""
+    rng = random.Random(seed)
+    n = rng.randrange(48, 160)
+    mul = rng.randrange(2, 11)
+    mask = rng.choice(["0xFF", "0xFFF", "0xFFFF"])
+    shift = rng.randrange(1, 5)
+    carried = rng.random() < 0.5
+    chain = rng.random() < 0.4
+    use_float = rng.random() < 0.6
+    use_call = rng.random() < 0.5
+    use_object = rng.random() < 0.4
+    red_op = rng.choice(["+", "^", "|", "-"])
+
+    prelude = []
+    if use_call:
+        prelude.append(
+            "static int mix(int x, int y) {"
+            " return ((x * %d) ^ (y >> %d)) & %s; }"
+            % (rng.randrange(3, 17), shift, mask))
+    if use_object:
+        prelude.append(
+            "static int bump(Acc acc, int v) {"
+            " acc.total = (acc.total + v) & 0x7FFFFFFF;"
+            " return acc.total; }")
+
+    body = []
+    body.append("int n = %d;" % n)
+    body.append("int[] a = new int[n];")
+    body.append("int[] b = new int[n];")
+    body.append("int seed = %d;" % rng.randrange(1, 1000))
+    body.append("int acc = 0;")
+    if use_float:
+        body.append("float f = %d.5;" % rng.randrange(0, 9))
+    if use_object:
+        body.append("Acc box = new Acc();")
+    body.append("for (int i = 0; i < n; i++) {")
+    body.append("    a[i] = (i * %d + seed) %% 251;" % mul)
+    if chain:
+        body.append("    if (i > 0) {"
+                    " b[i] = (b[i-1] + a[i]) & %s; }" % mask)
+    else:
+        body.append("    b[i] = (a[i] << %d) & %s;" % (shift, mask))
+    if carried:
+        body.append("    seed = (seed * 1103515245 + 12345)"
+                    " & 0x7FFFFFFF;")
+    if use_call:
+        body.append("    acc = acc %s Main.mix(a[i], b[i]);" % red_op)
+    else:
+        body.append("    acc = acc %s (a[i] + b[i]);" % red_op)
+    if use_float:
+        body.append("    f = f * 1.0001 + a[i] / 7;")
+    if use_object:
+        body.append("    acc = acc ^ Main.bump(box, b[i]);")
+    body.append("}")
+    if use_float:
+        body.append("Sys.printInt((int) f);")
+    body.append("Sys.printInt(acc);")
+    body.append("Sys.printInt(seed);")
+    body.append("Sys.printInt(b[n - 1]);")
+    body.append("return acc;")
+
+    src = wrap_main("\n        ".join(body),
+                    prelude="\n    ".join(prelude))
+    if use_object:
+        src += "\nclass Acc { int total; }\n"
+    return src
+
+
+# ---------------------------------------------------------------------------
+# observables at each level
+# ---------------------------------------------------------------------------
+
+def machine_observables(program, fastpath):
+    config = HydraConfig(fastpath=fastpath)
+    compiled = compile_program(program, config)
+    machine = Machine(compiled, config)
+    result = machine.run()
+    return {
+        "return_value": result.return_value,
+        "output": list(result.output),
+        "instret": result.instructions,
+        "cycles": result.cycles,
+        "cache": machine.hierarchy.counters(),
+        "exception": repr(result.guest_exception),
+    }
+
+
+def interpreter_observables(program, fastpath):
+    result = run_program(program, fastpath=fastpath)
+    return {
+        "return_value": result.return_value,
+        "output": list(result.output),
+        "instructions": result.instructions,
+    }
+
+
+def pipeline_observables(source, fastpath):
+    """Canonical JSON of the full pipeline report, minus the config
+    (whose ``fastpath`` field differs by construction)."""
+    report = Jrpm(config=HydraConfig(fastpath=fastpath)).run(source)
+    payload = report.to_dict()
+    payload.pop("config", None)
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def assert_identical(seed, pipeline=False):
+    source = random_workload(seed)
+    program = compile_source(source)
+    fast = machine_observables(program, True)
+    legacy = machine_observables(program, False)
+    assert fast == legacy, (
+        "machine diverged (seed %d)\nfast=%r\nlegacy=%r\nsrc=%s"
+        % (seed, fast, legacy, source))
+    fast_i = interpreter_observables(program, True)
+    legacy_i = interpreter_observables(program, False)
+    assert fast_i == legacy_i, (
+        "interpreter diverged (seed %d)\nfast=%r\nlegacy=%r"
+        % (seed, fast_i, legacy_i))
+    if pipeline:
+        assert pipeline_observables(source, True) \
+            == pipeline_observables(source, False), \
+            "pipeline report diverged (seed %d)\nsrc=%s" % (seed, source)
+
+
+# ---------------------------------------------------------------------------
+# default tier: a handful of seeds, all three levels
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(4))
+def test_engine_differential(seed):
+    assert_identical(seed, pipeline=False)
+
+
+@pytest.mark.parametrize("seed", [100, 101])
+def test_pipeline_differential(seed):
+    assert_identical(seed, pipeline=True)
+
+
+def test_tls_statistics_identical():
+    """Violation/restart/commit counts and the cycle breakdown of every
+    executed STL must match across engines (stepwise-table invariant)."""
+    source = random_workload(7)          # chain+carried → violations
+    reports = {}
+    for fastpath in (True, False):
+        config = HydraConfig(fastpath=fastpath)
+        reports[fastpath] = Jrpm(config=config).run(source)
+    fast, legacy = reports[True], reports[False]
+    assert fast.breakdown.to_dict() == legacy.breakdown.to_dict()
+    fast_stats = {k: v.to_dict() for k, v in fast.stl_run_stats.items()}
+    legacy_stats = {k: v.to_dict()
+                    for k, v in legacy.stl_run_stats.items()}
+    assert fast_stats == legacy_stats
+    assert fast.tls.cycles == legacy.tls.cycles
+    assert fast.tls.instructions == legacy.tls.instructions
+
+
+# ---------------------------------------------------------------------------
+# exception paths: the flush-before-raise protocol
+# ---------------------------------------------------------------------------
+
+_RAISING = [
+    ("div by zero", "int d = 4 - 4; return 12 / d;"),
+    ("rem by zero", "int d = 9 - 9; return 12 % d;"),
+    ("array bounds", "int[] a = new int[4]; int i = 7; return a[i];"),
+]
+
+
+@pytest.mark.parametrize("label,body", _RAISING,
+                         ids=[r[0] for r in _RAISING])
+def test_exception_differential(label, body):
+    source = wrap_main("int warm = 0;\n"
+                       "        for (int i = 0; i < 8; i++)"
+                       " { warm = warm + i * 3; }\n"
+                       "        Sys.printInt(warm);\n        " + body)
+    program = compile_source(source)
+    fast = machine_observables(program, True)
+    legacy = machine_observables(program, False)
+    assert fast == legacy, "exception path diverged: %s" % label
+    assert fast["exception"] != "None"
+
+
+def test_null_check_differential():
+    source = ("""
+class Acc { int total; }
+class Main {
+    static int main() {
+        Acc x;
+        if (1 > 2) { x = new Acc(); }
+        return x.total;
+    }
+}
+""")
+    program = compile_source(source)
+    fast = machine_observables(program, True)
+    legacy = machine_observables(program, False)
+    assert fast == legacy
+    assert fast["exception"] != "None"
+
+
+# ---------------------------------------------------------------------------
+# slow tier: the ~20-workload sweep, pipeline level included
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(20))
+def test_engine_differential_sweep(seed):
+    assert_identical(seed, pipeline=True)

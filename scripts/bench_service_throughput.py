@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Daemon vs one-shot CLI throughput (PR-6 acceptance benchmark).
+
+Measures a 10-request burst of identical pipeline runs two ways:
+
+1. **one-shot CLI** — ``python -m repro bench <workload>`` launched
+   once per request, sequentially: every invocation pays interpreter
+   start-up, compile and profile from scratch (cache disabled — the
+   point is the cold path the daemon amortizes);
+2. **daemon** — one ``jrpm serve`` process, one pipelining client: the
+   whole burst lands in the scheduler at once, gets batched and
+   coalesced, and all but the first identical request are served from
+   the shared artifact store.
+
+Also runs a **mixed burst** (distinct workloads) to show sharding
+across workers without any coalescing assist.
+
+Writes req/s and p50/p95 per-request latency to
+``benchmarks/results/service_throughput.txt`` and exits non-zero if
+the identical-burst daemon throughput is below 2x one-shot.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service import JrpmClient  # noqa: E402
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def run_one_shot(workload, size, burst):
+    """Sequential cold CLI invocations; returns (wall, latencies)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    latencies = []
+    start = time.perf_counter()
+    for _ in range(burst):
+        began = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-m", "repro", "bench", workload,
+             "--size", size],
+            env=env, cwd=REPO_ROOT, check=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        latencies.append(time.perf_counter() - began)
+    return time.perf_counter() - start, latencies
+
+
+class Daemon:
+    def __init__(self, jobs):
+        self.socket_path = os.path.join(tempfile.mkdtemp(), "jrpm.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", self.socket_path, "--jobs", str(jobs),
+             "--no-cache"],
+            env=env, cwd=REPO_ROOT, stderr=subprocess.DEVNULL)
+        deadline = time.perf_counter() + 15.0
+        while not os.path.exists(self.socket_path):
+            if time.perf_counter() > deadline:
+                raise RuntimeError("daemon never bound its socket")
+            time.sleep(0.05)
+
+    def shutdown(self, client=None):
+        try:
+            closer = client or JrpmClient.connect(
+                socket_path=self.socket_path)
+            closer.drain()
+            closer.close()
+        except Exception:
+            self.process.terminate()
+        self.process.wait(timeout=15)
+
+
+def run_daemon_burst(client, payloads):
+    """Pipelined burst; returns (wall, per-request client latencies)."""
+    start = time.perf_counter()
+    began = {index: time.perf_counter()
+             for index in range(len(payloads))}
+    settled = client.request_many([("run", payload)
+                                   for payload in payloads])
+    wall = time.perf_counter() - start
+    for result, _, _ in settled:
+        if isinstance(result, Exception):
+            raise result
+    # pipelined: every request was in flight the whole time, so the
+    # per-request latency the caller experiences is read-completion
+    # time; the daemon-side `elapsed` field is reported separately
+    latencies = [wall - (began[index] - start)
+                 for index in range(len(payloads))]
+    daemon_side = [elapsed for _, _, elapsed in settled]
+    return wall, latencies, daemon_side
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="BitOps")
+    parser.add_argument("--size", default="small")
+    parser.add_argument("--burst", type=int, default=10)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--mixed", default="BitOps,euler,decJpeg,"
+                                           "IDEA,MipsSimulator,Huffman")
+    parser.add_argument("--out", default=os.path.join(
+        REPO_ROOT, "benchmarks", "results",
+        "service_throughput.txt"))
+    args = parser.parse_args()
+
+    lines = []
+    out = lines.append
+    out("service throughput: daemon vs one-shot CLI "
+        "(burst=%d, workload=%s/%s, %d workers)"
+        % (args.burst, args.workload, args.size, args.jobs))
+    out("")
+
+    one_shot_wall, one_shot_lat = run_one_shot(
+        args.workload, args.size, args.burst)
+    one_shot_rate = args.burst / one_shot_wall
+    out("one-shot CLI : %6.2f req/s  (wall %.2fs, p50 %.0f ms, "
+        "p95 %.0f ms)"
+        % (one_shot_rate, one_shot_wall,
+           1e3 * percentile(one_shot_lat, 0.50),
+           1e3 * percentile(one_shot_lat, 0.95)))
+
+    daemon = Daemon(jobs=args.jobs)
+    client = JrpmClient.connect(socket_path=daemon.socket_path)
+    try:
+        payload = client.job_payload(workload=args.workload,
+                                     size=args.size)
+        daemon_wall, daemon_lat, daemon_side = run_daemon_burst(
+            client, [payload] * args.burst)
+        daemon_rate = args.burst / daemon_wall
+        out("daemon burst : %6.2f req/s  (wall %.2fs, p50 %.0f ms, "
+            "p95 %.0f ms; daemon-side p95 %.0f ms)"
+            % (daemon_rate, daemon_wall,
+               1e3 * percentile(daemon_lat, 0.50),
+               1e3 * percentile(daemon_lat, 0.95),
+               1e3 * percentile(daemon_side, 0.95)))
+
+        mixed = [name.strip() for name in args.mixed.split(",")
+                 if name.strip()]
+        mixed_payloads = [client.job_payload(workload=name,
+                                             size=args.size)
+                          for name in mixed]
+        mixed_wall, mixed_lat, _ = run_daemon_burst(
+            client, mixed_payloads)
+        out("mixed burst  : %6.2f req/s  (%d distinct workloads, wall "
+            "%.2fs, p50 %.0f ms, p95 %.0f ms)"
+            % (len(mixed) / mixed_wall, len(mixed), mixed_wall,
+               1e3 * percentile(mixed_lat, 0.50),
+               1e3 * percentile(mixed_lat, 0.95)))
+
+        stats = client.stats()
+        out("")
+        out("daemon stats : store hit rate %.0f%%, %d batch(es), "
+            "%d coalesced, queue peak-depth limit %d"
+            % (100.0 * stats["store"]["cache_hit_rate"],
+               stats["scheduler"]["batches"],
+               stats["scheduler"]["coalesced"],
+               stats["scheduler"]["queue_limit"]))
+    finally:
+        daemon.shutdown(client)
+
+    ratio = daemon_rate / one_shot_rate
+    out("")
+    out("speedup      : %.1fx daemon over one-shot (acceptance: >= 2x)"
+        % ratio)
+    text = "\n".join(lines) + "\n"
+    sys.stdout.write(text)
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        fh.write(text)
+    print("wrote %s" % os.path.relpath(args.out, REPO_ROOT))
+    return 0 if ratio >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,12 @@
 #    fastpath (the default) and the legacy if/elif dispatch
 #    (--no-fastpath) — and diffs the serialized JSON reports: the two
 #    engines must be cycle-exact (see docs/performance.md);
-# 6. runs the fast test tier (everything not marked `slow`), which
+# 6. starts the persistent daemon (`jrpm serve`) on a unix socket,
+#    pushes a pipelined client burst through it (second identical
+#    request must be a store hit), drains it gracefully, and checks
+#    the daemon exits 0 — the serve → client → drain path of
+#    docs/service.md;
+# 7. runs the fast test tier (everything not marked `slow`), which
 #    includes the docs link lint (tests/test_docs_links.py).  The
 #    exhaustive engine-differential sweep in
 #    tests/test_engine_differential.py is `slow`-marked and runs in
@@ -74,6 +79,35 @@ PYEOF
 done
 diff "$CACHE_DIR/report-fastpath.json" "$CACHE_DIR/report-legacy.json" \
     && echo "engines agree: reports byte-identical"
+
+echo
+echo "== smoke: serve -> client -> drain =="
+SOCKET="$CACHE_DIR/jrpm.sock"
+python -m repro serve --socket "$SOCKET" --jobs 2 \
+    --cache-dir "$CACHE_DIR" &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -S "$SOCKET" ] && break; sleep 0.1; done
+python - "$SOCKET" <<'PYEOF'
+import sys
+from repro.service import JrpmClient
+
+client = JrpmClient.connect(socket_path=sys.argv[1])
+assert client.ping()["pong"] is True
+payload = client.job_payload(workload="BitOps", size="small")
+(first, _, _), = client.request_many([("run", payload)])
+(second, cached_second, _), = client.request_many([("run", payload)])
+assert first["report"] == second["report"]
+assert cached_second, "second identical request must hit the store"
+stats = client.stats()
+print("serve:  %d request(s), store hit rate %.0f%%, queue depth %d"
+      % (stats["requests"],
+         100.0 * stats["store"]["cache_hit_rate"],
+         stats["scheduler"]["queue_depth"]))
+drained = client.drain()
+assert drained["drained"] is True and drained["failed"] == 0
+client.close()
+PYEOF
+wait "$SERVE_PID" && echo "serve:  drained cleanly (exit 0)"
 
 echo
 echo "== smoke: fast test tier (pytest -m 'not slow') =="

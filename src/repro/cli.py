@@ -14,6 +14,14 @@ Commands:
 * ``adapt NAME|FILE [--epochs N] [--policy P] [--json]`` — run under
   the epoch-based adaptive recompilation controller and print the
   decision log (see docs/adaptation.md)
+* ``serve --socket PATH | --port N`` — start the persistent execution
+  daemon: a shared artifact store + batched scheduler behind a
+  line-delimited JSON protocol (see docs/service.md); talk to it with
+  ``repro.service.JrpmClient``
+
+Every subcommand builds one :class:`repro.service.RunOptions` from its
+flags — the single options dataclass shared with the ``Session`` API
+and the wire protocol.
 """
 
 import argparse
@@ -23,7 +31,6 @@ import sys
 
 from .core.pipeline import Jrpm
 from .core.report import format_report, format_suite_summary
-from .hydra.config import HydraConfig
 from .minijava import compile_source
 
 
@@ -39,19 +46,36 @@ def _add_hw_flags(parser):
                              "and A/B benchmarking — see docs/performance.md)")
 
 
+def _options_from(args):
+    """The :class:`repro.service.RunOptions` for one CLI invocation —
+    every subcommand's flags map onto the same dataclass."""
+    from .service.options import RunOptions
+    return RunOptions(
+        cpus=args.cpus,
+        old_handlers=getattr(args, "old_handlers", False),
+        fastpath=not getattr(args, "no_fastpath", False),
+        trace=bool(getattr(args, "trace", False)
+                   or getattr(args, "trace_out", None)),
+        adapt=bool(getattr(args, "adapt", False)),
+        epochs=getattr(args, "adapt_epochs", None)
+               or getattr(args, "epochs", None) or 4,
+        policy=getattr(args, "policy", None) or "threshold")
+
+
 def _config_from(args):
-    config = HydraConfig(num_cpus=args.cpus,
-                         fastpath=not getattr(args, "no_fastpath", False))
-    if getattr(args, "old_handlers", False):
-        from .hydra.config import SpeculationOverheads
-        config.overheads = SpeculationOverheads.old_handlers()
-    return config
+    """Deprecated shim retained for external scripts that imported it;
+    the CLI itself now routes through :func:`_options_from`."""
+    return _options_from(args).hydra_config()
 
 
 def cmd_run(args):
+    from .service import Session
     with open(args.file) as fh:
         source = fh.read()
-    report = Jrpm(config=_config_from(args)).run(source, name=args.file)
+    options = _options_from(args)
+    options.verify = False       # mismatch is this command's exit code
+    with Session.local(use_store=False) as session:
+        report = session.run(source, name=args.file, options=options)
     print(format_report(report, verbose=args.verbose))
     return 0 if report.outputs_match() else 1
 
@@ -84,15 +108,15 @@ def cmd_bench(args):
     except _WorkloadError as error:
         print(error, file=sys.stderr)
         return 2
-    trace = bool(args.trace or args.trace_out)
-    jrpm = Jrpm(config=_config_from(args), trace=trace)
-    if args.adapt:
+    options = _options_from(args)
+    jrpm = Jrpm(options=options)
+    if options.adapt:
         report = jrpm.run_adaptive(compile_source(source), name=name,
-                                   epochs=args.adapt_epochs)
+                                   epochs=options.epochs)
     else:
         report = jrpm.run(compile_source(source), name=name)
     print(format_report(report, verbose=args.verbose))
-    if trace:
+    if options.trace:
         _emit_trace(report, name, args.trace_out, timeline=False)
     return 0 if report.outputs_match() else 1
 
@@ -122,8 +146,9 @@ def cmd_trace(args):
         print(error, file=sys.stderr)
         return 2
     from .trace import TraceOptions
-    options = TraceOptions(capacity=args.ring)
-    report = Jrpm(config=_config_from(args), trace=options).run(
+    trace_options = TraceOptions(capacity=args.ring)
+    report = Jrpm(options=_options_from(args),
+                  trace=trace_options).run(
         compile_source(source), name=name)
     print(format_report(report, verbose=args.verbose))
     _emit_trace(report, name, args.out, timeline=args.timeline)
@@ -139,14 +164,15 @@ def cmd_adapt(args):
         print(error, file=sys.stderr)
         return 2
     from .adapt import make_policy
-    policy = make_policy(args.policy,
+    options = _options_from(args)
+    policy = make_policy(options.policy,
                          decommit_threshold=args.decommit_threshold,
                          violation_cutoff=args.violation_cutoff,
                          cooldown=args.cooldown)
-    jrpm = Jrpm(config=_config_from(args), trace=args.trace)
+    jrpm = Jrpm(options=options)
     report = jrpm.run_adaptive(compile_source(source), name=name,
                                args=(), policy=policy,
-                               epochs=args.epochs, verify=True)
+                               epochs=options.epochs, verify=True)
     log = report.adaptation
     if args.json:
         payload = log.to_dict()
@@ -170,9 +196,8 @@ def cmd_suite(args):
                      if name.strip()]
     try:
         reports = runner.run_suite(
-            size=args.size, config=_config_from(args),
-            workloads=workloads, trace=args.trace,
-            adapt=args.adapt, adapt_epochs=args.adapt_epochs,
+            size=args.size, workloads=workloads,
+            options=_options_from(args),
             progress=lambda message: print(message, file=sys.stderr))
     except SuiteRunError as error:
         print(error, file=sys.stderr)
@@ -241,36 +266,37 @@ def cmd_list(args):
 
 
 def cmd_profile(args):
-    """TEST profile via the staged pipeline API (steps 1-3 only)."""
+    """TEST profile via the session API (``profile`` verb, steps 1-3)."""
+    from .service import Session
     with open(args.file) as fh:
         source = fh.read()
-    jrpm = Jrpm(config=_config_from(args))
-    profile = jrpm.profile(compile_source(source))
-    selector = jrpm.make_selector(profile.loop_table)
-    plans = selector.select(profile.stats,
-                            profile.profiler.dynamic_nesting)
+    with Session.local(use_store=False) as session:
+        result = session.profile(source, options=_options_from(args))
     print("%-5s %-6s %8s %9s %8s %8s  %s"
           % ("loop", "line", "threads", "avg cyc", "arcfreq", "pred",
              "verdict"))
-    for loop_id in sorted(profile.stats):
-        stats = profile.stats[loop_id]
-        meta = profile.loop_table[loop_id]
-        prediction = selector.predict(stats)
-        if loop_id in plans:
-            verdict = "SELECTED"
-            if plans[loop_id].sync:
-                verdict += " +sync"
-            if plans[loop_id].multilevel_inner:
-                verdict += " (multilevel)"
-        elif not meta.candidate:
-            verdict = "not a candidate: %s" % meta.reject_reason
-        else:
-            verdict = "rejected"
+    for loop_id in sorted(result["loops"], key=int):
+        entry = result["loops"][loop_id]
         print("%-5d %-6s %8d %9.1f %8.2f %7.2fx  %s"
-              % (loop_id, meta.line, stats.threads,
-                 stats.avg_thread_cycles, stats.arc_frequency,
-                 prediction.speedup, verdict))
+              % (int(loop_id), entry["line"], entry["threads"],
+                 entry["avg_thread_cycles"], entry["arc_frequency"],
+                 entry["predicted_speedup"], entry["verdict"]))
     return 0
+
+
+def cmd_serve(args):
+    """Start the persistent execution daemon (docs/service.md)."""
+    from .service import JrpmServer, run_server
+    if (args.socket is None) == (args.port is None):
+        print("serve: exactly one of --socket/--port is required",
+              file=sys.stderr)
+        return 2
+    server = JrpmServer(
+        socket_path=args.socket, host=args.host, port=args.port,
+        jobs=args.jobs, queue_limit=args.queue_limit,
+        timeout=args.timeout, batch_max=args.batch_max,
+        cache_dir=args.cache_dir, use_cache=not args.no_cache)
+    return run_server(server)
 
 
 def main(argv=None):
@@ -403,6 +429,34 @@ def main(argv=None):
     p_adapt.add_argument("--verbose", "-v", action="store_true")
     _add_hw_flags(p_adapt)
     p_adapt.set_defaults(fn=cmd_adapt)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the persistent execution daemon")
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="listen on a unix domain socket")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="listen on TCP (0 picks a free port)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind address (default 127.0.0.1)")
+    p_serve.add_argument("--jobs", "-j", type=int, default=2,
+                         help="worker processes (default 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="bounded-queue depth before submits are "
+                              "rejected with 'overloaded' (default 64)")
+    p_serve.add_argument("--batch-max", type=int, default=16,
+                         help="max jobs per scheduler batch "
+                              "(default 16)")
+    p_serve.add_argument("--timeout", type=float, default=300.0,
+                         help="default per-request seconds before the "
+                              "worker is terminated (default 300)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persistent report cache directory "
+                              "(default benchmarks/.cache, shared "
+                              "with `suite`)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve from memory only; nothing "
+                              "persists across restarts")
+    p_serve.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -12,8 +12,10 @@
 benchmark harness needs into a :class:`JrpmReport`.
 """
 
+import warnings
 from dataclasses import dataclass, field
 
+from ..serialize import REPORT_SCHEMA_VERSION, check_schema_version
 from ..hydra.config import HydraConfig
 from ..hydra.machine import Machine
 from ..jit.compiler import (annotation_count, compile_annotated,
@@ -251,8 +253,10 @@ class JrpmReport:
                              tolerance)
 
     # -- serialization -------------------------------------------------------
-    #: bumped whenever the report dict layout changes (cache versioning)
-    SCHEMA_VERSION = 3
+    #: the report dict layout version — aliased from
+    #: :data:`repro.serialize.REPORT_SCHEMA_VERSION`, the single source
+    #: of truth shared with the cache key and the service wire protocol
+    SCHEMA_VERSION = REPORT_SCHEMA_VERSION
 
     def to_dict(self):
         """Lossless JSON-safe dict of every measurement in the report.
@@ -302,7 +306,14 @@ class JrpmReport:
 
     @staticmethod
     def from_dict(data):
-        """Rebuild a report from :meth:`to_dict` output (or its JSON)."""
+        """Rebuild a report from :meth:`to_dict` output (or its JSON).
+
+        Payloads declaring a *future* schema version are rejected with
+        :class:`~repro.serialize.SchemaVersionError` instead of being
+        half-loaded (older versions load fine via ``.get`` defaults).
+        """
+        check_schema_version("JrpmReport", data.get("schema"),
+                             REPORT_SCHEMA_VERSION)
         from ..hydra.config import HydraConfig
         from ..jit.annotate import LoopMeta
         from ..serialize import pairs_to_set
@@ -400,7 +411,17 @@ class Jrpm:
     """
 
     def __init__(self, config=None, stl_options=None, vm_options=None,
-                 trace=None):
+                 trace=None, options=None):
+        """``options`` (a :class:`repro.service.RunOptions`) is the
+        preferred single knob; the per-object kwargs remain for callers
+        that build the pieces themselves and override the corresponding
+        ``options`` projection when both are given."""
+        if options is not None:
+            config = config or options.hydra_config()
+            stl_options = stl_options or options.stl_options()
+            vm_options = vm_options or options.vm_options()
+            if trace is None and options.trace:
+                trace = True
         self.config = config or HydraConfig()
         self.stl_options = stl_options or StlOptions()
         self.vm_options = vm_options or VmOptions()
@@ -542,7 +563,7 @@ class Jrpm:
 
     def run_adaptive(self, source_or_program, name="program", args=(),
                      policy=None, epochs=4, stop_on_converged=True,
-                     verify=False):
+                     verify=False, adapt_epochs=None):
         """Run the pipeline under the epoch-based feedback controller.
 
         Unlike :meth:`run` (one-shot: the TEST profile is trusted
@@ -555,6 +576,12 @@ class Jrpm:
         defaults).
         """
         from ..adapt import AdaptController, make_policy
+        if adapt_epochs is not None:
+            warnings.warn(
+                "Jrpm.run_adaptive(adapt_epochs=...) is deprecated; "
+                "use epochs= (or RunOptions.epochs)",
+                DeprecationWarning, stacklevel=2)
+            epochs = adapt_epochs
         if isinstance(policy, str):
             policy = make_policy(policy)
         controller = AdaptController(self, policy=policy, epochs=epochs,

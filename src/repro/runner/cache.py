@@ -27,9 +27,14 @@ import json
 import os
 import tempfile
 
-#: bump to invalidate every existing cache entry on schema changes
-#: (2: execution-engine identity — fastpath vs legacy dispatch — became
-#: explicit key material, see :func:`cache_key`)
+from ..serialize import REPORT_SCHEMA_VERSION
+
+#: bump to invalidate every existing cache entry on *key-layout*
+#: changes (2: execution-engine identity — fastpath vs legacy dispatch
+#: — became explicit key material, see :func:`cache_key`).  The
+#: *report-payload* layout is keyed separately via
+#: :data:`repro.serialize.REPORT_SCHEMA_VERSION`, so a report-schema
+#: bump invalidates entries without touching this constant.
 CACHE_FORMAT = 2
 
 _CODE_FINGERPRINT = None
@@ -87,6 +92,7 @@ def cache_key(source, args, config, stl_options, vm_options, salt=None,
     """
     key_material = {
         "format": CACHE_FORMAT,
+        "schema": REPORT_SCHEMA_VERSION,
         "source": hashlib.sha256(source.encode()).hexdigest(),
         "args": list(args),
         "options": options_fingerprint(config, stl_options, vm_options),

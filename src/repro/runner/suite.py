@@ -86,6 +86,22 @@ class RunRequest:
         if self.name is None:
             self.name = self.workload
 
+    @classmethod
+    def from_options(cls, workload, options, size="default",
+                     variant="base", name=None, source=None,
+                     tag="default"):
+        """Build a request from one :class:`repro.service.RunOptions`
+        — the canonical spelling; the per-field constructor remains for
+        cache-key-compatible callers."""
+        return cls(workload=workload, variant=variant, size=size,
+                   args=options.args, config=options.hydra_config(),
+                   stl_options=options.stl_options(),
+                   vm_options=options.vm_options(), name=name,
+                   source=source, verify=options.verify,
+                   tag=tag, trace=options.trace, adapt=options.adapt,
+                   adapt_epochs=options.epochs,
+                   adapt_policy=options.policy)
+
     @property
     def label(self):
         return "%s/%s/%s/%s" % (self.workload, self.variant, self.size,
@@ -296,19 +312,36 @@ class SuiteRunner:
 
     # -- conveniences ------------------------------------------------------------
     def run_suite(self, size="default", workloads=None, config=None,
-                  stl_options=None, vm_options=None, args=(),
-                  progress=None, trace=False, adapt=False,
-                  adapt_epochs=4, adapt_policy="threshold"):
+                  stl_options=None, vm_options=None, args=None,
+                  progress=None, options=None, trace=None, adapt=None,
+                  adapt_epochs=None, adapt_policy=None):
         """Run the (sub)suite; returns ``{workload name: JrpmReport}``
-        in registry order."""
+        in registry order.
+
+        ``options`` (a :class:`repro.service.RunOptions`) is the
+        canonical way to shape the runs; the scattered per-call kwargs
+        (``trace``/``adapt``/``adapt_epochs``/``adapt_policy``) remain
+        as a deprecated shim folded in by
+        :func:`repro.service.options.coerce_run_options`.  Explicit
+        ``config``/``stl_options``/``vm_options`` objects still win
+        over the ``options`` projections.
+        """
+        from ..service.options import coerce_run_options
         from ..workloads import all_workloads
+        options = coerce_run_options(
+            options, trace=trace, adapt=adapt, args=args,
+            adapt_epochs=adapt_epochs, adapt_policy=adapt_policy)
         selected = workloads or [w.name for w in all_workloads()]
-        requests = [RunRequest(workload=name, size=size, args=args,
-                               config=config, stl_options=stl_options,
-                               vm_options=vm_options, trace=trace,
-                               adapt=adapt, adapt_epochs=adapt_epochs,
-                               adapt_policy=adapt_policy)
-                    for name in selected]
+        requests = []
+        for name in selected:
+            request = RunRequest.from_options(name, options, size=size)
+            if config is not None:
+                request.config = config
+            if stl_options is not None:
+                request.stl_options = stl_options
+            if vm_options is not None:
+                request.vm_options = vm_options
+            requests.append(request)
         reports = self.run(requests, progress=progress)
         return {request.workload: report
                 for request, report in zip(requests, reports)}

@@ -15,6 +15,40 @@ No module in the package may be imported from here (this file sits at
 the bottom of the dependency graph on purpose).
 """
 
+#: Version of the ``JrpmReport.to_dict()`` layout.  This is the single
+#: source of truth: the report model, the wire protocol and the report
+#: cache key all read it from here.  Bump it whenever the dict layout
+#: changes shape (history: 1 = PR-1 baseline, 2 = trace aggregates,
+#: 3 = adaptation log).
+REPORT_SCHEMA_VERSION = 3
+
+
+class SchemaVersionError(ValueError):
+    """A serialized payload declares a schema this code cannot read
+    (produced by a newer version of the package)."""
+
+    def __init__(self, kind, found, supported):
+        self.kind = kind
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            "%s payload declares schema version %r but this build only "
+            "understands versions <= %d; refusing to guess at fields "
+            "added by a newer writer (upgrade, or regenerate the "
+            "payload)" % (kind, found, supported))
+
+
+def check_schema_version(kind, declared, supported):
+    """Reject payloads written by a future schema version.
+
+    Older versions load fine (readers use ``.get`` defaults for fields
+    added later); *newer* versions may have renamed or re-keyed fields,
+    so guessing is unsafe.
+    """
+    if declared is not None and (not isinstance(declared, int)
+                                 or declared > supported):
+        raise SchemaVersionError(kind, declared, supported)
+
 
 def site_to_jsonable(site):
     """Recursively convert tuples to lists (JSON-encodable)."""

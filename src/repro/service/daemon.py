@@ -1,0 +1,287 @@
+"""``jrpm serve`` — the persistent execution daemon.
+
+:class:`JrpmServer` listens on a unix socket (``--socket``) or TCP port
+(``--port``), speaks the line-delimited JSON protocol of
+:mod:`repro.service.protocol`, and owns the warm state a resident Jrpm
+needs: the shared :class:`~repro.service.store.ArtifactStore` and the
+batched :class:`~repro.service.scheduler.JobScheduler` over the
+crash-isolating worker pool.
+
+Lifecycle: requests on one connection are handled **concurrently**
+(one asyncio task per request line; responses carry the request id and
+go out in completion order), so a single pipelining client gets
+batching for free.  ``drain`` stops intake, waits for every in-flight
+job *and* every pending response write, answers last, and then the
+server shuts down — the graceful half of the paper's "resident VM"
+story.  SIGINT/SIGTERM trigger the same drain path.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+from ..serialize import REPORT_SCHEMA_VERSION
+from ..runner.cache import NullCache, ReportCache
+from ..runner.suite import default_cache_dir
+from . import protocol
+from .jobs import VERBS, JobSpec
+from .options import RunOptions
+from .scheduler import JobScheduler, ServiceError
+from .stats import ServiceStats
+from .store import ArtifactStore
+
+
+class JrpmServer:
+    """One daemon instance: listener + store + scheduler + stats."""
+
+    def __init__(self, socket_path=None, host="127.0.0.1", port=None,
+                 jobs=2, queue_limit=64, timeout=300.0, batch_max=16,
+                 cache_dir=None, use_cache=True, store_entries=512,
+                 start_method=None):
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path/port required")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        if use_cache:
+            disk_cache = ReportCache(cache_dir or default_cache_dir())
+        else:
+            disk_cache = NullCache()
+        self.store = ArtifactStore(max_entries=store_entries,
+                                   disk_cache=disk_cache)
+        self.scheduler = JobScheduler(
+            self.store, jobs=jobs, queue_limit=queue_limit,
+            timeout=timeout, batch_max=batch_max,
+            start_method=start_method)
+        self.stats = ServiceStats()
+        self._server = None
+        self._tasks = set()
+        self._connections = set()      # live connection-handler tasks
+        self._done = None              # set by start() on the live loop
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self):
+        self._done = asyncio.Event()
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port)
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def endpoint(self):
+        if self.socket_path is not None:
+            return self.socket_path
+        return "%s:%s" % (self.host, self.port)
+
+    async def serve_until_drained(self):
+        """Serve until a ``drain`` request (or :meth:`initiate_drain`)
+        completes, then close everything."""
+        await self._done.wait()
+        await self.aclose()
+
+    async def aclose(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.scheduler.close)
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def initiate_drain(self):
+        """Signal-safe entry: schedule a drain on the event loop."""
+        task = asyncio.ensure_future(self._drain())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _drain(self):
+        """Stop intake, wait for all jobs and all responses in flight."""
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.scheduler.drain)
+        current = asyncio.current_task()
+        pending = [task for task in self._tasks
+                   if task is not current and not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._done.set()
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(self, reader, writer):
+        write_lock = asyncio.Lock()
+        current = asyncio.current_task()
+        self._connections.add(current)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        except asyncio.CancelledError:
+            pass                         # server shutting down
+        finally:
+            self._connections.discard(current)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _serve_line(self, line, writer, write_lock):
+        started = time.perf_counter()
+        request_id, verb = None, "?"
+        try:
+            frame = protocol.decode_frame(line)
+            request_id = frame.get("id")
+            request_id, verb, payload = protocol.check_request(frame)
+            response = await self._dispatch(request_id, verb, payload,
+                                            started)
+        except protocol.ProtocolError as error:
+            response = protocol.make_error(request_id, "protocol",
+                                           str(error))
+        except Exception as error:       # last-resort: never drop a frame
+            response = protocol.make_error(
+                request_id, "error",
+                "%s: %s" % (type(error).__name__, error))
+        ok = bool(response.get("ok"))
+        self.stats.observe(verb, time.perf_counter() - started, ok=ok)
+        async with write_lock:
+            try:
+                writer.write(protocol.encode_frame(response))
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                pass                     # client went away mid-reply
+
+    async def _dispatch(self, request_id, verb, payload, started):
+        if verb == "ping":
+            return protocol.make_response(
+                request_id,
+                {"pong": True,
+                 "protocol": protocol.PROTOCOL_VERSION,
+                 "report_schema": REPORT_SCHEMA_VERSION,
+                 "draining": self._draining},
+                elapsed=time.perf_counter() - started)
+        if verb == "stats":
+            return protocol.make_response(
+                request_id, self.stats_snapshot(),
+                elapsed=time.perf_counter() - started)
+        if verb == "drain":
+            await self._drain()
+            return protocol.make_response(
+                request_id,
+                {"drained": True,
+                 "completed": self.scheduler.completed,
+                 "failed": self.scheduler.failed},
+                elapsed=time.perf_counter() - started)
+        if verb not in VERBS:
+            return protocol.make_error(
+                request_id, "bad-request",
+                "unknown verb %r (job verbs: %s; control verbs: %s)"
+                % (verb, ", ".join(VERBS),
+                   ", ".join(protocol.CONTROL_VERBS)))
+        try:
+            spec = self._spec_of(verb, payload)
+        except (KeyError, TypeError, ValueError) as error:
+            return protocol.make_error(request_id, "bad-request",
+                                       str(error))
+        try:
+            job = self.scheduler.submit(spec)
+        except ServiceError as error:
+            return protocol.make_error(request_id, error.kind,
+                                       str(error))
+        try:
+            result = await asyncio.wrap_future(job.future)
+        except ServiceError as error:
+            return protocol.make_error(request_id, error.kind,
+                                       str(error))
+        if isinstance(result.get("report"), dict):
+            self.stats.absorb_report(result["report"])
+        return protocol.make_response(
+            request_id, result, cached=job.cached,
+            elapsed=time.perf_counter() - started)
+
+    @staticmethod
+    def _spec_of(verb, payload):
+        """Build the JobSpec for one request; source may be inline or a
+        registry workload reference."""
+        options = RunOptions.from_dict(payload.get("options") or {})
+        source = payload.get("source")
+        name = payload.get("name")
+        if source is None:
+            workload_name = payload.get("workload")
+            if workload_name is None:
+                raise ValueError(
+                    "payload needs either 'source' (MiniJava text) or "
+                    "'workload' (registry name)")
+            from ..workloads import lookup
+            workload = lookup(workload_name)
+            size = payload.get("size", "default")
+            if payload.get("variant", "base") == "manual":
+                source = workload.manual_source(size)
+                if source is None:
+                    raise ValueError("%s has no manual variant"
+                                     % workload.name)
+            else:
+                source = workload.source(size)
+            name = name or workload.name
+        return JobSpec(verb=verb, source=source,
+                       name=name or "program", options=options,
+                       crash_marker=payload.get("crash_marker"),
+                       delay=payload.get("delay", 0.0),
+                       exec_log=payload.get("exec_log"))
+
+    def stats_snapshot(self):
+        snapshot = self.stats.to_dict()
+        snapshot["scheduler"] = self.scheduler.stats_dict()
+        snapshot["store"] = self.store.stats_dict()
+        snapshot["store"]["cache_hit_rate"] = \
+            snapshot["store"].pop("hit_rate")
+        snapshot["endpoint"] = self.endpoint
+        return snapshot
+
+
+def run_server(server, quiet=False):
+    """Blocking entry for the CLI: serve until drained or signalled."""
+
+    async def _main():
+        await server.start()
+        if not quiet:
+            import sys
+            print("jrpm serve: listening on %s (protocol v%d, "
+                  "%d workers, queue %d)"
+                  % (server.endpoint, protocol.PROTOCOL_VERSION,
+                     server.scheduler.jobs, server.scheduler.queue_limit),
+                  file=sys.stderr, flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.initiate_drain)
+            except NotImplementedError:   # pragma: no cover - non-unix
+                pass
+        await server.serve_until_drained()
+
+    asyncio.run(_main())
+    return 0

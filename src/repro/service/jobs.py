@@ -1,0 +1,189 @@
+"""Self-contained service jobs (the worker-process entry point).
+
+A :class:`JobSpec` is one verb applied to one MiniJava source under one
+:class:`~repro.service.options.RunOptions` — nothing else.  Every verb
+recomputes its own prerequisites from the source, so a spec is fully
+picklable, shippable to a crash-isolated worker, and memoizable by
+fingerprint: the daemon's artifact store keys results on
+:func:`job_fingerprint` and never re-executes an identical spec.
+
+``execute_job`` must stay module-level (picklable under ``spawn``).
+"""
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..minijava import compile_source
+from ..runner.cache import cache_key
+from .options import RunOptions
+
+
+@dataclass
+class JobSpec:
+    """One unit of service work."""
+
+    verb: str                          # compile|profile|select|recompile
+    source: str                        #   |run|run_adaptive
+    name: str = "program"
+    options: RunOptions = field(default_factory=RunOptions)
+    #: test hook — path of a marker file; the first worker to execute
+    #: this spec creates the marker and dies (exercises pool retry)
+    crash_marker: str = None
+    #: test hook — sleep this long before executing (exercises timeout)
+    delay: float = 0.0
+    #: test hook — append one ``pid`` line here per actual execution,
+    #: so tests can prove store hits / coalescing skipped recompute
+    exec_log: str = None
+
+    def fingerprint(self, salt=None):
+        return job_fingerprint(self, salt=salt)
+
+
+VERBS = ("compile", "profile", "select", "recompile", "run",
+         "run_adaptive")
+
+
+def job_fingerprint(spec, salt=None):
+    """Content-addressed key for one job, compatible with the report
+    cache's keying discipline (source + options + code version), with
+    the verb and the result-affecting option fields as extra material.
+    """
+    options = spec.options
+    material = options.to_dict()
+    # timeout/verify shape *how* the job runs, not what it computes
+    material.pop("timeout", None)
+    material.pop("verify", None)
+    material.pop("args", None)         # already first-class key material
+    return cache_key(spec.source, options.args, options.hydra_config(),
+                     options.stl_options(), options.vm_options(),
+                     salt=salt,
+                     extra={"service-verb": spec.verb,
+                            "options": material})
+
+
+def execute_job(spec):
+    """Run one verb end to end; returns a JSON-safe result dict.
+
+    Raises on bad verbs and on output-verification failure so the pool
+    reports status ``error`` with the traceback.
+    """
+    if spec.crash_marker is not None:
+        if not os.path.exists(spec.crash_marker):
+            with open(spec.crash_marker, "w") as fh:
+                fh.write(str(os.getpid()))
+            os._exit(17)               # simulate a worker death mid-job
+    if spec.exec_log is not None:
+        with open(spec.exec_log, "a") as fh:
+            fh.write("%d\n" % os.getpid())
+    if spec.delay:
+        time.sleep(spec.delay)
+    if spec.verb not in VERBS:
+        raise ValueError("unknown verb %r (expected one of %s)"
+                         % (spec.verb, ", ".join(VERBS)))
+    start = time.perf_counter()
+    result = _VERB_TABLE[spec.verb](spec)
+    result["wall_time"] = time.perf_counter() - start
+    return result
+
+
+# -- per-verb implementations ------------------------------------------------
+
+def _jrpm_of(spec):
+    return spec.options.make_jrpm(), compile_source(spec.source)
+
+
+def _do_compile(spec):
+    jrpm, program = _jrpm_of(spec)
+    baseline = jrpm.compile_baseline(program, spec.options.args)
+    return {"compile_cycles": baseline.compile_cycles,
+            "measurement": baseline.measurement.to_dict()}
+
+
+def _profile_artifacts(spec):
+    jrpm, program = _jrpm_of(spec)
+    profile = jrpm.profile(program, spec.options.args)
+    selector = jrpm.make_selector(profile.loop_table)
+    plans = selector.select(profile.stats,
+                            profile.profiler.dynamic_nesting)
+    return jrpm, program, profile, selector, plans
+
+
+def _do_profile(spec):
+    _, _, profile, selector, plans = _profile_artifacts(spec)
+    loops = {}
+    for loop_id in sorted(profile.stats):
+        stats = profile.stats[loop_id]
+        meta = profile.loop_table[loop_id]
+        prediction = selector.predict(stats)
+        if loop_id in plans:
+            verdict = "SELECTED"
+            if plans[loop_id].sync:
+                verdict += " +sync"
+            if plans[loop_id].multilevel_inner:
+                verdict += " (multilevel)"
+        elif not meta.candidate:
+            verdict = "not a candidate: %s" % meta.reject_reason
+        else:
+            verdict = "rejected"
+        loops[str(loop_id)] = {
+            "line": meta.line,
+            "threads": stats.threads,
+            "avg_thread_cycles": stats.avg_thread_cycles,
+            "arc_frequency": stats.arc_frequency,
+            "predicted_speedup": prediction.speedup,
+            "verdict": verdict,
+        }
+    return {"annotations": profile.annotations,
+            "measurement": profile.measurement.to_dict(),
+            "loops": loops,
+            "selected": sorted(plans)}
+
+
+def _do_select(spec):
+    _, _, _, _, plans = _profile_artifacts(spec)
+    return {"plans": {str(loop_id): plan.to_dict()
+                      for loop_id, plan in plans.items()}}
+
+
+def _do_recompile(spec):
+    jrpm, program, _, _, plans = _profile_artifacts(spec)
+    recompiled = jrpm.recompile(program, plans)
+    return {"stls": len(plans),
+            "recompile_cycles": (recompiled.compile_cycles
+                                 if recompiled is not None else 0),
+            "plans": {str(loop_id): plan.to_dict()
+                      for loop_id, plan in plans.items()}}
+
+
+def _finish_run(spec, report):
+    if spec.options.verify and not report.outputs_match():
+        raise AssertionError(
+            "%s: speculative output diverged from sequential"
+            % spec.name)
+    return {"report": report.to_dict()}
+
+
+def _do_run(spec):
+    jrpm, program = _jrpm_of(spec)
+    report = jrpm.run(program, name=spec.name, args=spec.options.args)
+    return _finish_run(spec, report)
+
+
+def _do_run_adaptive(spec):
+    jrpm, program = _jrpm_of(spec)
+    report = jrpm.run_adaptive(program, name=spec.name,
+                               args=spec.options.args,
+                               policy=spec.options.policy,
+                               epochs=spec.options.epochs)
+    return _finish_run(spec, report)
+
+
+_VERB_TABLE = {
+    "compile": _do_compile,
+    "profile": _do_profile,
+    "select": _do_select,
+    "recompile": _do_recompile,
+    "run": _do_run,
+    "run_adaptive": _do_run_adaptive,
+}

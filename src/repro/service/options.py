@@ -1,0 +1,122 @@
+"""`RunOptions` — the one options dataclass for every Jrpm surface.
+
+Before this module, each entry point grew its own knob spelling:
+``Jrpm.run_adaptive(epochs=...)`` vs ``RunRequest.adapt_epochs`` vs
+``--adapt-epochs``; ``Jrpm(trace=...)`` vs ``--trace``; ``--jobs`` on
+the suite vs ``jobs=`` on the runner.  :class:`RunOptions` is the
+single spelling: the client/session API, the service wire protocol,
+the CLI and the suite runner all build their per-subsystem objects
+(:class:`~repro.hydra.config.HydraConfig`,
+:class:`~repro.jit.stl.StlOptions`,
+:class:`~repro.core.pipeline.VmOptions`) from one instance of it.
+
+The legacy kwargs stay accepted everywhere through
+:func:`coerce_run_options`, which folds them in with a
+``DeprecationWarning`` (see README "Migrating to RunOptions").
+"""
+
+import warnings
+from dataclasses import dataclass, fields
+
+from ..core.pipeline import VmOptions
+from ..hydra.config import HydraConfig, SpeculationOverheads
+from ..jit.stl import StlOptions
+
+#: legacy kwarg name -> canonical RunOptions field
+LEGACY_ALIASES = {
+    "adapt_epochs": "epochs",
+    "adapt_policy": "policy",
+    "num_cpus": "cpus",
+}
+
+
+@dataclass
+class RunOptions:
+    """Everything a caller may tune about one pipeline run."""
+
+    # -- simulated hardware --------------------------------------------------
+    cpus: int = 4
+    old_handlers: bool = False           # paper Table 1 "Old" overheads
+    fastpath: bool = True                # predecoded dispatch engine
+
+    # -- VM-level modifications (paper §5) -----------------------------------
+    parallel_allocator: bool = True
+    speculation_aware_locks: bool = True
+
+    # -- observability / adaptation ------------------------------------------
+    trace: bool = False                  # attach the repro.trace collector
+    adapt: bool = False                  # run under the adapt controller
+    epochs: int = 4                      # adaptive epochs (was adapt_epochs)
+    policy: str = "threshold"            # adaptive policy (was adapt_policy)
+
+    # -- run shape -----------------------------------------------------------
+    args: tuple = ()                     # guest program arguments
+    verify: bool = True                  # assert sequential == TLS output
+    timeout: float = None                # per-request seconds (service only)
+
+    def __post_init__(self):
+        self.args = tuple(self.args)
+
+    # -- projections to the per-subsystem option objects ---------------------
+    def hydra_config(self):
+        config = HydraConfig(num_cpus=self.cpus, fastpath=self.fastpath)
+        if self.old_handlers:
+            config.overheads = SpeculationOverheads.old_handlers()
+        return config
+
+    def stl_options(self):
+        return StlOptions()
+
+    def vm_options(self):
+        return VmOptions(
+            parallel_allocator=self.parallel_allocator,
+            speculation_aware_locks=self.speculation_aware_locks)
+
+    def make_jrpm(self):
+        from ..core.pipeline import Jrpm
+        return Jrpm(options=self)
+
+    # -- serialization (wire protocol + artifact-store keys) -----------------
+    def to_dict(self):
+        return {f.name: (list(self.args) if f.name == "args"
+                         else getattr(self, f.name))
+                for f in fields(self)}
+
+    @staticmethod
+    def from_dict(data):
+        """Strict loader: unknown keys are an error (a typo'd option
+        silently ignored would produce a wrong-but-plausible run)."""
+        known = {f.name for f in fields(RunOptions)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                "unknown RunOptions field(s): %s (known: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(sorted(known))))
+        return RunOptions(**data)
+
+
+def coerce_run_options(options=None, _stacklevel=3, **legacy):
+    """Build the effective :class:`RunOptions` for a legacy call site.
+
+    ``options`` wins when given; any non-``None`` legacy kwarg is folded
+    into a copy with a :class:`DeprecationWarning` naming the canonical
+    spelling.  Used by the ``Jrpm`` facade, the CLI and
+    ``SuiteRunner.run_suite`` so old callers keep working for one
+    release.
+    """
+    effective = RunOptions(**options.to_dict()) if options is not None \
+        else RunOptions()
+    for name, value in legacy.items():
+        if value is None:
+            continue
+        canonical = LEGACY_ALIASES.get(name, name)
+        if canonical not in {f.name for f in fields(RunOptions)}:
+            raise TypeError("unknown option %r" % (name,))
+        if name in LEGACY_ALIASES:
+            warnings.warn(
+                "%s= is deprecated; use RunOptions(%s=...)"
+                % (name, canonical), DeprecationWarning,
+                stacklevel=_stacklevel)
+        setattr(effective, canonical, value)
+    effective.args = tuple(effective.args)
+    return effective

@@ -1,0 +1,258 @@
+"""Batched job scheduler: bounded queue → worker-pool batches.
+
+The daemon accepts requests on the asyncio side and hands
+:class:`~repro.service.jobs.JobSpec`s to this scheduler, which owns the
+execution policy:
+
+* a **bounded queue** (``queue_limit``) applies backpressure — a full
+  queue rejects the submit with :class:`QueueFull` instead of letting
+  the daemon buffer unbounded work;
+* a dispatcher thread drains whatever is queued (up to ``batch_max``)
+  into one **batch** and shards it across the crash-isolating
+  :class:`~repro.runner.pool.ProcessPool` — identical specs inside a
+  batch are **coalesced** into a single execution whose result settles
+  every duplicate;
+* per-request **timeouts** (``RunOptions.timeout``, falling back to the
+  scheduler default) terminate the stuck worker and fail only that
+  request; a worker **crash** retries the job once on a fresh worker
+  before reporting it;
+* results are memoized in the shared
+  :class:`~repro.service.store.ArtifactStore` so later identical
+  requests never reach the pool at all;
+* :meth:`drain` stops intake and waits until every accepted job has
+  settled — the graceful-shutdown half of the daemon's lifecycle.
+
+Futures are ``concurrent.futures.Future`` so the asyncio daemon can
+``asyncio.wrap_future`` them and synchronous tests can ``result()``.
+"""
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+
+from ..runner.pool import ProcessPool
+from .jobs import execute_job
+
+
+class ServiceError(RuntimeError):
+    """Base of every scheduler-surfaced failure; ``kind`` is the wire
+    error discriminator."""
+
+    kind = "error"
+
+
+class QueueFull(ServiceError):
+    """Backpressure: the bounded queue is at capacity."""
+
+    kind = "overloaded"
+
+
+class Draining(ServiceError):
+    """The scheduler is draining (or closed) and accepts no new work."""
+
+    kind = "draining"
+
+
+class JobFailed(ServiceError):
+    """The job ran and failed; ``kind`` is error|crashed|timeout."""
+
+    def __init__(self, kind, message):
+        self.kind = kind
+        super().__init__(message)
+
+
+class ScheduledJob:
+    """Handle for one accepted submission."""
+
+    __slots__ = ("spec", "future", "cached", "enqueued_at")
+
+    def __init__(self, spec, future, cached):
+        self.spec = spec
+        self.future = future
+        self.cached = cached
+        self.enqueued_at = time.perf_counter()
+
+
+class JobScheduler:
+    """Runs job specs through store + batched worker pool."""
+
+    def __init__(self, store, jobs=2, queue_limit=64, timeout=300.0,
+                 batch_max=16, start_method=None):
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self.queue_limit = queue_limit
+        self.timeout = timeout
+        self.batch_max = max(1, int(batch_max))
+        self.start_method = start_method
+        self._queue = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._accepting = True
+        self._closed = False
+        self._in_flight = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.coalesced = 0
+        self._thread = threading.Thread(target=self._dispatch_loop,
+                                        name="jrpm-scheduler",
+                                        daemon=True)
+        self._thread.start()
+
+    # -- intake ------------------------------------------------------------
+    def submit(self, spec):
+        """Accept one spec; returns a :class:`ScheduledJob` whose future
+        settles with the result dict.  Store hits settle immediately
+        (``cached=True``) and never occupy a queue slot."""
+        cached = self.store.get(spec)
+        if cached is not None:
+            future = Future()
+            future.set_result(cached)
+            with self._lock:
+                self.accepted += 1
+                self.completed += 1
+            return ScheduledJob(spec, future, cached=True)
+        with self._lock:
+            if not self._accepting:
+                self.rejected += 1
+                raise Draining("scheduler is draining; submit rejected")
+            if len(self._queue) >= self.queue_limit:
+                self.rejected += 1
+                raise QueueFull(
+                    "queue full (%d jobs pending); retry later"
+                    % len(self._queue))
+            future = Future()
+            self._queue.append((spec, future))
+            self.accepted += 1
+            self._wake.notify()
+        return ScheduledJob(spec, future, cached=False)
+
+    # -- lifecycle ---------------------------------------------------------
+    def drain(self, timeout=None):
+        """Stop accepting new work and block until every accepted job
+        has settled.  Idempotent; the dispatcher stays alive so a
+        drained scheduler still answers ``stats``."""
+        with self._lock:
+            self._accepting = False
+            self._wake.notify()
+            deadline = None if timeout is None \
+                else time.perf_counter() + timeout
+            while self._queue or self._in_flight:
+                remaining = None if deadline is None \
+                    else max(0.0, deadline - time.perf_counter())
+                if remaining is not None and remaining == 0.0:
+                    raise TimeoutError(
+                        "drain timed out with %d queued, %d in flight"
+                        % (len(self._queue), self._in_flight))
+                self._idle.wait(timeout=remaining)
+
+    def close(self):
+        """Drain, then stop the dispatcher thread."""
+        if not self._closed:
+            self.drain()
+            with self._lock:
+                self._closed = True
+                self._wake.notify()
+            self._thread.join(timeout=5.0)
+
+    @property
+    def draining(self):
+        return not self._accepting
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch_loop(self):
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    if not self._accepting:
+                        self._idle.notify_all()
+                    self._wake.wait(timeout=0.5)
+                if self._closed and not self._queue:
+                    self._idle.notify_all()
+                    return
+                batch = []
+                while self._queue and len(batch) < self.batch_max:
+                    batch.append(self._queue.popleft())
+                self._in_flight += len(batch)
+            try:
+                self._run_batch(batch)
+            finally:
+                with self._lock:
+                    self._in_flight -= len(batch)
+                    if not self._queue and not self._in_flight:
+                        self._idle.notify_all()
+
+    def _run_batch(self, batch):
+        """Execute one batch: re-check the store (an earlier batch may
+        have warmed it), coalesce duplicates, shard the rest across the
+        pool grouped by effective timeout."""
+        with self._lock:
+            self.batches += 1
+        unique = {}                     # fingerprint -> (spec, [futures])
+        for spec, future in batch:
+            cached = self.store.get(spec, count=False)
+            if cached is not None:
+                self._settle_ok(future, cached)
+                continue
+            key = self.store.key_of(spec)
+            if key in unique:
+                unique[key][1].append(future)
+                with self._lock:
+                    self.coalesced += 1
+            else:
+                unique[key] = (spec, [future])
+        if not unique:
+            return
+        by_timeout = {}
+        for key, (spec, futures) in unique.items():
+            effective = spec.options.timeout or self.timeout
+            by_timeout.setdefault(effective, []).append(
+                (key, spec, futures))
+        for effective, group in by_timeout.items():
+            pool = ProcessPool(execute_job, jobs=self.jobs,
+                               timeout=effective,
+                               start_method=self.start_method)
+            outcomes = pool.map([(key, spec)
+                                 for key, spec, _ in group])
+            for key, spec, futures in group:
+                outcome = outcomes[key]
+                if outcome.ok:
+                    self.store.put(spec, outcome.value)
+                    for future in futures:
+                        self._settle_ok(future, outcome.value)
+                else:
+                    error = JobFailed(outcome.status, outcome.error
+                                      or "job failed")
+                    for future in futures:
+                        self._settle_error(future, error)
+
+    def _settle_ok(self, future, value):
+        with self._lock:
+            self.completed += 1
+        future.set_result(value)
+
+    def _settle_error(self, future, error):
+        with self._lock:
+            self.failed += 1
+        future.set_exception(error)
+
+    # -- introspection -----------------------------------------------------
+    def stats_dict(self):
+        with self._lock:
+            return {
+                "queue_depth": len(self._queue),
+                "queue_limit": self.queue_limit,
+                "in_flight": self._in_flight,
+                "workers": self.jobs,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "batches": self.batches,
+                "coalesced": self.coalesced,
+                "draining": not self._accepting,
+            }

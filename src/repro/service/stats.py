@@ -1,0 +1,116 @@
+"""Service observability: per-verb latency histograms + counters.
+
+The ``stats`` verb returns one JSON document assembled here: queue
+depth and worker occupancy from the scheduler, hit rates from the
+artifact store, per-verb latency percentiles from
+:class:`LatencyHistogram`, and a roll-up of the PR-2
+:class:`~repro.trace.TraceAggregates` counters accumulated across every
+traced report the daemon served.
+"""
+
+import bisect
+import threading
+import time
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram (seconds) with exact percentiles
+    for small populations.
+
+    Buckets double from 100µs to ~200s; the raw samples are also kept
+    (bounded reservoir, newest-wins) so p50/p95 stay exact for the
+    population sizes a daemon realistically sees between restarts.
+    """
+
+    BOUNDS = tuple(0.0001 * (2 ** i) for i in range(22))
+    MAX_SAMPLES = 4096
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+        self._samples = []
+
+    def record(self, seconds):
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        self.buckets[bisect.bisect_right(self.BOUNDS, seconds)] += 1
+        if len(self._samples) >= self.MAX_SAMPLES:
+            self._samples.pop(0)
+        self._samples.append(seconds)
+
+    def percentile(self, fraction):
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1,
+                    max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[index]
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self):
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "p50": round(self.percentile(0.50), 6),
+            "p95": round(self.percentile(0.95), 6),
+            "max": round(self.max, 6),
+            "buckets": list(self.buckets),
+        }
+
+
+class ServiceStats:
+    """Daemon-wide counters; thread-safe (asyncio handlers + scheduler
+    callbacks record concurrently)."""
+
+    def __init__(self):
+        self.started_at = time.time()
+        self._monotonic_start = time.perf_counter()
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.by_verb = {}               # verb -> LatencyHistogram
+        self.trace_rollup = None        # TraceAggregates or None
+
+    def observe(self, verb, seconds, ok=True):
+        with self._lock:
+            self.requests += 1
+            if not ok:
+                self.errors += 1
+            histogram = self.by_verb.get(verb)
+            if histogram is None:
+                histogram = self.by_verb[verb] = LatencyHistogram()
+            histogram.record(seconds)
+
+    def absorb_report(self, report_dict):
+        """Fold a served report's trace aggregates into the daemon-wide
+        roll-up (the PR-2 counters, accumulated across requests)."""
+        aggregates = report_dict.get("trace_aggregates")
+        if not aggregates:
+            return
+        from ..trace import TraceAggregates
+        with self._lock:
+            if self.trace_rollup is None:
+                self.trace_rollup = TraceAggregates(capacity=0)
+            self.trace_rollup.merge(TraceAggregates.from_dict(aggregates))
+
+    def to_dict(self):
+        with self._lock:
+            return {
+                "uptime": round(time.perf_counter()
+                                - self._monotonic_start, 3),
+                "started_at": self.started_at,
+                "requests": self.requests,
+                "errors": self.errors,
+                "latency_by_verb": {verb: histogram.to_dict()
+                                    for verb, histogram
+                                    in self.by_verb.items()},
+                "trace": (self.trace_rollup.to_dict()
+                          if self.trace_rollup is not None else None),
+            }

@@ -62,5 +62,5 @@ def test_docs_are_linked_from_readme():
         readme = fh.read()
     for doc in ("docs/architecture.md", "docs/observability.md",
                 "docs/adaptation.md", "docs/minijava.md",
-                "docs/performance.md"):
+                "docs/performance.md", "docs/service.md"):
         assert doc in readme, "%s not linked from README" % doc

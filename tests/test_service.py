@@ -1,0 +1,426 @@
+"""The persistent execution service: daemon, scheduler, store, client.
+
+Covers the PR-6 acceptance surface:
+
+* client/server round-trip over a unix socket,
+* artifact-store hit on a second identical request (recompilation
+  provably skipped via the exec-log hook),
+* worker-crash retry, per-request timeout → clean error,
+* backpressure (bounded queue → ``overloaded``),
+* graceful-drain ordering (in-flight responses before the drain ack),
+* ``Session.local()`` equivalence with ``Jrpm.run()`` (byte-identical
+  reports),
+* ``RunOptions`` deprecation shims and schema/protocol version gating.
+"""
+
+import asyncio
+import os
+import socket as socket_module
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.core.pipeline import Jrpm, JrpmReport
+from repro.serialize import REPORT_SCHEMA_VERSION, SchemaVersionError
+from repro.service import (ArtifactStore, JobScheduler, JobSpec,
+                           JrpmClient, JrpmServer, JrpmServiceError,
+                           RunOptions, Session, coerce_run_options,
+                           execute_job, protocol)
+from conftest import wrap_main
+
+TINY = wrap_main("""
+        int s = 0;
+        for (int i = 0; i < 1500; i = i + 1) { s = s + i * i; }
+        return s;
+""")
+
+OTHER = wrap_main("""
+        int s = 1;
+        for (int i = 1; i < 900; i = i + 1) { s = s + i * 3; }
+        return s;
+""")
+
+
+# ---------------------------------------------------------------------------
+# daemon fixture: a real server on a unix socket, on a background loop
+# ---------------------------------------------------------------------------
+
+class ServiceFixture:
+    def __init__(self, tmp_path, **server_kwargs):
+        kwargs = dict(jobs=2, use_cache=False, timeout=60.0,
+                      batch_max=8)
+        kwargs.update(server_kwargs)
+        self.socket_path = str(tmp_path / "jrpm.sock")
+        self.server = JrpmServer(socket_path=self.socket_path, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+        # the socket file appears at bind(), a beat before listen() —
+        # poll with real connection attempts so no test can race into
+        # the bind/listen window under load
+        deadline = time.perf_counter() + 10.0
+        while True:
+            try:
+                self.client().close()
+                break
+            except (FileNotFoundError, ConnectionRefusedError):
+                assert time.perf_counter() < deadline, \
+                    "daemon never started listening"
+                time.sleep(0.02)
+
+    def _serve(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self.loop.run_until_complete(self.server.serve_until_drained())
+
+    def client(self):
+        return JrpmClient.connect(socket_path=self.socket_path,
+                                  timeout=60.0)
+
+    def stop(self):
+        if not self.server._done.is_set():
+            self.loop.call_soon_threadsafe(self.server.initiate_drain)
+        self.thread.join(timeout=20.0)
+        assert not self.thread.is_alive(), "daemon failed to drain"
+        self.loop.close()
+
+
+@pytest.fixture
+def service(tmp_path):
+    fixture = ServiceFixture(tmp_path)
+    yield fixture
+    fixture.stop()
+
+
+# ---------------------------------------------------------------------------
+# round-trip + artifact store
+# ---------------------------------------------------------------------------
+
+def test_client_server_round_trip_unix_socket(service):
+    with service.client() as client:
+        pong = client.ping()
+        assert pong["pong"] is True
+        assert pong["protocol"] == protocol.PROTOCOL_VERSION
+        assert pong["report_schema"] == REPORT_SCHEMA_VERSION
+        report = client.run(TINY, name="tiny")
+        assert isinstance(report, JrpmReport)
+        assert report.outputs_match()
+        assert report.tls_speedup > 1.0
+
+
+def test_second_identical_profile_request_skips_recompilation(
+        service, tmp_path):
+    """Acceptance: the second identical ``profile`` request is served
+    from the shared artifact store — the pipeline provably executes
+    exactly once (one exec-log line), and the response says cached."""
+    exec_log = str(tmp_path / "exec.log")
+    with service.client() as client:
+        payload = client.job_payload(TINY, name="tiny")
+        payload["exec_log"] = exec_log
+        first = client.request("profile", payload)
+        assert first["annotations"] > 0
+        (second, cached, _), = client.request_many(
+            [("profile", payload)])
+        assert cached is True
+        assert second == first
+        stats = client.stats()
+        assert stats["store"]["hits_by_verb"]["profile"] == 1
+        assert stats["store"]["misses_by_verb"]["profile"] == 1
+    with open(exec_log) as fh:
+        executions = fh.read().splitlines()
+    assert len(executions) == 1, \
+        "second identical request must not recompile"
+
+
+def test_identical_burst_is_coalesced_to_one_execution(service,
+                                                       tmp_path):
+    """Ten pipelined identical requests in one burst → one pipeline
+    execution (batching + coalescing), every response identical."""
+    exec_log = str(tmp_path / "burst.log")
+    with service.client() as client:
+        payload = client.job_payload(TINY, name="tiny")
+        payload["exec_log"] = exec_log
+        settled = client.request_many([("run", payload)] * 10)
+    results = [result for result, _, _ in settled]
+    assert all(not isinstance(result, JrpmServiceError)
+               for result in results)
+    reports = [result["report"] for result in results]
+    assert all(report == reports[0] for report in reports)
+    with open(exec_log) as fh:
+        executions = fh.read().splitlines()
+    assert len(executions) == 1
+
+
+def test_stats_verb_reports_queue_store_and_latency(service):
+    with service.client() as client:
+        client.run(TINY, name="tiny")
+        stats = client.stats()
+    assert stats["scheduler"]["queue_depth"] == 0
+    assert stats["scheduler"]["workers"] == 2
+    assert stats["store"]["cache_hit_rate"] >= 0.0
+    run_latency = stats["latency_by_verb"]["run"]
+    assert run_latency["count"] == 1
+    assert run_latency["p95"] >= run_latency["p50"] > 0.0
+    assert stats["uptime"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# failure modes: crash retry, timeout, backpressure, bad input
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_is_retried_and_succeeds(service, tmp_path):
+    marker = str(tmp_path / "crash.marker")
+    with service.client() as client:
+        payload = client.job_payload(TINY, name="tiny")
+        payload["crash_marker"] = marker
+        result = client.request("run", payload)
+    assert os.path.exists(marker), "first worker should have died"
+    report = JrpmReport.from_dict(result["report"])
+    assert report.outputs_match()
+
+
+def test_request_timeout_is_a_clean_error(service):
+    with service.client() as client:
+        payload = client.job_payload(
+            OTHER, name="slow", options=RunOptions(timeout=0.5))
+        payload["delay"] = 10.0
+        with pytest.raises(JrpmServiceError) as excinfo:
+            client.request("run", payload)
+        assert excinfo.value.kind == "timeout"
+        # the daemon survives: next request on the same connection works
+        assert client.ping()["pong"] is True
+
+
+def test_bounded_queue_applies_backpressure(tmp_path):
+    fixture = ServiceFixture(tmp_path, jobs=1, queue_limit=1,
+                             batch_max=1)
+    try:
+        with fixture.client() as client:
+            payload = client.job_payload(TINY, name="tiny")
+            payload["delay"] = 0.8
+            settled = client.request_many([("run", payload)] * 6)
+        kinds = [result.kind if isinstance(result, JrpmServiceError)
+                 else "ok" for result, _, _ in settled]
+        assert "overloaded" in kinds, kinds
+        assert "ok" in kinds, kinds
+    finally:
+        fixture.stop()
+
+
+def test_bad_requests_get_clear_errors(service):
+    with service.client() as client:
+        with pytest.raises(JrpmServiceError) as excinfo:
+            client.request("florble", {"source": TINY})
+        assert excinfo.value.kind == "bad-request"
+        with pytest.raises(JrpmServiceError) as excinfo:
+            client.request("run", {})
+        assert excinfo.value.kind == "bad-request"
+        assert "source" in str(excinfo.value)
+        with pytest.raises(JrpmServiceError) as excinfo:
+            client.request("run", {"source": TINY,
+                                   "options": {"warp_speed": 9}})
+        assert excinfo.value.kind == "bad-request"
+        assert "warp_speed" in str(excinfo.value)
+
+
+def test_protocol_version_mismatch_is_rejected(service):
+    raw = socket_module.socket(socket_module.AF_UNIX,
+                               socket_module.SOCK_STREAM)
+    raw.settimeout(10.0)
+    raw.connect(service.socket_path)
+    try:
+        frame = protocol.make_request("x1", "ping")
+        frame["v"] = 99
+        raw.sendall(protocol.encode_frame(frame))
+        response = protocol.decode_frame(
+            raw.makefile("rb").readline())
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "protocol"
+        assert "v%d" % protocol.PROTOCOL_VERSION \
+            in response["error"]["message"]
+    finally:
+        raw.close()
+
+
+# ---------------------------------------------------------------------------
+# graceful drain
+# ---------------------------------------------------------------------------
+
+def test_graceful_drain_answers_in_flight_requests_first(tmp_path):
+    """Pipelined work followed by ``drain`` on one connection: every
+    in-flight response arrives before the drain ack, then the daemon
+    refuses new work and shuts down."""
+    fixture = ServiceFixture(tmp_path, jobs=2)
+    client = fixture.client()
+    try:
+        run_payload = client.job_payload(TINY, name="tiny")
+        run_payload["delay"] = 0.3
+        ids, arrival = [], []
+        for verb, payload in [("run", run_payload),
+                              ("run", run_payload),
+                              ("drain", None)]:
+            request_id = client._next_id()
+            ids.append(request_id)
+            client._send(protocol.make_request(request_id, verb,
+                                               payload))
+        responses = {}
+        while len(responses) < len(ids):
+            response = client._recv()
+            arrival.append(response["id"])
+            responses[response["id"]] = response
+        assert arrival[-1] == ids[-1], \
+            "drain ack must come after in-flight responses"
+        for request_id in ids[:2]:
+            assert responses[request_id]["ok"], responses[request_id]
+        assert responses[ids[-1]]["result"]["drained"] is True
+        fixture.thread.join(timeout=20.0)
+        assert not fixture.thread.is_alive()
+    finally:
+        client.close()
+        fixture.stop()
+
+
+def test_drained_scheduler_rejects_new_submissions(tmp_path):
+    store = ArtifactStore()
+    scheduler = JobScheduler(store, jobs=1, queue_limit=4, timeout=30.0)
+    try:
+        spec = JobSpec(verb="compile", source=TINY,
+                       options=RunOptions())
+        job = scheduler.submit(spec)
+        scheduler.drain()
+        assert job.future.done()
+        assert job.future.result()["compile_cycles"] > 0
+        # a store hit is still served while draining (it costs nothing)
+        assert scheduler.submit(spec).cached is True
+        from repro.service import Draining
+        with pytest.raises(Draining):
+            scheduler.submit(JobSpec(verb="compile", source=OTHER,
+                                     options=RunOptions()))
+    finally:
+        scheduler.close()
+
+
+# ---------------------------------------------------------------------------
+# Session.local() — the in-process half of the unified API
+# ---------------------------------------------------------------------------
+
+def test_local_session_run_matches_jrpm_run_byte_identical():
+    direct = Jrpm(options=RunOptions()).run(TINY, name="tiny")
+    with Session.local() as session:
+        via_session = session.run(TINY, name="tiny")
+    assert via_session.to_dict() == direct.to_dict()
+
+
+def test_local_session_memoizes_in_artifact_store():
+    with Session.local() as session:
+        first = session.profile(TINY)
+        second = session.profile(TINY)
+        assert first == second
+        store_stats = session.stats()["store"]
+        assert store_stats["hits_by_verb"]["profile"] == 1
+        assert store_stats["misses_by_verb"]["profile"] == 1
+
+
+def test_local_and_remote_sessions_return_identical_reports(service):
+    with Session.local() as session:
+        local_report = session.run(TINY, name="tiny")
+    with service.client() as client:
+        remote_report = client.run(TINY, name="tiny")
+    assert local_report.to_dict() == remote_report.to_dict()
+
+
+def test_execute_job_rejects_unknown_verb():
+    with pytest.raises(ValueError, match="unknown verb"):
+        execute_job(JobSpec(verb="nope", source=TINY))
+
+
+# ---------------------------------------------------------------------------
+# RunOptions + deprecation shims
+# ---------------------------------------------------------------------------
+
+def test_run_options_round_trip_and_strictness():
+    options = RunOptions(cpus=2, trace=True, epochs=7, args=(3,))
+    rebuilt = RunOptions.from_dict(options.to_dict())
+    assert rebuilt == options
+    with pytest.raises(ValueError, match="unknown RunOptions field"):
+        RunOptions.from_dict({"adapt_epochs": 3})
+
+
+def test_coerce_run_options_warns_on_legacy_names():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        options = coerce_run_options(None, adapt_epochs=9,
+                                     adapt_policy="null")
+    assert options.epochs == 9
+    assert options.policy == "null"
+    messages = [str(w.message) for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+    assert any("adapt_epochs" in message for message in messages)
+    assert any("adapt_policy" in message for message in messages)
+
+
+def test_run_adaptive_adapt_epochs_kwarg_is_deprecated_but_works():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        report = Jrpm().run_adaptive(TINY, name="tiny", adapt_epochs=2)
+    assert report.adaptation.epochs_run <= 2
+    assert any(issubclass(w.category, DeprecationWarning)
+               for w in caught)
+
+
+def test_run_suite_accepts_run_options(tmp_path):
+    from repro.runner import SuiteRunner
+    runner = SuiteRunner(jobs=1, use_cache=False)
+    reports = runner.run_suite(
+        size="small", workloads=["BitOps"],
+        options=RunOptions(adapt=True, epochs=2))
+    assert reports["BitOps"].adaptation is not None
+
+
+def test_run_suite_legacy_adapt_epochs_warns(tmp_path):
+    from repro.runner import SuiteRunner
+    runner = SuiteRunner(jobs=1, use_cache=False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        reports = runner.run_suite(size="small", workloads=["BitOps"],
+                                   adapt=True, adapt_epochs=2)
+    assert reports["BitOps"].adaptation is not None
+    assert any(issubclass(w.category, DeprecationWarning)
+               for w in caught)
+
+
+# ---------------------------------------------------------------------------
+# schema single source of truth
+# ---------------------------------------------------------------------------
+
+def test_report_schema_version_single_source_of_truth():
+    assert JrpmReport.SCHEMA_VERSION == REPORT_SCHEMA_VERSION
+
+
+def test_from_dict_rejects_future_schema_versions():
+    report = Jrpm().run(TINY, name="tiny")
+    payload = report.to_dict()
+    payload["schema"] = REPORT_SCHEMA_VERSION + 1
+    with pytest.raises(SchemaVersionError) as excinfo:
+        JrpmReport.from_dict(payload)
+    assert "newer" in str(excinfo.value)
+    # older / missing schema fields still load (readers default-fill)
+    payload["schema"] = 1
+    del payload["trace_aggregates"]
+    del payload["adaptation"]
+    assert JrpmReport.from_dict(payload).name == "tiny"
+
+
+def test_cache_key_depends_on_report_schema(monkeypatch):
+    from repro.runner import cache as cache_module
+    from repro.jit.stl import StlOptions
+    from repro.core.pipeline import VmOptions
+    from repro.hydra.config import HydraConfig
+    key_args = (TINY, (), HydraConfig(), StlOptions(), VmOptions())
+    before = cache_module.cache_key(*key_args, salt="s")
+    monkeypatch.setattr(cache_module, "REPORT_SCHEMA_VERSION",
+                        REPORT_SCHEMA_VERSION + 1)
+    after = cache_module.cache_key(*key_args, salt="s")
+    assert before != after

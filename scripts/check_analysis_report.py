@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Validate a static-analysis JSON produced by ``jrpm analyze --json``.
+
+Usage::
+
+    python scripts/check_analysis_report.py analysis.json [more.json ...]
+    jrpm analyze BitOps --json | python scripts/check_analysis_report.py -
+
+Accepts either a bare ``AnalysisReport.to_dict()`` payload or any
+envelope carrying one under an ``analysis`` key — the ``jrpm analyze
+--json`` output and a full ``JrpmReport`` dict from a
+``Jrpm(analysis=True)`` run both qualify.  Checks the payload against
+the :func:`repro.analysis.validate_analysis_dict` schema plus the
+soundness invariant the CLI promises on top: no loop may be both
+statically pruned and dynamically selected.  Exits non-zero and prints
+every problem on stderr if anything is off.  Used by
+``scripts/smoke.sh``.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.analysis import validate_analysis_dict  # noqa: E402
+
+
+def check(path):
+    try:
+        if path == "-":
+            data = json.load(sys.stdin)
+        else:
+            with open(path) as fh:
+                data = json.load(fh)
+    except (OSError, ValueError) as error:
+        return ["unreadable JSON: %s" % error]
+    if not isinstance(data, dict):
+        return ["top-level JSON is not an object"]
+    analysis = data.get("analysis", data)
+    if analysis is None:
+        return ["analysis key is null (was the run analyzed?)"]
+    problems = list(validate_analysis_dict(analysis))
+    # envelope invariant (only when the CLI's per-loop agreement list is
+    # present): static pruning must never remove a selector-committed loop
+    unsound = [loop for loop in data.get("loops", [])
+               if isinstance(loop, dict)
+               and loop.get("pruned") and loop.get("selected")]
+    for loop in unsound:
+        problems.append(
+            "loop %s#%s is both statically pruned and dynamically "
+            "selected — analyzer soundness violation"
+            % (loop.get("method"), loop.get("ordinal")))
+    if not problems:
+        counts = analysis.get("counts", {})
+        loops = analysis.get("loops", [])
+        pruned = sum(1 for loop in loops if loop.get("pruned"))
+        print("%s: OK (%d loop%s; absent %d / may %d / must %d; "
+              "%d pruned)"
+              % (path, len(loops), "" if len(loops) == 1 else "s",
+                 counts.get("absent", 0), counts.get("may", 0),
+                 counts.get("must", 0), pruned))
+    return problems
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        for problem in check(path):
+            print("%s: %s" % (path, problem), file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

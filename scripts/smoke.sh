@@ -10,16 +10,21 @@
 #    against the repro.trace schema (Perfetto-loadable);
 # 4. runs one workload under the adaptive recompilation controller and
 #    validates the emitted decision log against the repro.adapt schema;
-# 5. runs one workload under both execution engines — the predecoded
+# 5. runs the static dependence analyzer cross-checked against a
+#    TEST profile (`jrpm analyze --json`) and validates the emitted
+#    payload against the repro.analysis schema — including the
+#    soundness invariant that no loop is both statically pruned and
+#    dynamically selected (see docs/analysis.md);
+# 6. runs one workload under both execution engines — the predecoded
 #    fastpath (the default) and the legacy if/elif dispatch
 #    (--no-fastpath) — and diffs the serialized JSON reports: the two
 #    engines must be cycle-exact (see docs/performance.md);
-# 6. starts the persistent daemon (`jrpm serve`) on a unix socket,
+# 7. starts the persistent daemon (`jrpm serve`) on a unix socket,
 #    pushes a pipelined client burst through it (second identical
 #    request must be a store hit), drains it gracefully, and checks
 #    the daemon exits 0 — the serve → client → drain path of
 #    docs/service.md;
-# 7. runs the fast test tier (everything not marked `slow`), which
+# 8. runs the fast test tier (everything not marked `slow`), which
 #    includes the docs link lint (tests/test_docs_links.py).  The
 #    exhaustive engine-differential sweep in
 #    tests/test_engine_differential.py is `slow`-marked and runs in
@@ -56,6 +61,12 @@ echo "== smoke: adaptive recompilation + decision-log schema check =="
 python -m repro adapt BitOps --size small --epochs 3 --json \
     > "$CACHE_DIR/adapt.json"
 python scripts/check_adapt_log.py "$CACHE_DIR/adapt.json"
+
+echo
+echo "== smoke: static analysis cross-check + schema check =="
+python -m repro analyze BitOps --size small --json \
+    > "$CACHE_DIR/analysis.json"
+python scripts/check_analysis_report.py "$CACHE_DIR/analysis.json"
 
 echo
 echo "== smoke: fastpath vs --no-fastpath (cycle-exact A/B) =="

@@ -1,0 +1,650 @@
+"""Loop-carried dependence classification over bytecode CFGs.
+
+For every natural loop the pass answers three questions, each on the
+``absent < may < must`` lattice (:mod:`repro.analysis.model`):
+
+* **carried locals** — which locals carry values between iterations,
+  and do they follow a compiler-eliminable pattern (induction,
+  reduction, resetable) or genuinely communicate (`general`)?
+* **memory dependences** — which static-field / instance-field / array
+  (store, load) pairs can form a loop-carried RAW arc, at what
+  iteration distance?
+* **pruning** — given the must-dependences and a simple cost model, is
+  speculative speedup statically impossible (serial chain ≈ whole
+  body), so the STL candidate can be skipped before profiling?
+
+The machinery is deliberately structural: per-block symbolic facts come
+from :mod:`repro.analysis.stackflow`; cross-block ordering questions
+are answered with dominators over the loop's *intra-iteration*
+subgraph (the loop body minus its own back edges).  ``A`` *must
+precede* ``B`` when every path from the header to ``B`` passes ``A``;
+``A`` *may precede* ``B`` when any path does.  Blocks that dominate
+every back-edge tail and sit in no inner loop execute **exactly once
+per iteration** ("once-blocks") — the anchor for every `must` claim.
+"""
+
+from ..bytecode.opcodes import Op
+from ..bytecode.verifier import build_cfg, natural_loops, verify_method
+from .model import (ABSENT, AnalysisReport, CarriedRegister, Dependence,
+                    KIND_GENERAL, KIND_INDUCTOR, KIND_REDUCTION,
+                    KIND_RESETABLE, LoopAnalysis, MAY, MUST)
+from .stackflow import CONST, flow_method, linearize, uses_in_tree
+
+#: Associative accumulation ops an STL can privatize (reduction spine).
+ASSOC_OPS = frozenset({"iadd", "fadd", "imul", "fmul",
+                       "iand", "ior", "ixor"})
+
+#: Min/max intrinsics, equally privatizable.
+MINMAX_INTRINSICS = frozenset({"imin", "imax", "fmin", "fmax"})
+
+#: Per-opcode cost weights for the static speedup bound (arbitrary
+#: units; only ratios matter).  Memory traffic and calls dominate.
+_OP_COST = {
+    Op.IDIV: 8, Op.IREM: 8, Op.FDIV: 8, Op.FREM: 8,
+    Op.IALOAD: 3, Op.IASTORE: 3, Op.FALOAD: 3, Op.FASTORE: 3,
+    Op.AALOAD: 3, Op.AASTORE: 3, Op.ARRAYLENGTH: 3,
+    Op.GETFIELD: 3, Op.PUTFIELD: 3, Op.GETSTATIC: 3, Op.PUTSTATIC: 3,
+    Op.INVOKESTATIC: 20, Op.INVOKEVIRTUAL: 20,
+    Op.MONITORENTER: 10, Op.MONITOREXIT: 10,
+    Op.INTRINSIC: 4, Op.NEW: 6,
+    Op.NEWARRAY_I: 6, Op.NEWARRAY_F: 6, Op.NEWARRAY_A: 6,
+}
+
+
+class _LoopContext:
+    """Structural facts about one loop's intra-iteration subgraph."""
+
+    def __init__(self, cfg, flow, loop, inner_blocks):
+        self.cfg = cfg
+        self.flow = flow
+        self.loop = loop
+        self.blocks = loop.blocks
+        self.inner_blocks = inner_blocks
+        self.pcs = {pc for bid in loop.blocks
+                    for pc in cfg.blocks[bid].pcs()}
+        backs = set(loop.backedges)
+        succs = {bid: [s for s in cfg.blocks[bid].succs
+                       if s in loop.blocks and (bid, s) not in backs]
+                 for bid in loop.blocks}
+        self.dom = self._dominators(loop.header, succs)
+        self.reach = self._reachability(succs)
+        tails = [tail for tail, _ in loop.backedges]
+        self.once = {bid for bid in loop.blocks
+                     if bid not in inner_blocks
+                     and all(bid in self.dom[tail] for tail in tails)}
+        self.flows = [flow.blocks[bid] for bid in sorted(loop.blocks)]
+        self.calls = [pc for bf in self.flows for pc in bf.calls]
+        self.monitors = [pc for bf in self.flows for pc in bf.monitors]
+        self.defs = {}              # local -> [LocalDef]
+        self.uses = {}              # local -> [LocalUse]
+        for bf in self.flows:
+            for d in bf.defs:
+                self.defs.setdefault(d.local, []).append(d)
+            for u in bf.uses:
+                self.uses.setdefault(u.local, []).append(u)
+        self.static_store_targets = {
+            acc.target for bf in self.flows for acc in bf.accesses
+            if acc.kind == "static" and acc.is_store}
+        self.field_store_targets = {
+            acc.target for bf in self.flows for acc in bf.accesses
+            if acc.kind == "field" and acc.is_store}
+
+    @staticmethod
+    def _dominators(header, succs):
+        """Dominator sets over the intra-iteration subgraph (inner-loop
+        cycles remain; the iteration is rooted at the header)."""
+        preds = {bid: [] for bid in succs}
+        for bid, outs in succs.items():
+            for out in outs:
+                preds[out].append(bid)
+        everything = frozenset(succs)
+        dom = {bid: everything for bid in succs}
+        dom[header] = frozenset([header])
+        changed = True
+        while changed:
+            changed = False
+            for bid in succs:
+                if bid == header:
+                    continue
+                incoming = preds[bid]
+                new = None
+                for pred in incoming:
+                    new = dom[pred] if new is None else new & dom[pred]
+                new = (new or frozenset()) | {bid}
+                if new != dom[bid]:
+                    dom[bid] = new
+                    changed = True
+        return dom
+
+    @staticmethod
+    def _reachability(succs):
+        """``reach[A]`` = blocks reachable from A via ≥1 subgraph edge."""
+        reach = {}
+        for start in succs:
+            seen = set()
+            stack = list(succs[start])
+            while stack:
+                bid = stack.pop()
+                if bid in seen:
+                    continue
+                seen.add(bid)
+                stack.extend(succs[bid])
+            reach[start] = seen
+        return reach
+
+    # -- intra-iteration ordering -----------------------------------------
+    def must_precede(self, block_a, pc_a, block_b, pc_b):
+        """Every iteration executes (block_a, pc_a) before (block_b,
+        pc_b) reads/writes — same block earlier pc, or strict
+        domination."""
+        if block_a == block_b:
+            return pc_a < pc_b
+        return block_a in self.dom[block_b]
+
+    def may_precede(self, block_a, pc_a, block_b, pc_b):
+        """Some iteration may execute (block_a, pc_a) before (block_b,
+        pc_b) — forward reachability, including inner-loop cycles."""
+        if block_a == block_b and pc_a < pc_b:
+            return True
+        return block_b in self.reach[block_a]
+
+
+# ---------------------------------------------------------------------------
+# carried-local classification
+# ---------------------------------------------------------------------------
+
+def _classify_carried(ctx, local):
+    """Kind of one carried local (bytecode mirror of
+    :mod:`repro.jit.patterns`)."""
+    defs = ctx.defs[local]
+    step = _step_def(ctx, local, defs)
+    if step is not None and len(defs) == 1:
+        return CarriedRegister(local, KIND_INDUCTOR, step=step[1])
+    if _is_reduction(ctx, local, defs):
+        return CarriedRegister(local, KIND_REDUCTION)
+    if step is not None and all(
+            d is step[0] or _const_int(d.value) is not None
+            for d in defs):
+        return CarriedRegister(local, KIND_RESETABLE, step=step[1])
+    return CarriedRegister(local, KIND_GENERAL)
+
+
+def _step_def(ctx, local, defs):
+    """The unique once-per-iteration ``l = l + const`` def, if any.
+
+    Returns ``(LocalDef, step)`` or ``None``.
+    """
+    steps = []
+    for d in defs:
+        form = linearize(d.value)
+        if form is None or d.block not in ctx.once:
+            continue
+        terms = {t: c for t, c in form.items()
+                 if t != CONST and c != 0}
+        if terms == {("entry", local): 1} and form.get(CONST, 0) != 0:
+            steps.append((d, form[CONST]))
+    if len(steps) == 1:
+        return steps[0]
+    return None
+
+
+def _const_int(value):
+    """The int constant *value* denotes, or ``None``."""
+    form = linearize(value)
+    if form is not None and all(t == CONST or c == 0
+                                for t, c in form.items()):
+        return form.get(CONST, 0)
+    return None
+
+
+def _is_reduction(ctx, local, defs):
+    """True when every def accumulates *local* through one associative
+    op (or min/max intrinsic, or the add-then-mask idiom) and every
+    loop use of *local* sits inside those accumulation trees."""
+    covered_use_pcs = set()
+    for d in defs:
+        use_pcs = uses_in_tree(d.value, local)
+        if len(use_pcs) != 1:
+            return False
+        path = _spine_path(d.value, local)
+        if path is None or not _spine_allowed(path):
+            return False
+        covered_use_pcs.update(use_pcs)
+        for u in ctx.uses[local]:
+            # other locals' values folded into this tree also count
+            if u.pc in uses_in_tree(d.value, local):
+                covered_use_pcs.add(u.pc)
+    all_use_pcs = {u.pc for u in ctx.uses[local]}
+    return all_use_pcs <= covered_use_pcs
+
+
+def _spine_path(node, local):
+    """Ops on the path from a def tree's root down to the unique use of
+    *local*, as ``[(op, other_operand), ...]`` — or ``None`` if the use
+    sits under anything but binops/intrinsics."""
+    path = []
+    while True:
+        tag = node[0]
+        if tag == "use":
+            if node[1] == local:
+                return path
+            node = node[3]
+        elif tag == "binop":
+            in_lhs = bool(uses_in_tree(node[2], local))
+            in_rhs = bool(uses_in_tree(node[3], local))
+            if in_lhs == in_rhs:
+                return None
+            path.append((node[1], node[3] if in_lhs else node[2]))
+            node = node[2] if in_lhs else node[3]
+        elif tag == "intrinsic":
+            holding = [arg for arg in node[2]
+                       if uses_in_tree(arg, local)]
+            if len(holding) != 1:
+                return None
+            path.append((node[1], None))
+            node = holding[0]
+        else:
+            return None
+
+
+def _spine_allowed(path):
+    """Accept single-op associative spines, min/max intrinsics, and
+    ``(l + x) & (2^k - 1)`` masked counters."""
+    if not path:
+        return False
+    ops = [op for op, _ in path]
+    if all(op == ops[0] for op in ops) and ops[0] in ASSOC_OPS:
+        return True
+    if len(path) == 1 and ops[0] in MINMAX_INTRINSICS:
+        return True
+    if ops[0] == "iand" and all(op == "iadd" for op in ops[1:]) \
+            and len(ops) > 1:
+        mask = _const_int(path[0][1]) if path[0][1] is not None else None
+        return mask is not None and mask > 0 and (mask & (mask + 1)) == 0
+    return False
+
+
+# ---------------------------------------------------------------------------
+# dependence classification
+# ---------------------------------------------------------------------------
+
+def _local_dependence(ctx, code, local):
+    """Carried dependence through a `general` local, or ``None`` when
+    every loop read is preceded by a same-iteration write."""
+    defs = ctx.defs[local]
+    uses = ctx.uses[local]
+    exposed = [u for u in uses
+               if not any(ctx.must_precede(d.block, d.pc, u.block, u.pc)
+                          for d in defs)]
+    if not exposed:
+        return None
+    once_defs = [d for d in defs if d.block in ctx.once]
+    verdict = MAY
+    load = exposed[0]
+    for u in exposed:
+        unconditional = u.block in ctx.once and not any(
+            ctx.may_precede(d.block, d.pc, u.block, u.pc) for d in defs)
+        if unconditional and once_defs:
+            verdict = MUST
+            load = u
+            break
+    store = once_defs[0] if once_defs else max(defs, key=lambda d: d.pc)
+    reason = ("read of the previous iteration's value on every path"
+              if verdict == MUST
+              else "value may flow across iterations on some path")
+    return Dependence(
+        "local", verdict, "l%d" % local,
+        store_pc=store.pc, load_pc=load.pc,
+        store_line=code[store.pc].line, load_line=code[load.pc].line,
+        distance=1, local=local, reason=reason)
+
+
+def _scalar_memory_dependence(ctx, code, kind, target, stores, loads,
+                              label):
+    """Static-field (or field-through-invariant-base) classification:
+    the location behaves like a shared scalar, distance 1."""
+    uncovered = [l for l in loads
+                 if not any(ctx.must_precede(s.block, s.pc,
+                                             l.block, l.pc)
+                            for s in stores)]
+    store = min(stores, key=lambda s: (s.block not in ctx.once, s.pc))
+    if not uncovered:
+        return Dependence(
+            kind, ABSENT, label,
+            store_pc=store.pc, store_line=code[store.pc].line,
+            distance=1,
+            reason="every read is preceded by a same-iteration write")
+    verdict = MAY
+    load = uncovered[0]
+    once_stores = [s for s in stores if s.block in ctx.once]
+    for l in uncovered:
+        unconditional = l.block in ctx.once and not any(
+            ctx.may_precede(s.block, s.pc, l.block, l.pc)
+            for s in stores)
+        if unconditional and once_stores:
+            verdict = MUST
+            load = l
+            break
+    reason = ("read-modify-write of a shared location every iteration"
+              if verdict == MUST
+              else "shared location read and written on some paths")
+    return Dependence(
+        kind, verdict, label,
+        store_pc=store.pc, load_pc=load.pc,
+        store_line=code[store.pc].line, load_line=code[load.pc].line,
+        distance=1, reason=reason)
+
+
+def _root_of(ctx, expr):
+    """Loop-invariant root of a base expression, or ``None`` (opaque).
+
+    Roots: ``("local", l)`` for invariant locals, ``("static", cls,
+    name)`` / ``("field", base_root, cls, name)`` for fields not stored
+    inside the loop, ``("alloc", pc)`` for arrays allocated inside the
+    current iteration.
+    """
+    tag = expr[0]
+    if tag == "use":
+        return _root_of(ctx, expr[3])
+    if tag == "entry":
+        if expr[1] in ctx.defs:
+            return None
+        return ("local", expr[1])
+    if tag == "staticval":
+        target = (expr[1], expr[2])
+        if target in ctx.static_store_targets:
+            return None
+        return ("static",) + target
+    if tag == "fieldval":
+        target = (expr[2], expr[3])
+        if target in ctx.field_store_targets:
+            return None
+        base = _root_of(ctx, expr[1])
+        if base is None:
+            return None
+        return ("field", base) + target
+    if tag == "newarray":
+        return ("alloc", expr[1])
+    return None
+
+
+def _root_name(root):
+    """Human-readable name of a base root."""
+    if root is None:
+        return "?"
+    tag = root[0]
+    if tag == "local":
+        return "l%d" % root[1]
+    if tag == "static":
+        return "%s.%s" % (root[1], root[2])
+    if tag == "field":
+        return "%s.%s" % (_root_name(root[1]), root[3])
+    return "new@%d" % root[1]
+
+
+def _normalized_index(ctx, inductor, step, acc):
+    """``(coeff, offset)`` of an array index as an affine function of
+    the inductor *at iteration start*, or ``None`` when non-affine or
+    when a conditional step makes the offset indeterminate.
+
+    The linear form is relative to the access's block entry; crossing
+    the inductor's step def shifts the frame by ``coeff * step``.
+    """
+    form = linearize(acc.index)
+    if form is None:
+        return None
+    coeff = 0
+    offset = form.get(CONST, 0)
+    invariant = {}
+    for term, c in form.items():
+        if term == CONST or c == 0:
+            continue
+        if term == ("entry", inductor):
+            coeff = c
+        elif term[0] == "entry" and term[1] not in ctx.defs:
+            invariant[term] = c
+        else:
+            return None             # depends on another in-loop value
+    if coeff != 0 and inductor is not None:
+        (sdef,) = [d for d in ctx.defs[inductor]]
+        if sdef.block != acc.block:
+            if sdef.block in ctx.dom[acc.block]:
+                offset += coeff * step
+            elif ctx.may_precede(sdef.block, sdef.pc,
+                                 acc.block, acc.pc):
+                return None         # step may or may not have happened
+    return (coeff, offset, tuple(sorted(invariant.items())))
+
+
+def _array_dependences(ctx, code, inductor, step):
+    """Classify every (array store, array load) pair in the loop."""
+    accesses = [acc for bf in ctx.flows for acc in bf.accesses
+                if acc.kind == "array" and acc.index != ("len",)]
+    stores = [acc for acc in accesses if acc.is_store]
+    loads = [acc for acc in accesses if not acc.is_store]
+    deps = []
+    for s in stores:
+        s_root = _root_of(ctx, s.base)
+        for l in loads:
+            l_root = _root_of(ctx, l.base)
+            deps.append(_array_pair(ctx, code, inductor, step,
+                                    s, s_root, l, l_root))
+    return deps
+
+
+def _array_pair(ctx, code, inductor, step, s, s_root, l, l_root):
+    """One store/load pair on the lattice (see docs/analysis.md)."""
+    label = "%s[]" % _root_name(s_root)
+
+    def dep(classification, distance, reason):
+        return Dependence(
+            "array", classification, label,
+            store_pc=s.pc, load_pc=l.pc,
+            store_line=code[s.pc].line, load_line=code[l.pc].line,
+            distance=distance, reason=reason)
+
+    if s_root is None or l_root is None:
+        return dep(MAY, None, "unresolved array base may alias")
+    if s_root != l_root:
+        return dep(MAY, None, "distinct array bases may alias")
+    if s_root[0] == "alloc":
+        return dep(ABSENT, None,
+                   "array is allocated fresh every iteration")
+    s_idx = _normalized_index(ctx, inductor, step, s)
+    l_idx = _normalized_index(ctx, inductor, step, l)
+    if s_idx is None or l_idx is None:
+        return dep(MAY, None, "array index is not affine in the "
+                              "loop inductor")
+    (sc, so, s_inv), (lc, lo, l_inv) = s_idx, l_idx
+    if s_inv != l_inv or sc != lc:
+        return dep(MAY, None, "incomparable affine index shapes")
+    if sc == 0:
+        if so != lo:
+            return dep(ABSENT, None,
+                       "loop-invariant indices address distinct "
+                       "elements")
+        return _scalar_memory_dependence(
+            ctx, code, "array", None, [s], [l], label)
+    advance = sc * step
+    delta = so - lo
+    if advance == 0 or delta % advance != 0:
+        return dep(ABSENT, None,
+                   "index offsets never coincide across iterations")
+    distance = delta // advance
+    if distance <= 0:
+        return dep(ABSENT, None,
+                   "the read runs ahead of the write "
+                   "(distance %d)" % distance)
+    if s.block in ctx.once and l.block in ctx.once:
+        return dep(MUST, distance,
+                   "recurrence a[i] <- a[i-%d] on every iteration"
+                   % distance)
+    return dep(MAY, distance,
+               "recurrence at distance %d on some paths" % distance)
+
+
+def _field_dependences(ctx, code):
+    """Classify instance-field store/load groups (per field target)."""
+    by_target = {}
+    for bf in ctx.flows:
+        for acc in bf.accesses:
+            if acc.kind == "field":
+                by_target.setdefault(acc.target, []).append(acc)
+    deps = []
+    for target, accs in sorted(by_target.items()):
+        stores = [a for a in accs if a.is_store]
+        loads = [a for a in accs if not a.is_store]
+        if not stores or not loads:
+            continue
+        label = "%s.%s" % target
+        roots = {_root_of(ctx, a.base) for a in accs}
+        if None in roots or len(roots) != 1:
+            store, load = stores[0], loads[0]
+            deps.append(Dependence(
+                "field", MAY, label,
+                store_pc=store.pc, load_pc=load.pc,
+                store_line=code[store.pc].line,
+                load_line=code[load.pc].line,
+                distance=1,
+                reason="field bases may alias across iterations"))
+        else:
+            deps.append(_scalar_memory_dependence(
+                ctx, code, "field", target, stores, loads, label))
+    return deps
+
+
+def _static_dependences(ctx, code):
+    """Classify static-field store/load groups (per field target)."""
+    by_target = {}
+    for bf in ctx.flows:
+        for acc in bf.accesses:
+            if acc.kind == "static":
+                by_target.setdefault(acc.target, []).append(acc)
+    deps = []
+    for target, accs in sorted(by_target.items()):
+        stores = [a for a in accs if a.is_store]
+        loads = [a for a in accs if not a.is_store]
+        if not stores or not loads:
+            continue
+        deps.append(_scalar_memory_dependence(
+            ctx, code, "static", target, stores, loads,
+            "%s.%s" % target))
+    return deps
+
+
+# ---------------------------------------------------------------------------
+# cost model / pruning
+# ---------------------------------------------------------------------------
+
+def _cost(code, pcs):
+    """Cost-weighted size of a pc set."""
+    return sum(_OP_COST.get(code[pc].op, 1) for pc in pcs)
+
+
+def _dependence_span(ctx, code, dep):
+    """Cost of the serial chain one must-dependence imposes per
+    iteration: the region from its load to its (next-iteration) store,
+    divided by the iteration distance."""
+    load_pc, store_pc = dep.load_pc, dep.store_pc
+    if load_pc is None or store_pc is None:
+        return 0
+    if load_pc <= store_pc:
+        span = {pc for pc in ctx.pcs if load_pc <= pc <= store_pc}
+    else:
+        span = {pc for pc in ctx.pcs
+                if not store_pc < pc < load_pc}
+    return _cost(code, span) / max(1, dep.distance or 1)
+
+
+def _apply_cost_model(ctx, code, analysis, threshold):
+    """Fill body/dep costs and decide pruning for one loop."""
+    analysis.body_cost = _cost(code, ctx.pcs)
+    spans = [_dependence_span(ctx, code, dep)
+             for dep in analysis.must_deps()]
+    analysis.max_dep_cost = max(spans) if spans else 0
+    if analysis.max_dep_cost > 0:
+        analysis.speedup_bound = round(
+            analysis.body_cost / analysis.max_dep_cost, 3)
+        if analysis.classification == MUST \
+                and analysis.speedup_bound < threshold:
+            analysis.pruned = True
+            analysis.prune_reason = (
+                "static: must-dependence chain bounds speedup at "
+                "%.2fx < %.2fx" % (analysis.speedup_bound, threshold))
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def analyze_loop(ctx, threshold):
+    """Run the full classification for one loop context."""
+    cfg, loop = ctx.cfg, ctx.loop
+    code = cfg.method.code
+    header_line = code[cfg.blocks[loop.header].start].line
+    analysis = LoopAnalysis(cfg.method.qualified_name, loop.ordinal,
+                            header_line, loop.depth)
+    analysis.has_calls = bool(ctx.calls or ctx.monitors)
+
+    carried = sorted(set(ctx.defs) & set(ctx.uses))
+    inductor, step = None, None
+    for local in carried:
+        reg = _classify_carried(ctx, local)
+        analysis.carried.append(reg)
+        if reg.kind == KIND_INDUCTOR and inductor is None:
+            inductor, step = local, reg.step
+    for reg in analysis.carried:
+        if reg.kind == KIND_GENERAL:
+            dep = _local_dependence(ctx, code, reg.local)
+            if dep is not None:
+                analysis.deps.append(dep)
+
+    memory_deps = (_static_dependences(ctx, code)
+                   + _field_dependences(ctx, code)
+                   + _array_dependences(ctx, code, inductor, step or 0))
+    if analysis.has_calls:
+        for dep in memory_deps:
+            if dep.classification == ABSENT:
+                dep.classification = MAY
+                dep.reason += "; loop body calls out, so the claim "\
+                              "cannot be strengthened"
+    analysis.deps.extend(memory_deps)
+
+    analysis.finalize()
+    _apply_cost_model(ctx, code, analysis, threshold)
+    return analysis
+
+
+def analyze_method(program, method, threshold=1.2, depths=None):
+    """Analyze every natural loop of one method.
+
+    Returns ``[LoopAnalysis]`` in ordinal order.  *depths* may carry a
+    precomputed :func:`~repro.bytecode.verify_method` result.
+    """
+    if depths is None:
+        depths = verify_method(program, method)
+    cfg = build_cfg(method)
+    loops = natural_loops(cfg)
+    if not loops:
+        return []
+    flow = flow_method(program, method, cfg, depths)
+    results = []
+    for loop in loops:
+        inner = set()
+        for other in loops:
+            if other.blocks < loop.blocks:
+                inner |= other.blocks
+        ctx = _LoopContext(cfg, flow, loop, inner)
+        results.append(analyze_loop(ctx, threshold))
+    return results
+
+
+def analyze_program(program, threshold=1.2):
+    """Analyze every method; returns an
+    :class:`~repro.analysis.model.AnalysisReport`."""
+    report = AnalysisReport(threshold=threshold)
+    for method in program.all_methods():
+        report.methods_analyzed += 1
+        report.loops.extend(analyze_method(program, method,
+                                           threshold=threshold))
+    return report

@@ -1,0 +1,367 @@
+"""Symbolic abstract-stack evaluation of bytecode basic blocks.
+
+The dependence analyzer needs to know, for every basic block, *what*
+each instruction reads and writes — which local a ``STORE`` defines and
+from what expression, which array/field/static a memory op touches and
+through which base and index expressions.  This module recovers those
+facts by re-running each block over a symbolic operand stack, exactly
+the way the microJIT's translator does, but producing expression trees
+instead of IR.
+
+Expressions are plain tuples:
+
+* ``("const", k)`` / ``("null",)`` — literals;
+* ``("entry", l)`` — the value local ``l`` held *at block entry*;
+* ``("use", l, pc, inner)`` — a ``LOAD``/``IINC`` read of local ``l``
+  at ``pc``, wrapping the underlying value ``inner`` (the wrapper keeps
+  use provenance so reduction spines can be traced through def trees);
+* ``("stackin", i)`` — the i-th operand-stack slot at block entry
+  (depths come from the verifier, so blocks compose consistently);
+* ``("binop", name, a, b)`` / ``("unop", name, a)`` — arithmetic;
+* ``("staticval", cls, name, pc)``, ``("fieldval", base, cls, name,
+  pc)``, ``("elem", base, index, pc)``, ``("arraylen", base, pc)`` —
+  memory reads;
+* ``("newarray", pc)``, ``("new", cls, pc)``, ``("call", pc)``,
+  ``("intrinsic", name, args, pc)`` — opaque producers.
+
+Everything is *block-local*: locals are read lazily as ``("entry",
+l)``, so a value crossing a block boundary appears as the target
+block's entry value.  Cross-block ordering questions (did that store
+happen before this load on every path?) are answered structurally by
+:mod:`repro.analysis.deps` using dominators, not by value propagation —
+that is what keeps the pass simple and the join rules obvious.
+"""
+
+from ..bytecode.opcodes import COND_BRANCH_OPS, Op
+from ..vm import intrinsics
+
+#: Binary integer/float arithmetic opcodes and their expression names.
+_BINOPS = {
+    Op.IADD: "iadd", Op.ISUB: "isub", Op.IMUL: "imul",
+    Op.IDIV: "idiv", Op.IREM: "irem",
+    Op.IAND: "iand", Op.IOR: "ior", Op.IXOR: "ixor",
+    Op.ISHL: "ishl", Op.ISHR: "ishr", Op.IUSHR: "iushr",
+    Op.FADD: "fadd", Op.FSUB: "fsub", Op.FMUL: "fmul",
+    Op.FDIV: "fdiv", Op.FREM: "frem", Op.FCMP: "fcmp",
+}
+
+_UNOPS = {Op.INEG: "ineg", Op.FNEG: "fneg",
+          Op.I2F: "i2f", Op.F2I: "f2i"}
+
+_ARRAY_LOADS = frozenset({Op.IALOAD, Op.FALOAD, Op.AALOAD})
+_ARRAY_STORES = frozenset({Op.IASTORE, Op.FASTORE, Op.AASTORE})
+
+
+class LocalDef:
+    """One write of a local: ``STORE`` or the write half of ``IINC``."""
+
+    __slots__ = ("local", "pc", "block", "value")
+
+    def __init__(self, local, pc, block, value):
+        self.local = local
+        self.pc = pc
+        self.block = block
+        self.value = value          # expression tree being stored
+
+    def __repr__(self):
+        return "<LocalDef l%d @%d>" % (self.local, self.pc)
+
+
+class LocalUse:
+    """One read of a local: ``LOAD`` or the read half of ``IINC``."""
+
+    __slots__ = ("local", "pc", "block")
+
+    def __init__(self, local, pc, block):
+        self.local = local
+        self.pc = pc
+        self.block = block
+
+    def __repr__(self):
+        return "<LocalUse l%d @%d>" % (self.local, self.pc)
+
+
+class Access:
+    """One heap access: array element, instance field or static field.
+
+    ``kind`` is ``"array"`` / ``"field"`` / ``"static"``; ``base`` and
+    ``index`` are expression trees (``None`` where not applicable);
+    ``target`` is the ``(class, field)`` pair for field/static kinds.
+    """
+
+    __slots__ = ("pc", "block", "kind", "is_store", "base", "index",
+                 "target")
+
+    def __init__(self, pc, block, kind, is_store, base=None, index=None,
+                 target=None):
+        self.pc = pc
+        self.block = block
+        self.kind = kind
+        self.is_store = is_store
+        self.base = base
+        self.index = index
+        self.target = target
+
+    def __repr__(self):
+        return "<Access %s %s @%d>" % (
+            self.kind, "store" if self.is_store else "load", self.pc)
+
+
+class BlockFlow:
+    """Everything one basic block reads and writes."""
+
+    __slots__ = ("bid", "defs", "uses", "accesses", "calls", "monitors")
+
+    def __init__(self, bid):
+        self.bid = bid
+        self.defs = []              # [LocalDef], pc order
+        self.uses = []              # [LocalUse], pc order
+        self.accesses = []          # [Access], pc order
+        self.calls = []             # pcs of INVOKE* instructions
+        self.monitors = []          # pcs of MONITORENTER/EXIT
+
+
+class MethodFlow:
+    """Per-block symbolic flow facts for one method."""
+
+    def __init__(self, method, cfg, blocks):
+        self.method = method
+        self.cfg = cfg
+        self.blocks = blocks        # [BlockFlow], indexed by block id
+
+    def for_blocks(self, block_ids):
+        """The :class:`BlockFlow` records of the given blocks."""
+        return [self.blocks[bid] for bid in sorted(block_ids)]
+
+
+def flow_method(program, method, cfg, depths):
+    """Evaluate every (reachable) block of *method* symbolically.
+
+    *depths* is the per-pc entry-depth list from
+    :func:`repro.bytecode.verify_method`; unreachable blocks (depth
+    ``None`` at their leader) yield empty flow records, matching the
+    CFG's unreachable-block discipline.
+    """
+    flows = []
+    for block in cfg.blocks:
+        flow = BlockFlow(block.bid)
+        if depths[block.start] is not None:
+            _eval_block(program, method, block, depths[block.start],
+                        flow)
+        flows.append(flow)
+    return MethodFlow(method, cfg, flows)
+
+
+def _eval_block(program, method, block, entry_depth, flow):
+    """Run one block over a symbolic stack, recording flow facts."""
+    code = method.code
+    stack = [("stackin", i) for i in range(entry_depth)]
+    env = {}                        # local index -> current expression
+    bid = block.bid
+
+    def local_value(idx):
+        return env.get(idx, ("entry", idx))
+
+    for pc in block.pcs():
+        instr = code[pc]
+        op = instr.op
+        if op == Op.NOP:
+            pass
+        elif op == Op.POP:
+            stack.pop()
+        elif op == Op.DUP:
+            stack.append(stack[-1])
+        elif op == Op.DUP_X1:
+            v1, v2 = stack.pop(), stack.pop()
+            stack += [v1, v2, v1]
+        elif op == Op.SWAP:
+            v1, v2 = stack.pop(), stack.pop()
+            stack += [v1, v2]
+        elif op in (Op.ICONST, Op.FCONST):
+            stack.append(("const", instr.arg))
+        elif op == Op.ACONST_NULL:
+            stack.append(("null",))
+        elif op == Op.LOAD:
+            flow.uses.append(LocalUse(instr.arg, pc, bid))
+            stack.append(("use", instr.arg, pc, local_value(instr.arg)))
+        elif op == Op.STORE:
+            value = stack.pop()
+            flow.defs.append(LocalDef(instr.arg, pc, bid, value))
+            env[instr.arg] = value
+        elif op == Op.IINC:
+            idx, delta = instr.arg
+            flow.uses.append(LocalUse(idx, pc, bid))
+            value = ("binop", "iadd",
+                     ("use", idx, pc, local_value(idx)),
+                     ("const", delta))
+            flow.defs.append(LocalDef(idx, pc, bid, value))
+            env[idx] = value
+        elif op in _BINOPS:
+            rhs, lhs = stack.pop(), stack.pop()
+            stack.append(("binop", _BINOPS[op], lhs, rhs))
+        elif op in _UNOPS:
+            stack.append(("unop", _UNOPS[op], stack.pop()))
+        elif op == Op.GOTO:
+            pass
+        elif op in COND_BRANCH_OPS:
+            if op in (Op.IFNULL, Op.IFNONNULL) or \
+                    op in (Op.IFEQ, Op.IFNE, Op.IFLT,
+                           Op.IFGE, Op.IFGT, Op.IFLE):
+                stack.pop()
+            else:
+                stack.pop()
+                stack.pop()
+        elif op in (Op.NEWARRAY_I, Op.NEWARRAY_F, Op.NEWARRAY_A):
+            stack.pop()
+            stack.append(("newarray", pc))
+        elif op == Op.ARRAYLENGTH:
+            base = stack.pop()
+            flow.accesses.append(Access(pc, bid, "array", False,
+                                        base=base, index=("len",)))
+            stack.append(("arraylen", base, pc))
+        elif op in _ARRAY_LOADS:
+            index, base = stack.pop(), stack.pop()
+            flow.accesses.append(Access(pc, bid, "array", False,
+                                        base=base, index=index))
+            stack.append(("elem", base, index, pc))
+        elif op in _ARRAY_STORES:
+            _value, index, base = stack.pop(), stack.pop(), stack.pop()
+            flow.accesses.append(Access(pc, bid, "array", True,
+                                        base=base, index=index))
+        elif op == Op.NEW:
+            stack.append(("new", instr.arg, pc))
+        elif op == Op.GETFIELD:
+            base = stack.pop()
+            flow.accesses.append(Access(pc, bid, "field", False,
+                                        base=base, target=instr.arg))
+            stack.append(("fieldval", base) + tuple(instr.arg) + (pc,))
+        elif op == Op.PUTFIELD:
+            _value, base = stack.pop(), stack.pop()
+            flow.accesses.append(Access(pc, bid, "field", True,
+                                        base=base, target=instr.arg))
+        elif op == Op.GETSTATIC:
+            flow.accesses.append(Access(pc, bid, "static", False,
+                                        target=instr.arg))
+            stack.append(("staticval",) + tuple(instr.arg) + (pc,))
+        elif op == Op.PUTSTATIC:
+            stack.pop()
+            flow.accesses.append(Access(pc, bid, "static", True,
+                                        target=instr.arg))
+        elif op in (Op.INVOKESTATIC, Op.INVOKEVIRTUAL):
+            callee = program.resolve_method(*instr.arg)
+            argc = len(callee.param_types)
+            if op == Op.INVOKEVIRTUAL:
+                argc += 1
+            for _ in range(argc):
+                stack.pop()
+            flow.calls.append(pc)
+            if not callee.return_type.is_void():
+                stack.append(("call", pc))
+        elif op == Op.INTRINSIC:
+            name, nargs = instr.arg
+            intrinsic = intrinsics.lookup(name)
+            args = tuple(stack.pop() for _ in range(nargs))[::-1]
+            if intrinsic.has_result():
+                stack.append(("intrinsic", name, args, pc))
+        elif op in (Op.MONITORENTER, Op.MONITOREXIT):
+            stack.pop()
+            flow.monitors.append(pc)
+        elif op == Op.RETURN:
+            pass
+        elif op == Op.RETURN_VALUE:
+            stack.pop()
+        else:                       # pragma: no cover - exhaustive ISA
+            raise AssertionError("unhandled opcode %s" % op)
+
+
+# ---------------------------------------------------------------------------
+# linear forms
+# ---------------------------------------------------------------------------
+
+#: Dictionary key holding the constant term of a linear form.
+CONST = ("const",)
+
+
+def linearize(expr):
+    """Reduce an integer expression to a linear form, or ``None``.
+
+    The form is ``{basis_term: coeff, CONST: k}`` where basis terms are
+    ``("entry", l)`` block-entry local values.  ``("use", ...)``
+    wrappers are transparent — an index computed after an in-block
+    ``IINC`` folds the increment into the constant term automatically.
+    Anything non-linear (products of variables, float math, heap reads)
+    returns ``None``.
+    """
+    tag = expr[0]
+    if tag == "const":
+        value = expr[1]
+        if not isinstance(value, int) or isinstance(value, bool):
+            return None
+        return {CONST: value}
+    if tag == "entry":
+        return {expr: 1, CONST: 0}
+    if tag == "use":
+        return linearize(expr[3])
+    if tag == "unop" and expr[1] == "ineg":
+        return _scale(linearize(expr[2]), -1)
+    if tag == "binop":
+        name, lhs, rhs = expr[1], expr[2], expr[3]
+        if name in ("iadd", "isub"):
+            left, right = linearize(lhs), linearize(rhs)
+            if left is None or right is None:
+                return None
+            return _combine(left, right, -1 if name == "isub" else 1)
+        if name == "imul":
+            left, right = linearize(lhs), linearize(rhs)
+            if left is not None and _is_const(left):
+                return _scale(right, left[CONST])
+            if right is not None and _is_const(right):
+                return _scale(left, right[CONST])
+            return None
+        if name == "ishl":
+            left, right = linearize(lhs), linearize(rhs)
+            if right is not None and _is_const(right) \
+                    and 0 <= right[CONST] < 31:
+                return _scale(left, 1 << right[CONST])
+            return None
+    return None
+
+
+def _is_const(form):
+    return all(term == CONST or coeff == 0
+               for term, coeff in form.items())
+
+
+def _scale(form, factor):
+    if form is None:
+        return None
+    return {term: coeff * factor for term, coeff in form.items()}
+
+
+def _combine(left, right, sign):
+    out = dict(left)
+    out.setdefault(CONST, 0)
+    for term, coeff in right.items():
+        out[term] = out.get(term, 0) + sign * coeff
+    return {term: coeff for term, coeff in out.items()
+            if term == CONST or coeff != 0}
+
+
+def uses_in_tree(expr, local):
+    """pcs of ``("use", local, pc, _)`` wrappers anywhere in *expr*."""
+    found = []
+    _walk_uses(expr, local, found)
+    return found
+
+
+def _walk_uses(expr, local, found):
+    if not isinstance(expr, tuple):
+        return
+    if expr and expr[0] == "use":
+        if expr[1] == local:
+            found.append(expr[2])
+        _walk_uses(expr[3], local, found)
+        return
+    for part in expr:
+        if isinstance(part, tuple):
+            _walk_uses(part, local, found)

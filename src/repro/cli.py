@@ -14,6 +14,10 @@ Commands:
 * ``adapt NAME|FILE [--epochs N] [--policy P] [--json]`` — run under
   the epoch-based adaptive recompilation controller and print the
   decision log (see docs/adaptation.md)
+* ``analyze NAME|FILE [--json]`` — static dependence analysis: per-loop
+  carried-dependence classification (must/may/absent), predicted
+  violation arcs, and agreement with what the TEST profiler actually
+  observed (see docs/analysis.md)
 * ``serve --socket PATH | --port N`` — start the persistent execution
   daemon: a shared artifact store + batched scheduler behind a
   line-delimited JSON protocol (see docs/service.md); talk to it with
@@ -184,6 +188,49 @@ def cmd_adapt(args):
     if args.trace and args.trace_out:
         _emit_trace(report, name, args.trace_out, timeline=False)
     return 0 if report.outputs_match() else 1
+
+
+def cmd_analyze(args):
+    """Static dependence analysis cross-checked against a TEST run
+    (``analyze`` verb; docs/analysis.md)."""
+    try:
+        source, name = _resolve_workload_source(args)
+    except _WorkloadError as error:
+        print(error, file=sys.stderr)
+        return 2
+    from .analysis import AnalysisReport
+    from .core.report import format_analysis
+    from .service import Session
+    with Session.local(use_store=False) as session:
+        result = session.analyze(source, name=name,
+                                 options=_options_from(args))
+    if args.json:
+        payload = {"name": name,
+                   "analysis": result["analysis"],
+                   "loops": result["loops"],
+                   "selected": result["selected"]}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    analysis = AnalysisReport.from_dict(result["analysis"])
+    print(format_analysis(analysis, verbose=args.verbose))
+    print()
+    print("dynamic selector agreement:")
+    for entry in result["loops"]:
+        if entry["pruned"] and entry["selected"]:
+            verdict = "DISAGREE: pruned statically but selected"
+        elif entry["pruned"]:
+            verdict = "agree: pruned statically, not selected"
+        elif entry["selected"]:
+            verdict = "selected"
+        else:
+            verdict = "not selected"
+        print("  %-24s line %-5s %s"
+              % ("%s#%d" % (entry["method"], entry["ordinal"]),
+                 entry["line"], verdict))
+    # a statically pruned loop the dynamic selector would have
+    # committed is an analyzer soundness bug — make it the exit code
+    return 1 if any(entry["pruned"] and entry["selected"]
+                    for entry in result["loops"]) else 0
 
 
 def cmd_suite(args):
@@ -429,6 +476,24 @@ def main(argv=None):
     p_adapt.add_argument("--verbose", "-v", action="store_true")
     _add_hw_flags(p_adapt)
     p_adapt.set_defaults(fn=cmd_adapt)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static dependence analysis vs the TEST "
+                        "profile")
+    p_analyze.add_argument("name",
+                           help="benchmark name or MiniJava file path")
+    p_analyze.add_argument("--size", default="default",
+                           choices=["small", "default", "large"])
+    p_analyze.add_argument("--manual", action="store_true")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the analysis report as JSON on "
+                                "stdout (schema checked by "
+                                "scripts/check_analysis_report.py)")
+    p_analyze.add_argument("--verbose", "-v", action="store_true",
+                           help="also list every predicted dependence "
+                                "arc")
+    _add_hw_flags(p_analyze)
+    p_analyze.set_defaults(fn=cmd_analyze)
 
     p_serve = sub.add_parser(
         "serve", help="start the persistent execution daemon")

@@ -135,6 +135,10 @@ class JrpmReport:
         # adaptive recompilation (repro.adapt): the epoch/decision log
         # produced by Jrpm.run_adaptive(); None on one-shot runs
         self.adaptation = None           # AdaptationLog or None
+        # static dependence analysis (repro.analysis): per-loop
+        # classification + profiler cross-check; None unless the run
+        # was made with RunOptions.analysis / Jrpm(analysis=True)
+        self.analysis = None             # AnalysisReport or None
 
     # -- headline numbers ----------------------------------------------------
     @property
@@ -302,6 +306,8 @@ class JrpmReport:
                                  if self.trace_aggregates else None),
             "adaptation": (self.adaptation.to_dict()
                            if self.adaptation else None),
+            "analysis": (self.analysis.to_dict()
+                         if self.analysis else None),
         }
 
     @staticmethod
@@ -357,6 +363,10 @@ class JrpmReport:
         if adaptation is not None:
             from ..adapt.log import AdaptationLog
             report.adaptation = AdaptationLog.from_dict(adaptation)
+        analysis = data.get("analysis")
+        if analysis is not None:
+            from ..analysis import AnalysisReport
+            report.analysis = AnalysisReport.from_dict(analysis)
         return report
 
 
@@ -378,6 +388,7 @@ class ProfileArtifact:
     profiler: object                 # TestProfiler after the run
     measurement: RunMeasurement
     annotations: int
+    analysis: object = None          # AnalysisReport or None
 
     @property
     def loop_table(self):
@@ -411,7 +422,7 @@ class Jrpm:
     """
 
     def __init__(self, config=None, stl_options=None, vm_options=None,
-                 trace=None, options=None):
+                 trace=None, options=None, analysis=False):
         """``options`` (a :class:`repro.service.RunOptions`) is the
         preferred single knob; the per-object kwargs remain for callers
         that build the pieces themselves and override the corresponding
@@ -422,9 +433,16 @@ class Jrpm:
             vm_options = vm_options or options.vm_options()
             if trace is None and options.trace:
                 trace = True
+            analysis = analysis or options.analysis
         self.config = config or HydraConfig()
         self.stl_options = stl_options or StlOptions()
         self.vm_options = vm_options or VmOptions()
+        #: static dependence analysis (repro.analysis): when true,
+        #: :meth:`profile` analyzes the bytecode first, prunes
+        #: statically-hopeless STL candidates before the tracer runs
+        #: them, and the assembled report carries an ``AnalysisReport``
+        #: cross-checked against the observed TEST arcs.
+        self.analysis = bool(analysis)
         #: observability (repro.trace): ``trace`` may be ``None`` (off,
         #: the default), ``True`` (collector with default options), a
         #: :class:`~repro.trace.TraceOptions`, or a ready-made
@@ -453,9 +471,23 @@ class Jrpm:
                                 compile_cycles=plain.compile_cycles)
 
     def profile(self, source_or_program, args=()):
-        """Steps 1-2: annotated compile + sequential run under TEST."""
+        """Steps 1-2: annotated compile + sequential run under TEST.
+
+        With :attr:`analysis` on, step 1 is preceded by the static
+        dependence pass: loops whose carried must-dependences make
+        speedup statically impossible are demoted to non-candidates
+        (``reject_reason`` prefixed ``static:``) so TEST never spends
+        comparator banks on them.
+        """
         program = self._program_of(source_or_program)
-        annotated = compile_annotated(program, self.config)
+        analysis_report = None
+        prune = None
+        if self.analysis:
+            from ..analysis import analyze_program
+            analysis_report = analyze_program(
+                program, threshold=self.config.min_predicted_speedup)
+            prune = analysis_report.prune_set()
+        annotated = compile_annotated(program, self.config, prune=prune)
         if self.trace is not None:
             self.trace.set_phase("profile")
         profiler = TestProfiler(self.config, annotated.loop_table,
@@ -464,7 +496,8 @@ class Jrpm:
         measurement = RunMeasurement.from_result(machine.run(*args))
         return ProfileArtifact(annotated=annotated, profiler=profiler,
                                measurement=measurement,
-                               annotations=annotation_count(annotated))
+                               annotations=annotation_count(annotated),
+                               analysis=analysis_report)
 
     def make_selector(self, loop_table):
         """The §3.1 selector configured for this Jrpm instance."""
@@ -543,10 +576,45 @@ class Jrpm:
         report.breakdown = tls_artifact.breakdown
         report.stl_run_stats = tls_artifact.stl_stats
         report.recompile_cycles = tls_artifact.recompile_cycles
+        if profile_artifact.analysis is not None:
+            report.analysis = profile_artifact.analysis
+            report.analysis.cross_check(report.loop_table,
+                                        report.loop_stats)
+            if self.trace is not None:
+                for loop in report.analysis.loops:
+                    agreement = loop.agreement or {}
+                    self.trace.analysis(
+                        0.0, agreement.get("loop_id"), loop.method,
+                        loop.ordinal, loop.classification, loop.pruned)
         if self.trace is not None:
             report.trace = self.trace
             report.trace_aggregates = self.trace.finish()
         return report
+
+    def analyze(self, source_or_program, args=()):
+        """Static dependence analysis cross-checked against a TEST run.
+
+        Unlike :meth:`profile` with :attr:`analysis` on, nothing is
+        pruned here — every loop is profiled so the analyzer's
+        predicted arcs can be diffed against what TEST actually
+        observed (the ``jrpm analyze`` verb).  Returns ``(analysis,
+        profile_artifact)`` where ``analysis`` is the cross-checked
+        :class:`~repro.analysis.AnalysisReport`.
+        """
+        from ..analysis import analyze_program
+        program = self._program_of(source_or_program)
+        analysis = analyze_program(
+            program, threshold=self.config.min_predicted_speedup)
+        pruning = self.analysis
+        self.analysis = False
+        try:
+            profile_artifact = self.profile(program, args)
+        finally:
+            self.analysis = pruning
+        analysis.cross_check(profile_artifact.loop_table,
+                             profile_artifact.profiler.stats)
+        profile_artifact.analysis = analysis
+        return analysis, profile_artifact
 
     # -- facade --------------------------------------------------------------
     def run(self, source_or_program, name="program", args=()):

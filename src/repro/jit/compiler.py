@@ -72,7 +72,7 @@ class CompiledProgram:
         return sum(len(m.code) for m in self.methods.values())
 
 
-def _compile(program, config, annotate):
+def _compile(program, config, annotate, prune=None):
     program.seal()
     layout = StaticLayout(program, STATICS_BASE)
     compiled = CompiledProgram(program, layout, config,
@@ -83,7 +83,8 @@ def _compile(program, config, annotate):
         ir_method = translator.translate(method)
         optimize(ir_method)
         if annotate:
-            annotate_method(ir_method, compiled.loop_table, counter)
+            annotate_method(ir_method, compiled.loop_table, counter,
+                            prune=prune)
         compiled.add(CompiledMethod(ir_method, method.owner.name,
                                     method.name))
         compiled.compile_cycles += (config.compile_cycles_per_bytecode
@@ -96,9 +97,16 @@ def compile_program(program, config):
     return _compile(program, config, annotate=False)
 
 
-def compile_annotated(program, config):
-    """Compile with TEST annotation instructions inserted."""
-    return _compile(program, config, annotate=True)
+def compile_annotated(program, config, prune=None):
+    """Compile with TEST annotation instructions inserted.
+
+    ``prune`` is an optional ``{(method, ordinal): (line, reason,
+    locals)}`` decision set from the static dependence analyzer
+    (:meth:`repro.analysis.AnalysisReport.prune_set`): matching loops
+    are demoted to non-candidates before annotation, so the TEST
+    profiler never tracks them.
+    """
+    return _compile(program, config, annotate=True, prune=prune)
 
 
 def annotation_count(compiled):

@@ -71,6 +71,11 @@ class RunRequest:
     adapt: bool = False
     adapt_epochs: int = 4
     adapt_policy: str = "threshold"
+    #: run the static dependence analyzer first (repro.analysis):
+    #: statically-hopeless STL candidates are pruned before profiling
+    #: and the report carries an AnalysisReport; the cache key diverges
+    #: from unanalyzed runs because the candidate set may differ
+    analysis: bool = False
     #: test hook — path of a marker file; the first worker to execute
     #: this request creates the marker and dies (exercises retry logic)
     crash_marker: str = None
@@ -100,7 +105,8 @@ class RunRequest:
                    source=source, verify=options.verify,
                    tag=tag, trace=options.trace, adapt=options.adapt,
                    adapt_epochs=options.epochs,
-                   adapt_policy=options.policy)
+                   adapt_policy=options.policy,
+                   analysis=options.analysis)
 
     @property
     def label(self):
@@ -130,6 +136,8 @@ class RunRequest:
             extra["adapt"] = True
             extra["adapt_epochs"] = self.adapt_epochs
             extra["adapt_policy"] = self.adapt_policy
+        if self.analysis:
+            extra["analysis"] = True
         return cache_key(self.resolve_source(), self.args, self.config,
                          self.stl_options, self.vm_options, salt=salt,
                          extra=extra or None)
@@ -149,7 +157,8 @@ def execute_request(request):
     start = time.perf_counter()
     source = request.resolve_source()
     jrpm = Jrpm(config=request.config, stl_options=request.stl_options,
-                vm_options=request.vm_options, trace=request.trace)
+                vm_options=request.vm_options, trace=request.trace,
+                analysis=request.analysis)
     if request.adapt:
         report = jrpm.run_adaptive(
             compile_source(source), name=request.name,

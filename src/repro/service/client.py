@@ -74,23 +74,36 @@ class Session:
 
     # -- the verb surface --------------------------------------------------
     def compile(self, source=None, **kwargs):
+        """Step 1 only: baseline compile + sequential measurement."""
         return self._job("compile", source, kwargs)
 
     def profile(self, source=None, **kwargs):
+        """Steps 1-3: TEST profile with per-loop selector verdicts."""
         return self._job("profile", source, kwargs)
 
     def select(self, source=None, **kwargs):
+        """Steps 1-3, returning just the selected decomposition plans."""
         return self._job("select", source, kwargs)
 
     def recompile(self, source=None, **kwargs):
+        """Steps 1-4: recompile the selected loops into STLs."""
         return self._job("recompile", source, kwargs)
 
     def run(self, source=None, **kwargs):
+        """The whole pipeline; returns a live :class:`JrpmReport`."""
         return self._report_of(self._job("run", source, kwargs))
 
     def run_adaptive(self, source=None, **kwargs):
+        """The pipeline under the epoch-based adaptive controller."""
         return self._report_of(
             self._job("run_adaptive", source, kwargs))
+
+    def analyze(self, source=None, **kwargs):
+        """Static dependence analysis cross-checked against a TEST
+        profile; returns the JSON-safe dict from
+        :func:`repro.service.jobs._do_analyze` (``analysis`` payload +
+        per-loop selection agreement)."""
+        return self._job("analyze", source, kwargs)
 
     @staticmethod
     def _report_of(result):
@@ -113,6 +126,7 @@ class Session:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self):
+        """Release transport resources (a no-op for local sessions)."""
         pass
 
     def __enter__(self):
@@ -147,6 +161,7 @@ class LocalSession(Session):
         return result
 
     def stats(self):
+        """Store hit/miss accounting (shape mirrors the daemon's)."""
         return {"local": True,
                 "store": (self.store.stats_dict()
                           if self.store is not None else None)}
@@ -168,6 +183,7 @@ class JrpmClient(Session):
     @classmethod
     def connect(cls, socket_path=None, host="127.0.0.1", port=None,
                 timeout=600.0):
+        """Open a client over a unix socket *or* TCP (exactly one)."""
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path/port required")
         if socket_path is not None:
@@ -258,9 +274,11 @@ class JrpmClient(Session):
         return self._payload(source, kwargs)
 
     def ping(self):
+        """Liveness check; returns the daemon's identity payload."""
         return self.request("ping")
 
     def stats(self):
+        """The daemon's live accounting (queue, store, latencies)."""
         return self.request("stats")
 
     def drain(self):
@@ -269,6 +287,7 @@ class JrpmClient(Session):
         return self.request("drain")
 
     def close(self):
+        """Close the socket (the daemon keeps running)."""
         try:
             self._file.close()
         finally:

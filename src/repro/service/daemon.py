@@ -63,6 +63,7 @@ class JrpmServer:
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self):
+        """Bind the socket and start accepting connections."""
         self._done = asyncio.Event()
         if self.socket_path is not None:
             self._server = await asyncio.start_unix_server(
@@ -75,6 +76,7 @@ class JrpmServer:
 
     @property
     def endpoint(self):
+        """Human-readable listen address (socket path or host:port)."""
         if self.socket_path is not None:
             return self.socket_path
         return "%s:%s" % (self.host, self.port)
@@ -86,6 +88,7 @@ class JrpmServer:
         await self.aclose()
 
     async def aclose(self):
+        """Stop accepting, drain the scheduler, free the port."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -254,6 +257,7 @@ class JrpmServer:
                        exec_log=payload.get("exec_log"))
 
     def stats_snapshot(self):
+        """One JSON-safe dict of every live counter (the `stats` verb)."""
         snapshot = self.stats.to_dict()
         snapshot["scheduler"] = self.scheduler.stats_dict()
         snapshot["store"] = self.store.stats_dict()

@@ -37,11 +37,12 @@ class JobSpec:
     exec_log: str = None
 
     def fingerprint(self, salt=None):
+        """Content-addressed key (see :func:`job_fingerprint`)."""
         return job_fingerprint(self, salt=salt)
 
 
 VERBS = ("compile", "profile", "select", "recompile", "run",
-         "run_adaptive")
+         "run_adaptive", "analyze")
 
 
 def job_fingerprint(spec, salt=None):
@@ -179,6 +180,38 @@ def _do_run_adaptive(spec):
     return _finish_run(spec, report)
 
 
+def _do_analyze(spec):
+    """Static dependence analysis cross-checked against a TEST profile.
+
+    Profiles *without* pruning so every predicted arc can be compared
+    against observed arcs; the dynamic selector's verdicts ride along
+    so callers can see where static pruning and dynamic selection
+    agree.
+    """
+    jrpm, program = _jrpm_of(spec)
+    analysis, profile = jrpm.analyze(program, spec.options.args)
+    selector = jrpm.make_selector(profile.loop_table)
+    plans = selector.select(profile.stats,
+                            profile.profiler.dynamic_nesting)
+    selected = {(meta.method_name, meta.ordinal)
+                for loop_id, meta in profile.loop_table.items()
+                if loop_id in plans}
+    loops = []
+    for loop in analysis.loops:
+        loops.append({
+            "method": loop.method,
+            "ordinal": loop.ordinal,
+            "line": loop.line,
+            "classification": loop.classification,
+            "pruned": loop.pruned,
+            "speedup_bound": loop.speedup_bound,
+            "selected": loop.key in selected,
+        })
+    return {"analysis": analysis.to_dict(),
+            "loops": loops,
+            "selected": sorted(plans)}
+
+
 _VERB_TABLE = {
     "compile": _do_compile,
     "profile": _do_profile,
@@ -186,4 +219,5 @@ _VERB_TABLE = {
     "recompile": _do_recompile,
     "run": _do_run,
     "run_adaptive": _do_run_adaptive,
+    "analyze": _do_analyze,
 }

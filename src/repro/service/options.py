@@ -49,6 +49,9 @@ class RunOptions:
     epochs: int = 4                      # adaptive epochs (was adapt_epochs)
     policy: str = "threshold"            # adaptive policy (was adapt_policy)
 
+    # -- static analysis (repro.analysis) ------------------------------------
+    analysis: bool = False               # prune + cross-check statically
+
     # -- run shape -----------------------------------------------------------
     args: tuple = ()                     # guest program arguments
     verify: bool = True                  # assert sequential == TLS output
@@ -59,25 +62,30 @@ class RunOptions:
 
     # -- projections to the per-subsystem option objects ---------------------
     def hydra_config(self):
+        """The simulated-hardware configuration these options imply."""
         config = HydraConfig(num_cpus=self.cpus, fastpath=self.fastpath)
         if self.old_handlers:
             config.overheads = SpeculationOverheads.old_handlers()
         return config
 
     def stl_options(self):
+        """STL codegen options (currently all defaults)."""
         return StlOptions()
 
     def vm_options(self):
+        """The paper-§5 VM modification switches."""
         return VmOptions(
             parallel_allocator=self.parallel_allocator,
             speculation_aware_locks=self.speculation_aware_locks)
 
     def make_jrpm(self):
+        """A :class:`Jrpm` facade configured from these options."""
         from ..core.pipeline import Jrpm
         return Jrpm(options=self)
 
     # -- serialization (wire protocol + artifact-store keys) -----------------
     def to_dict(self):
+        """JSON-safe dict of every field (wire + cache-key form)."""
         return {f.name: (list(self.args) if f.name == "args"
                          else getattr(self, f.name))
                 for f in fields(self)}

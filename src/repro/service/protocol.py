@@ -72,17 +72,20 @@ def decode_frame(line):
 
 
 def make_request(request_id, verb, payload=None):
+    """A client->daemon frame for one verb invocation."""
     return {"v": PROTOCOL_VERSION, "id": request_id, "verb": verb,
             "payload": payload or {}}
 
 
 def make_response(request_id, result, cached=False, elapsed=0.0):
+    """A success frame carrying the verb's JSON-safe result."""
     return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
             "cached": cached, "elapsed": round(elapsed, 6),
             "result": result}
 
 
 def make_error(request_id, kind, message):
+    """A failure frame; ``kind`` is the wire error discriminator."""
     return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
             "error": {"kind": kind, "message": message}}
 

@@ -161,6 +161,7 @@ class JobScheduler:
 
     @property
     def draining(self):
+        """True once a drain began: no new submissions are accepted."""
         return not self._accepting
 
     # -- dispatch ----------------------------------------------------------
@@ -242,6 +243,7 @@ class JobScheduler:
 
     # -- introspection -----------------------------------------------------
     def stats_dict(self):
+        """JSON-safe snapshot of queue/batch/coalescing counters."""
         with self._lock:
             return {
                 "queue_depth": len(self._queue),

@@ -33,6 +33,7 @@ class LatencyHistogram:
         self._samples = []
 
     def record(self, seconds):
+        """Fold one latency sample into the histogram."""
         self.count += 1
         self.total += seconds
         if seconds > self.max:
@@ -43,6 +44,7 @@ class LatencyHistogram:
         self._samples.append(seconds)
 
     def percentile(self, fraction):
+        """Latency at the given fraction (0..1) of the sample window."""
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
@@ -52,9 +54,11 @@ class LatencyHistogram:
 
     @property
     def mean(self):
+        """Average latency over every recorded sample."""
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self):
+        """JSON-safe summary (count, mean, max, p50/p90/p99)."""
         return {
             "count": self.count,
             "mean": round(self.mean, 6),
@@ -79,6 +83,7 @@ class ServiceStats:
         self.trace_rollup = None        # TraceAggregates or None
 
     def observe(self, verb, seconds, ok=True):
+        """Account one finished request under its verb."""
         with self._lock:
             self.requests += 1
             if not ok:
@@ -101,6 +106,7 @@ class ServiceStats:
             self.trace_rollup.merge(TraceAggregates.from_dict(aggregates))
 
     def to_dict(self):
+        """JSON-safe snapshot of the whole service's accounting."""
         with self._lock:
             return {
                 "uptime": round(time.perf_counter()

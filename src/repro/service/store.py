@@ -49,6 +49,7 @@ class ArtifactStore:
         return self._salt
 
     def key_of(self, spec):
+        """Content-addressed store key for one job spec."""
         return spec.fingerprint(salt=self.salt())
 
     # -- lookup / insert ---------------------------------------------------
@@ -80,6 +81,7 @@ class ArtifactStore:
         return None
 
     def put(self, spec, result):
+        """Memoize a finished job's result under its fingerprint."""
         key = self.key_of(spec)
         with self._lock:
             self._remember(key, result)
@@ -112,6 +114,7 @@ class ArtifactStore:
     # -- introspection -----------------------------------------------------
     @property
     def hit_rate(self):
+        """Fraction of lookups served from the store."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -120,6 +123,7 @@ class ArtifactStore:
             return len(self._entries)
 
     def stats_dict(self):
+        """JSON-safe snapshot of entry/hit/miss counters."""
         with self._lock:
             return {
                 "entries": len(self._entries),

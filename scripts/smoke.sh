@@ -24,7 +24,12 @@
 #    request must be a store hit), drains it gracefully, and checks
 #    the daemon exits 0 — the serve → client → drain path of
 #    docs/service.md;
-# 8. runs the fast test tier (everything not marked `slow`), which
+# 8. runs one workload twice against a shared profile DB: the first
+#    run records a consensus profile, the second must warm-start from
+#    it (skipping the baseline and TEST executions) with an identical
+#    plan and TLS cycle count, and the exported DB must pass the
+#    repro.profdb schema gate (see docs/profdb.md);
+# 9. runs the fast test tier (everything not marked `slow`), which
 #    includes the docs link lint (tests/test_docs_links.py).  The
 #    exhaustive engine-differential sweep in
 #    tests/test_engine_differential.py is `slow`-marked and runs in
@@ -119,6 +124,27 @@ assert drained["drained"] is True and drained["failed"] == 0
 client.close()
 PYEOF
 wait "$SERVE_PID" && echo "serve:  drained cleanly (exit 0)"
+
+echo
+echo "== smoke: profile DB warm start + schema check =="
+python - "$CACHE_DIR/profdb.json" <<'PYEOF'
+import sys
+from repro import Jrpm, compile_source
+from repro.workloads import lookup
+
+db_path = sys.argv[1]
+source = lookup("BitOps").source("small")
+cold = Jrpm(profdb=db_path).run(compile_source(source), name="BitOps")
+warm = Jrpm(profdb=db_path).run(compile_source(source), name="BitOps")
+assert cold.profile_provenance == "cold"
+assert warm.profile_provenance == "warm", "second run must warm-start"
+assert sorted(warm.plans) == sorted(cold.plans)
+assert warm.tls.cycles == cold.tls.cycles
+print("profdb: warm start plan-equivalent (tls %d cycles, %d plan(s))"
+      % (warm.tls.cycles, len(warm.plans)))
+PYEOF
+python -m repro profdb export --path "$CACHE_DIR/profdb.json" \
+    | python scripts/check_profdb.py -
 
 echo
 echo "== smoke: fast test tier (pytest -m 'not slow') =="

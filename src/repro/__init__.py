@@ -20,9 +20,20 @@ from .jit.stl import StlOptions
 from .minijava import compile_source
 from .trace import TraceAggregates, TraceCollector, TraceOptions
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def package_version():
+    """The package version (``jrpm --version``, ``version`` service
+    verb).  :data:`__version__` is the single source of truth —
+    ``pyproject.toml`` mirrors it — and it always describes the code
+    actually imported, which installed-distribution metadata does not
+    when running from a source tree (``PYTHONPATH=src``) alongside an
+    older installed build."""
+    return __version__
+
 
 __all__ = ["Jrpm", "JrpmReport", "run_jrpm", "VmOptions", "StlOptions",
            "HydraConfig", "DEFAULT_CONFIG", "SpeculationOverheads",
            "compile_source", "TraceCollector", "TraceOptions",
-           "TraceAggregates", "__version__"]
+           "TraceAggregates", "__version__", "package_version"]

@@ -10,6 +10,8 @@ against the profiler's observed RAW arcs (see ``docs/analysis.md``).
 """
 
 from .deps import analyze_loop, analyze_method, analyze_program
+from .fingerprint import (method_fingerprint, method_fingerprints,
+                          program_fingerprint)
 from .model import (ABSENT, AnalysisReport, CarriedRegister, Dependence,
                     KIND_GENERAL, KIND_INDUCTOR, KIND_REDUCTION,
                     KIND_RESETABLE, LATTICE, LoopAnalysis, MAY, MUST,
@@ -26,4 +28,5 @@ __all__ = [
     "Access", "BlockFlow", "CONST", "LocalDef", "LocalUse",
     "MethodFlow", "flow_method", "linearize", "uses_in_tree",
     "analyze_loop", "analyze_method", "analyze_program",
+    "method_fingerprint", "method_fingerprints", "program_fingerprint",
 ]

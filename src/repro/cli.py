@@ -22,6 +22,9 @@ Commands:
   daemon: a shared artifact store + batched scheduler behind a
   line-delimited JSON protocol (see docs/service.md); talk to it with
   ``repro.service.JrpmClient``
+* ``profdb [stats|export|gc]`` — inspect or maintain the persistent
+  profile DB that ``--profdb`` runs record into and warm-start from
+  (see docs/profdb.md)
 
 Every subcommand builds one :class:`repro.service.RunOptions` from its
 flags — the single options dataclass shared with the ``Session`` API
@@ -36,6 +39,19 @@ import sys
 from .core.pipeline import Jrpm
 from .core.report import format_report, format_suite_summary
 from .minijava import compile_source
+
+
+def _add_profdb_flags(parser):
+    parser.add_argument("--profdb", default=None, metavar="PATH",
+                        help="persistent profile DB: record profiles "
+                             "and warm-start from stored consensus "
+                             "(see docs/profdb.md)")
+    parser.add_argument("--warm-start", default="auto",
+                        choices=["auto", "force", "off"],
+                        help="how to use stored profiles: auto = when "
+                             "confident (default), force = whenever "
+                             "present, off = always profile (still "
+                             "records)")
 
 
 def _add_hw_flags(parser):
@@ -63,7 +79,9 @@ def _options_from(args):
         adapt=bool(getattr(args, "adapt", False)),
         epochs=getattr(args, "adapt_epochs", None)
                or getattr(args, "epochs", None) or 4,
-        policy=getattr(args, "policy", None) or "threshold")
+        policy=getattr(args, "policy", None) or "threshold",
+        profile_db=getattr(args, "profdb", None),
+        warm_start=getattr(args, "warm_start", "auto"))
 
 
 def _config_from(args):
@@ -331,6 +349,56 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_profdb(args):
+    """Inspect or maintain a persistent profile DB (docs/profdb.md)."""
+    from .profdb import ProfileDb, validate_profdb_dict
+    db = ProfileDb(args.path)
+    if args.op == "export":
+        payload = db.export()
+        problems = validate_profdb_dict(payload)
+        if problems:
+            for problem in problems:
+                print("profdb: %s" % problem, file=sys.stderr)
+            return 1
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.op == "gc":
+        evicted = db.gc(max_programs=args.max_programs,
+                        max_inputs=args.max_inputs)
+        stats = db.stats_dict()
+        if args.json:
+            print(json.dumps({"evicted": evicted, "profdb": stats},
+                             indent=2, sort_keys=True))
+        else:
+            print("evicted %d entr%s; %d program%s / %d input%s remain"
+                  % (evicted, "y" if evicted == 1 else "ies",
+                     stats["programs"],
+                     "" if stats["programs"] == 1 else "s",
+                     stats["inputs"],
+                     "" if stats["inputs"] == 1 else "s"))
+        return 0
+    stats = db.stats_dict()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print("profile DB %s (schema %d, %d bytes)"
+          % (stats["path"], stats["schema"], stats["size_bytes"]))
+    print("  %d program%s, %d input%s (%d confident), %d loop%s"
+          % (stats["programs"], "" if stats["programs"] == 1 else "s",
+             stats["inputs"], "" if stats["inputs"] == 1 else "s",
+             stats["confident_inputs"],
+             stats["loops"], "" if stats["loops"] == 1 else "s"))
+    print("  %d cold run%s recorded, %d warm start%s served"
+          % (stats["runs"], "" if stats["runs"] == 1 else "s",
+             stats["warm_runs"], "" if stats["warm_runs"] == 1 else "s"))
+    for row in stats["per_program"]:
+        print("  - %-24s %3d run%s %2d input%s"
+              % (row["name"], row["runs"],
+                 "" if row["runs"] == 1 else "s",
+                 row["inputs"], "" if row["inputs"] == 1 else "s"))
+    return 0
+
+
 def cmd_serve(args):
     """Start the persistent execution daemon (docs/service.md)."""
     from .service import JrpmServer, run_server
@@ -342,18 +410,23 @@ def cmd_serve(args):
         socket_path=args.socket, host=args.host, port=args.port,
         jobs=args.jobs, queue_limit=args.queue_limit,
         timeout=args.timeout, batch_max=args.batch_max,
-        cache_dir=args.cache_dir, use_cache=not args.no_cache)
+        cache_dir=args.cache_dir, use_cache=not args.no_cache,
+        profdb_path=args.profdb)
     return run_server(server)
 
 
 def main(argv=None):
+    from . import package_version
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--version", action="version",
+                        version="jrpm %s" % package_version())
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run the pipeline on a MiniJava file")
     p_run.add_argument("file")
     p_run.add_argument("--verbose", "-v", action="store_true")
     _add_hw_flags(p_run)
+    _add_profdb_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_bench = sub.add_parser("bench", help="run one paper benchmark")
@@ -375,6 +448,7 @@ def main(argv=None):
                          metavar="N",
                          help="epochs for --adapt (default 4)")
     _add_hw_flags(p_bench)
+    _add_profdb_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_suite = sub.add_parser("suite", help="run the whole 26-benchmark "
@@ -405,6 +479,7 @@ def main(argv=None):
                          metavar="N",
                          help="epochs for --adapt (default 4)")
     _add_hw_flags(p_suite)
+    _add_profdb_flags(p_suite)
     p_suite.set_defaults(fn=cmd_suite)
 
     p_list = sub.add_parser("list", help="list the benchmarks")
@@ -521,7 +596,31 @@ def main(argv=None):
     p_serve.add_argument("--no-cache", action="store_true",
                          help="serve from memory only; nothing "
                               "persists across restarts")
+    p_serve.add_argument("--profdb", default=None, metavar="PATH",
+                         help="shared persistent profile DB: run/"
+                              "run_adaptive jobs record profiles and "
+                              "warm-start from stored consensus "
+                              "(docs/profdb.md)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_profdb = sub.add_parser(
+        "profdb", help="inspect/maintain a persistent profile DB")
+    p_profdb.add_argument("op", nargs="?", default="stats",
+                          choices=["stats", "export", "gc"],
+                          help="stats (default): summary counters; "
+                               "export: full validated JSON payload; "
+                               "gc: evict beyond the size caps")
+    p_profdb.add_argument("--path", default=None,
+                          help="DB file (default $JRPM_PROFDB_PATH or "
+                               "benchmarks/.cache/profdb.json)")
+    p_profdb.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    p_profdb.add_argument("--max-programs", type=int, default=None,
+                          metavar="N", help="gc: program-entry cap")
+    p_profdb.add_argument("--max-inputs", type=int, default=None,
+                          metavar="N",
+                          help="gc: inputs-per-program cap")
+    p_profdb.set_defaults(fn=cmd_profdb)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -139,6 +139,11 @@ class JrpmReport:
         # classification + profiler cross-check; None unless the run
         # was made with RunOptions.analysis / Jrpm(analysis=True)
         self.analysis = None             # AnalysisReport or None
+        # persistent profile DB (repro.profdb): how the TEST statistics
+        # behind this report were obtained — "cold" (profiled live),
+        # "warm" (replayed from a stored consensus) or "confirmed"
+        # (profiled live and reproduced the stored consensus plan)
+        self.profile_provenance = "cold"
 
     # -- headline numbers ----------------------------------------------------
     @property
@@ -308,6 +313,7 @@ class JrpmReport:
                            if self.adaptation else None),
             "analysis": (self.analysis.to_dict()
                          if self.analysis else None),
+            "profile_provenance": self.profile_provenance,
         }
 
     @staticmethod
@@ -367,6 +373,7 @@ class JrpmReport:
         if analysis is not None:
             from ..analysis import AnalysisReport
             report.analysis = AnalysisReport.from_dict(analysis)
+        report.profile_provenance = data.get("profile_provenance", "cold")
         return report
 
 
@@ -422,7 +429,8 @@ class Jrpm:
     """
 
     def __init__(self, config=None, stl_options=None, vm_options=None,
-                 trace=None, options=None, analysis=False):
+                 trace=None, options=None, analysis=False, profdb=None,
+                 warm_start=None):
         """``options`` (a :class:`repro.service.RunOptions`) is the
         preferred single knob; the per-object kwargs remain for callers
         that build the pieces themselves and override the corresponding
@@ -434,6 +442,10 @@ class Jrpm:
             if trace is None and options.trace:
                 trace = True
             analysis = analysis or options.analysis
+            if profdb is None and options.profile_db:
+                profdb = options.profile_db
+            if warm_start is None and options.warm_start:
+                warm_start = options.warm_start
         self.config = config or HydraConfig()
         self.stl_options = stl_options or StlOptions()
         self.vm_options = vm_options or VmOptions()
@@ -448,6 +460,24 @@ class Jrpm:
         #: :class:`~repro.trace.TraceOptions`, or a ready-made
         #: :class:`~repro.trace.TraceCollector`.
         self.trace = self._normalize_trace(trace)
+        #: persistent profile DB (repro.profdb): a
+        #: :class:`~repro.profdb.ProfileDb`, a path string, or ``None``
+        #: (no persistence).  ``warm_start`` governs how stored
+        #: consensus profiles are used: ``"auto"`` (skip TEST profiling
+        #: when a confident consensus exists), ``"force"`` (skip
+        #: whenever an entry exists, confidence aside) or ``"off"``
+        #: (always profile; still records).
+        self.profdb = self._normalize_profdb(profdb)
+        self.warm_start = warm_start or "auto"
+
+    @staticmethod
+    def _normalize_profdb(profdb):
+        if not profdb:
+            return None
+        if isinstance(profdb, str):
+            from ..profdb import ProfileDb
+            return ProfileDb(profdb)
+        return profdb
 
     @staticmethod
     def _normalize_trace(trace):
@@ -618,16 +648,44 @@ class Jrpm:
 
     # -- facade --------------------------------------------------------------
     def run(self, source_or_program, name="program", args=()):
-        """Run the full five-step pipeline; returns a JrpmReport."""
+        """Run the full five-step pipeline; returns a JrpmReport.
+
+        With a :attr:`profdb` attached, a confident stored consensus
+        for this exact (program, args, options) input lets the run warm
+        start — the baseline and TEST executions are replayed from the
+        DB and only the TLS run happens for real (plan-equivalent by
+        construction; see :mod:`repro.profdb.warmstart`).  Cold runs
+        are recorded back into the DB.  Analysis runs always profile
+        live (the cross-check needs real TEST arcs).
+        """
         program = self._program_of(source_or_program)
+        if (self.profdb is not None and self.warm_start != "off"
+                and not self.analysis):
+            from ..profdb.warmstart import warm_report
+            report = warm_report(self, program, name, args)
+            if report is not None:
+                return report
         baseline = self.compile_baseline(program, args)
         profile_artifact = self.profile(program, args)
         plans = self.select(profile_artifact)
         recompiled = self.recompile(program, plans)
         tls_artifact = self.execute_tls(recompiled, plans, args,
                                         fallback=baseline.measurement)
-        return self.assemble_report(name, baseline, profile_artifact,
-                                    plans, tls_artifact)
+        report = self.assemble_report(name, baseline, profile_artifact,
+                                      plans, tls_artifact)
+        self._record_cold(program, report, args)
+        return report
+
+    def _record_cold(self, program, report, args):
+        """Fold a cold run into the attached profile DB (if any)."""
+        if self.profdb is None:
+            return
+        report.profile_provenance = self.profdb.record(
+            program, report, args, self.config, self.stl_options,
+            self.vm_options)
+        if self.trace is not None:
+            self.trace.profdb(0.0, report.profile_provenance,
+                              report.name)
 
     def run_adaptive(self, source_or_program, name="program", args=(),
                      policy=None, epochs=4, stop_on_converged=True,
@@ -655,7 +713,13 @@ class Jrpm:
         controller = AdaptController(self, policy=policy, epochs=epochs,
                                      stop_on_converged=stop_on_converged,
                                      verify=verify)
-        return controller.run(source_or_program, name=name, args=args)
+        program = self._program_of(source_or_program)
+        report = controller.run(program, name=name, args=args)
+        # Adaptive runs always profile live (the controller owns the
+        # epoch loop), but their hard-won decommit/escalation outcomes
+        # are written back so future warm starts begin corrected.
+        self._record_cold(program, report, args)
+        return report
 
     @staticmethod
     def _stl_wall_cycles(runtime):

@@ -21,6 +21,11 @@ def format_report(report, verbose=False):
     out("predicted speedup:   %8.2fx" % report.predicted_speedup)
     out("actual TLS speedup:  %8.2fx on %d CPUs"
         % (report.tls_speedup, report.config.num_cpus))
+    if verbose or report.profile_provenance != "cold":
+        out("profile provenance:  %8s%s"
+            % (report.profile_provenance,
+               "   (TEST statistics replayed from the profile DB)"
+               if report.profile_provenance == "warm" else ""))
     out("total speedup:       %8.2fx (compile + profile + recompile + GC)"
         % report.total_speedup)
     out("outputs match:       %8s" % report.outputs_match())

@@ -1,0 +1,49 @@
+"""Persistent profile-and-decision repository (the profile DB).
+
+Jrpm pays a full annotated sequential execution (the TEST profile)
+before any loop can be selected, and the reproduction re-paid that cost
+on every cold run: the service's artifact store only memoizes
+*identical* requests, and the adapt controller's decommit/escalation
+outcomes died with the process.  This package persists what profiling
+learned:
+
+* :mod:`repro.profdb.records` — typed per-(program, input, loop site)
+  entries carrying dependence-arc statistics, thread sizes, speculative
+  buffer high-water marks, the selector's Prediction and adaptation
+  outcomes, with lossless round-trips and a ``validate_profdb_dict``
+  schema gate;
+* :mod:`repro.profdb.merge` — weighted statistical aggregation of
+  profiles from repeated runs into a confidence-scored consensus, with
+  staleness decay;
+* :mod:`repro.profdb.db` — :class:`ProfileDb`, the file-locked,
+  corrupt-tolerant, size-bounded JSON store shared by concurrent
+  writers (CLI runs and the ``jrpm serve`` daemon);
+* :mod:`repro.profdb.warmstart` — the warm-start path: when a
+  confident consensus exists, ``Jrpm.run`` skips the sequential
+  baseline *and* the TEST profiling run entirely and feeds the stored
+  statistics straight into the selector.  The simulator is
+  deterministic, so a warm run is plan-equivalent to a cold one (the
+  ``slow`` differential sweep in ``tests/test_profdb_sweep.py`` proves
+  it over all 26 registry workloads).
+
+See ``docs/profdb.md`` for the record model and the amortization
+numbers.
+"""
+
+from .db import ProfileDb, default_profdb_path
+from .merge import (DEFAULT_DECAY, MIN_CONFIDENCE, confidence,
+                    merge_measurement, merge_stats_dict, merge_value)
+from .records import (InputProfile, LoopProfile, PROFDB_SCHEMA_VERSION,
+                      PROVENANCE_COLD, PROVENANCE_CONFIRMED,
+                      PROVENANCE_WARM, PROVENANCES, ProgramProfile,
+                      site_key, split_site_key, validate_profdb_dict)
+from .warmstart import StoredProfiler, rejoin_stats, warm_report
+
+__all__ = ["ProfileDb", "default_profdb_path",
+           "PROFDB_SCHEMA_VERSION", "PROVENANCES", "PROVENANCE_COLD",
+           "PROVENANCE_WARM", "PROVENANCE_CONFIRMED",
+           "LoopProfile", "InputProfile", "ProgramProfile",
+           "site_key", "split_site_key", "validate_profdb_dict",
+           "DEFAULT_DECAY", "MIN_CONFIDENCE", "confidence",
+           "merge_value", "merge_stats_dict", "merge_measurement",
+           "StoredProfiler", "rejoin_stats", "warm_report"]

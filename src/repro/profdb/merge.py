@@ -1,0 +1,186 @@
+"""Weighted aggregation of stored profiles into a consensus.
+
+Every cold run contributes one observation with weight 1; previously
+accumulated evidence is first multiplied by :data:`DEFAULT_DECAY`, so a
+profile that stops being refreshed gradually loses influence (staleness
+decay) and a change in behaviour is adopted within a few runs instead
+of being averaged away forever.
+
+Two properties matter for warm-start plan equivalence and are enforced
+by tests:
+
+* **fixed point** — merging two equal values returns the *original*
+  value object untouched (``merge_value`` short-circuits on equality
+  before doing float arithmetic), so re-recording the run the simulator
+  deterministically reproduces never drifts a stored statistic across
+  an eligibility threshold;
+* **losslessness** — merged ``LoopStats`` payloads remain valid inputs
+  to ``LoopStats.from_dict`` (all slots preserved, arcs keyed by their
+  (store site, load site) pair).
+
+The confidence score gates warm starts: evidence weight pushes it
+toward 1, observed run-to-run drift in the sequential cycle count pulls
+it toward 0.  A single recorded run scores ``1/2`` — above
+:data:`MIN_CONFIDENCE`, so the second run of a workload already warm
+starts.
+"""
+
+import json
+
+#: multiplier applied to accumulated evidence weight before each merge
+DEFAULT_DECAY = 0.9
+
+#: minimum consensus confidence for an ``auto`` warm start
+MIN_CONFIDENCE = 0.4
+
+
+def confidence(weight, drift):
+    """Confidence in ``[0, 1)`` from evidence *weight* and *drift*.
+
+    ``weight / (weight + 1)`` rises from 0 (no evidence) through 0.5
+    (one run) toward 1; the ``1 / (1 + 4 * drift)`` factor discounts
+    consensus built on runs that disagreed with each other.
+    """
+    if weight <= 0.0:
+        return 0.0
+    return (weight / (weight + 1.0)) / (1.0 + 4.0 * drift)
+
+
+def update_drift(old_drift, old_cycles, new_cycles):
+    """Exponential moving average of relative cycle-count disagreement."""
+    relative = abs(new_cycles - old_cycles) / max(abs(old_cycles), 1.0)
+    return 0.5 * old_drift + 0.5 * relative
+
+
+def merge_value(old, new, w_old, w_new):
+    """Weighted mean of two scalars, short-circuiting on equality.
+
+    The equality short-circuit is load-bearing: merging identical runs
+    must be a fixed point, and ``(3 * w + 3) / (w + 1)`` is not always
+    exactly ``3`` in floats.  Non-numeric values (and booleans) take
+    the new side.
+    """
+    if old == new:
+        return old
+    if isinstance(old, bool) or not isinstance(old, (int, float)):
+        return new
+    if isinstance(new, bool) or not isinstance(new, (int, float)):
+        return new
+    if w_old <= 0.0:
+        return new
+    return (old * w_old + new * w_new) / (w_old + w_new)
+
+
+def _merge_arc(old, new, w_old, w_new):
+    """Merge two serialized ``ArcStats`` payloads field by field."""
+    merged = {}
+    for key in set(old) | set(new):
+        if key == "min_distance":
+            distances = [value for value in (old.get(key), new.get(key))
+                         if value is not None]
+            merged[key] = min(distances) if distances else None
+        else:
+            merged[key] = merge_value(old.get(key, 0), new.get(key, 0),
+                                      w_old, w_new)
+    return merged
+
+
+def merge_stats_dict(old, new, w_old, w_new):
+    """Merge two ``LoopStats.to_dict()`` payloads.
+
+    Scalar slots take the weighted mean (with the fixed-point
+    short-circuit); the ``max_*_lines`` high-water marks take the max;
+    dependence arcs are keyed by their (store site, load site) pair —
+    shared arcs merge field-wise, one-sided arcs are kept as observed.
+    """
+    merged = {}
+    for key in new:
+        if key == "arcs":
+            continue
+        if key == "loop_id":
+            merged[key] = new[key]
+        elif key in ("max_load_lines", "max_store_lines"):
+            merged[key] = max(old.get(key, 0), new[key])
+        else:
+            merged[key] = merge_value(old.get(key, 0), new[key],
+                                      w_old, w_new)
+    old_arcs = {json.dumps(arc[:2]): arc for arc in old.get("arcs", ())}
+    merged_arcs = []
+    for arc in new.get("arcs", ()):
+        key = json.dumps(arc[:2])
+        previous = old_arcs.pop(key, None)
+        if previous is None:
+            merged_arcs.append(arc)
+        else:
+            merged_arcs.append(arc[:2] + [_merge_arc(previous[2], arc[2],
+                                                     w_old, w_new)])
+    merged_arcs.extend(old_arcs.values())
+    merged["arcs"] = merged_arcs
+    return merged
+
+
+def merge_measurement(old, new, w_old, w_new):
+    """Merge two ``RunMeasurement.to_dict()`` payloads.
+
+    Cycle and instruction counts take the weighted mean; the program
+    output, return value and guest exception are behavioural facts, not
+    statistics, and always take the new observation.
+    """
+    merged = dict(new)
+    for key in ("cycles", "instructions", "gc_cycles"):
+        merged[key] = merge_value(old.get(key, 0), new.get(key, 0),
+                                  w_old, w_new)
+    return merged
+
+
+def merge_input_profile(old, fresh, decay=DEFAULT_DECAY):
+    """Fold a fresh cold-run :class:`~repro.profdb.records.InputProfile`
+    into the stored consensus *old*, in place, and return it.
+
+    The fresh run always enters with weight 1; the stored evidence is
+    first decayed.  Loop entries follow the fresh run's discovery order
+    (so a warm start rebuilds the selector's input in the same dict
+    order a cold run would produce); adaptation outcome counters
+    accumulate across runs rather than being averaged.
+    """
+    w_old = old.weight * decay
+    w_new = 1.0
+    if old.sequential is not None and fresh.sequential is not None:
+        old.drift = update_drift(old.drift, old.sequential["cycles"],
+                                 fresh.sequential["cycles"])
+    merged_loops = {}
+    for key, loop in fresh.loops.items():
+        previous = old.loops.get(key)
+        if previous is not None:
+            loop.stats = merge_stats_dict(previous.stats, loop.stats,
+                                          w_old, w_new)
+            loop.max_load_lines = max(previous.max_load_lines,
+                                      loop.max_load_lines)
+            loop.max_store_lines = max(previous.max_store_lines,
+                                       loop.max_store_lines)
+            loop.decommits += previous.decommits
+            loop.escalations += previous.escalations
+        merged_loops[key] = loop
+    old.loops = merged_loops
+    if old.sequential is not None:
+        fresh.sequential = merge_measurement(old.sequential,
+                                             fresh.sequential,
+                                             w_old, w_new)
+    if old.profiling is not None and fresh.profiling is not None:
+        fresh.profiling = merge_measurement(old.profiling,
+                                            fresh.profiling,
+                                            w_old, w_new)
+    old.sequential = fresh.sequential
+    old.profiling = fresh.profiling
+    old.compile_cycles = fresh.compile_cycles
+    old.annotations = fresh.annotations
+    old.nesting = fresh.nesting
+    old.max_dynamic_depth = fresh.max_dynamic_depth
+    old.plan_sites = fresh.plan_sites
+    old.tls_cycles = fresh.tls_cycles
+    old.args = fresh.args
+    old.options = fresh.options
+    old.weight = w_old + w_new
+    old.runs += 1
+    old.updated = fresh.updated
+    return old

@@ -46,6 +46,8 @@ class RunRecord:
     adapt_converged_epoch: int = None
     adapt_initial_cycles: float = None
     adapt_final_cycles: float = None
+    # profile provenance (repro.profdb): "cold" | "warm" | "confirmed"
+    profile_provenance: str = "cold"
     error: str = None
 
     @staticmethod
@@ -70,6 +72,8 @@ class RunRecord:
                               adaptation.initial_cycles)
             kwargs.setdefault("adapt_final_cycles",
                               adaptation.final_cycles)
+        kwargs.setdefault("profile_provenance",
+                          getattr(report, "profile_provenance", "cold"))
         return RunRecord(
             sequential_cycles=report.sequential.cycles,
             tls_cycles=report.tls.cycles,
@@ -176,6 +180,14 @@ class SuiteMetrics:
                    sum(r.restarts or 0 for r in traced),
                    "" if sum(r.restarts or 0 for r in traced) == 1
                    else "s"))
+        warm = [r for r in self.records
+                if r.profile_provenance in ("warm", "confirmed")]
+        if warm:
+            warm_hits = sum(1 for r in warm
+                            if r.profile_provenance == "warm")
+            out("profdb: %d warm start%s, %d confirmed consensus"
+                % (warm_hits, "" if warm_hits == 1 else "s",
+                   len(warm) - warm_hits))
         adapted = [r for r in self.records if r.adapt_epochs is not None]
         if adapted:
             out("adapt:  %d run%s adaptive, %d epoch%s, %d decision%s "

@@ -76,6 +76,12 @@ class RunRequest:
     #: and the report carries an AnalysisReport; the cache key diverges
     #: from unanalyzed runs because the candidate set may differ
     analysis: bool = False
+    #: persistent profile DB path (repro.profdb): when set, cold runs
+    #: record their profiles and confident consensus entries warm-start
+    #: later runs.  DB-backed requests bypass the report cache — their
+    #: result depends on mutable cross-run state.
+    profile_db: str = None
+    warm_start: str = "auto"
     #: test hook — path of a marker file; the first worker to execute
     #: this request creates the marker and dies (exercises retry logic)
     crash_marker: str = None
@@ -106,7 +112,9 @@ class RunRequest:
                    tag=tag, trace=options.trace, adapt=options.adapt,
                    adapt_epochs=options.epochs,
                    adapt_policy=options.policy,
-                   analysis=options.analysis)
+                   analysis=options.analysis,
+                   profile_db=options.profile_db,
+                   warm_start=options.warm_start)
 
     @property
     def label(self):
@@ -158,7 +166,8 @@ def execute_request(request):
     source = request.resolve_source()
     jrpm = Jrpm(config=request.config, stl_options=request.stl_options,
                 vm_options=request.vm_options, trace=request.trace,
-                analysis=request.analysis)
+                analysis=request.analysis, profdb=request.profile_db,
+                warm_start=request.warm_start)
     if request.adapt:
         report = jrpm.run_adaptive(
             compile_source(source), name=request.name,
@@ -234,7 +243,11 @@ class SuiteRunner:
         # 1. serve warm entries from the persistent cache
         misses = []
         for index, request in enumerate(requests):
-            payload = self.cache.get(self._key_of(request))
+            # profile-DB-backed requests always execute: their result
+            # depends on the DB's mutable cross-run state (and the warm
+            # path itself is the thing being exercised)
+            payload = None if request.profile_db \
+                else self.cache.get(self._key_of(request))
             if payload is not None:
                 report = JrpmReport.from_dict(payload["report"])
                 reports[index] = report
@@ -255,14 +268,15 @@ class SuiteRunner:
                 outcome = outcomes[index]
                 if outcome.ok:
                     report_dict = outcome.value["report"]
-                    self.cache.put(self._key_of(request), {
-                        "workload": request.workload,
-                        "variant": request.variant,
-                        "size": request.size,
-                        "tag": request.tag,
-                        "wall_time": outcome.value["wall_time"],
-                        "report": report_dict,
-                    })
+                    if not request.profile_db:
+                        self.cache.put(self._key_of(request), {
+                            "workload": request.workload,
+                            "variant": request.variant,
+                            "size": request.size,
+                            "tag": request.tag,
+                            "wall_time": outcome.value["wall_time"],
+                            "report": report_dict,
+                        })
                     report = JrpmReport.from_dict(report_dict)
                     reports[index] = report
                     self.metrics.record(RunRecord.from_report(

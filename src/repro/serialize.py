@@ -19,8 +19,9 @@ the bottom of the dependency graph on purpose).
 #: source of truth: the report model, the wire protocol and the report
 #: cache key all read it from here.  Bump it whenever the dict layout
 #: changes shape (history: 1 = PR-1 baseline, 2 = trace aggregates,
-#: 3 = adaptation log, 4 = static dependence analysis).
-REPORT_SCHEMA_VERSION = 4
+#: 3 = adaptation log, 4 = static dependence analysis, 5 = profile
+#: provenance from the persistent profile DB).
+REPORT_SCHEMA_VERSION = 5
 
 
 class SchemaVersionError(ValueError):

@@ -105,6 +105,18 @@ class Session:
         per-loop selection agreement)."""
         return self._job("analyze", source, kwargs)
 
+    # -- introspection -----------------------------------------------------
+    def version(self):
+        """Package/protocol/schema versions of the executing side."""
+        raise NotImplementedError
+
+    def profdb(self, op="stats", path=None, **payload):
+        """Inspect or maintain a persistent profile DB: ``op`` is
+        ``stats`` (summary counters), ``export`` (the full validated
+        payload) or ``gc`` (evict beyond the size caps, which may be
+        tightened via ``max_programs=``/``max_inputs=``)."""
+        raise NotImplementedError
+
     @staticmethod
     def _report_of(result):
         return JrpmReport.from_dict(result["report"])
@@ -165,6 +177,32 @@ class LocalSession(Session):
         return {"local": True,
                 "store": (self.store.stats_dict()
                           if self.store is not None else None)}
+
+    def version(self):
+        """Version identity of this in-process build."""
+        from .. import package_version
+        from ..profdb import PROFDB_SCHEMA_VERSION
+        from ..serialize import REPORT_SCHEMA_VERSION
+        return {"version": package_version(),
+                "protocol": protocol.PROTOCOL_VERSION,
+                "report_schema": REPORT_SCHEMA_VERSION,
+                "profdb_schema": PROFDB_SCHEMA_VERSION}
+
+    def profdb(self, op="stats", path=None, **payload):
+        """Operate on the profile DB at *path* (default location when
+        omitted) without a daemon."""
+        from ..profdb import ProfileDb
+        db = ProfileDb(path)
+        if op == "stats":
+            return {"profdb": db.stats_dict()}
+        if op == "export":
+            return {"profdb": db.export()}
+        if op == "gc":
+            evicted = db.gc(max_programs=payload.get("max_programs"),
+                            max_inputs=payload.get("max_inputs"))
+            return {"evicted": evicted, "profdb": db.stats_dict()}
+        raise ValueError("unknown profdb op %r (stats, export, gc)"
+                         % (op,))
 
 
 class JrpmClient(Session):
@@ -285,6 +323,19 @@ class JrpmClient(Session):
         """Ask the daemon to finish everything in flight and shut
         down; returns its final accounting."""
         return self.request("drain")
+
+    def version(self):
+        """The daemon's package/protocol/schema versions."""
+        return self.request("version")
+
+    def profdb(self, op="stats", path=None, **payload):
+        """Operate on the daemon's shared profile DB (or the one at
+        *path*): ``stats`` / ``export`` / ``gc``."""
+        request = {"op": op}
+        if path:
+            request["path"] = path
+        request.update(payload)
+        return self.request("profdb", request)
 
     def close(self):
         """Close the socket (the daemon keeps running)."""

@@ -25,6 +25,7 @@ from ..serialize import REPORT_SCHEMA_VERSION
 from ..runner.cache import NullCache, ReportCache
 from ..runner.suite import default_cache_dir
 from . import protocol
+from ..profdb import PROFDB_SCHEMA_VERSION, ProfileDb
 from .jobs import VERBS, JobSpec
 from .options import RunOptions
 from .scheduler import JobScheduler, ServiceError
@@ -38,7 +39,7 @@ class JrpmServer:
     def __init__(self, socket_path=None, host="127.0.0.1", port=None,
                  jobs=2, queue_limit=64, timeout=300.0, batch_max=16,
                  cache_dir=None, use_cache=True, store_entries=512,
-                 start_method=None):
+                 start_method=None, profdb_path=None):
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path/port required")
         self.socket_path = socket_path
@@ -55,6 +56,12 @@ class JrpmServer:
             timeout=timeout, batch_max=batch_max,
             start_method=start_method)
         self.stats = ServiceStats()
+        #: shared persistent profile DB: when configured, run /
+        #: run_adaptive jobs get it injected (unless the client chose
+        #: its own), so repeated requests across clients warm start.
+        #: Worker processes open it by path; the flock discipline makes
+        #: their concurrent write-backs safe.
+        self.profdb = ProfileDb(profdb_path) if profdb_path else None
         self._server = None
         self._tasks = set()
         self._connections = set()      # live connection-handler tasks
@@ -191,6 +198,24 @@ class JrpmServer:
             return protocol.make_response(
                 request_id, self.stats_snapshot(),
                 elapsed=time.perf_counter() - started)
+        if verb == "version":
+            from .. import package_version
+            return protocol.make_response(
+                request_id,
+                {"version": package_version(),
+                 "protocol": protocol.PROTOCOL_VERSION,
+                 "report_schema": REPORT_SCHEMA_VERSION,
+                 "profdb_schema": PROFDB_SCHEMA_VERSION},
+                elapsed=time.perf_counter() - started)
+        if verb == "profdb":
+            try:
+                result = self._profdb_op(payload or {})
+            except (KeyError, TypeError, ValueError) as error:
+                return protocol.make_error(request_id, "bad-request",
+                                           str(error))
+            return protocol.make_response(
+                request_id, result,
+                elapsed=time.perf_counter() - started)
         if verb == "drain":
             await self._drain()
             return protocol.make_response(
@@ -226,11 +251,37 @@ class JrpmServer:
             request_id, result, cached=job.cached,
             elapsed=time.perf_counter() - started)
 
-    @staticmethod
-    def _spec_of(verb, payload):
+    def _profdb_op(self, payload):
+        """The ``profdb`` control verb: stats / export / gc on the
+        daemon's shared profile DB (or the one named in the payload)."""
+        db = self.profdb
+        path = payload.get("path")
+        if path:
+            db = ProfileDb(path)
+        if db is None:
+            raise ValueError("no profile DB configured (start the "
+                             "daemon with --profdb, or pass 'path')")
+        op = payload.get("op", "stats")
+        if op == "stats":
+            return {"profdb": db.stats_dict()}
+        if op == "export":
+            return {"profdb": db.export()}
+        if op == "gc":
+            evicted = db.gc(max_programs=payload.get("max_programs"),
+                            max_inputs=payload.get("max_inputs"))
+            return {"evicted": evicted, "profdb": db.stats_dict()}
+        raise ValueError("unknown profdb op %r (stats, export, gc)"
+                         % (op,))
+
+    def _spec_of(self, verb, payload):
         """Build the JobSpec for one request; source may be inline or a
-        registry workload reference."""
+        registry workload reference.  The daemon's shared profile DB is
+        injected into run/run_adaptive jobs that did not bring their
+        own."""
         options = RunOptions.from_dict(payload.get("options") or {})
+        if (self.profdb is not None and not options.profile_db
+                and verb in ("run", "run_adaptive")):
+            options.profile_db = self.profdb.path
         source = payload.get("source")
         name = payload.get("name")
         if source is None:

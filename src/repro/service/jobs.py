@@ -56,6 +56,11 @@ def job_fingerprint(spec, salt=None):
     material.pop("timeout", None)
     material.pop("verify", None)
     material.pop("args", None)         # already first-class key material
+    # the profile DB is mutable cross-run state: results produced with
+    # it attached are not content-addressed (the store bypasses them),
+    # so it must not fork the keyspace either
+    material.pop("profile_db", None)
+    material.pop("warm_start", None)
     return cache_key(spec.source, options.args, options.hydra_config(),
                      options.stl_options(), options.vm_options(),
                      salt=salt,

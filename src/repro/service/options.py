@@ -52,6 +52,10 @@ class RunOptions:
     # -- static analysis (repro.analysis) ------------------------------------
     analysis: bool = False               # prune + cross-check statically
 
+    # -- persistent profile DB (repro.profdb) --------------------------------
+    profile_db: str = None               # ProfileDb path ("" / None = off)
+    warm_start: str = "auto"             # "auto" | "force" | "off"
+
     # -- run shape -----------------------------------------------------------
     args: tuple = ()                     # guest program arguments
     verify: bool = True                  # assert sequential == TLS output

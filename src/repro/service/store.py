@@ -56,7 +56,17 @@ class ArtifactStore:
     def get(self, spec, count=True):
         """Memoized result for *spec*, or ``None``.  Counts the verb's
         hit/miss unless ``count=False`` (the scheduler's in-batch
-        re-check, which would double-book the submit-time miss)."""
+        re-check, which would double-book the submit-time miss).
+
+        Jobs with a profile DB attached always miss: their result
+        depends on the DB's mutable cross-run state (a warm report must
+        never be replayed to a plain run, and the second run of a
+        workload must actually execute to exercise the warm path)."""
+        if getattr(spec.options, "profile_db", None):
+            if count:
+                with self._lock:
+                    self._count(spec.verb, hit=False)
+            return None
         key = self.key_of(spec)
         with self._lock:
             result = self._entries.get(key)
@@ -81,7 +91,10 @@ class ArtifactStore:
         return None
 
     def put(self, spec, result):
-        """Memoize a finished job's result under its fingerprint."""
+        """Memoize a finished job's result under its fingerprint.
+        Profile-DB-backed jobs are not memoized (see :meth:`get`)."""
+        if getattr(spec.options, "profile_db", None):
+            return
         key = self.key_of(spec)
         with self._lock:
             self._remember(key, result)

@@ -18,8 +18,8 @@ from dataclasses import dataclass
 from .aggregate import TraceAggregates
 from .events import (EV_ADAPT, EV_ANALYSIS, EV_BANK, EV_CACHE, EV_GC,
                      EV_HANDLER,
-                     EV_LOOP, EV_OVERFLOW, EV_RESTART, EV_STL,
-                     EV_THREAD, EV_VIOLATION, TraceEvent)
+                     EV_LOOP, EV_OVERFLOW, EV_PROFDB, EV_RESTART,
+                     EV_STL, EV_THREAD, EV_VIOLATION, TraceEvent)
 from .ring import TraceRing
 
 
@@ -174,3 +174,11 @@ class TraceCollector:
         before profiling."""
         self._emit(EV_ANALYSIS, ts, None, 0.0, loop,
                    (method, ordinal, classification, pruned))
+
+    # -- profile-DB events -----------------------------------------------------
+    def profdb(self, ts, outcome, name):
+        """A persistent profile DB interaction (repro.profdb):
+        ``outcome`` is the run's profile provenance — ``cold`` /
+        ``confirmed`` for a recorded live profile, ``warm`` for a run
+        whose TEST statistics were replayed from the DB."""
+        self._emit(EV_PROFDB, ts, None, 0.0, None, (outcome, name))

@@ -47,6 +47,12 @@ Payload layouts (``data``):
   (:mod:`repro.analysis`); ``classification`` is on the
   ``absent | may | must`` lattice and ``pruned`` is true when the loop
   was removed from the STL candidate set before profiling.
+* ``EV_PROFDB``    — ``(outcome, name)``: a persistent profile DB
+  interaction (:mod:`repro.profdb`): ``outcome`` is the run's profile
+  provenance (``cold`` = recorded a fresh profile, ``confirmed`` =
+  recorded and reproduced the stored consensus plan, ``warm`` = TEST
+  profiling skipped and replayed from the DB) and ``name`` is the
+  workload name.
 """
 
 from collections import namedtuple
@@ -66,11 +72,12 @@ EV_BANK = "bank"              # comparator-bank steal / exhaustion
 EV_GC = "gc"                  # garbage collection pause (span)
 EV_ADAPT = "adapt"            # adaptive recompilation decision (instant)
 EV_ANALYSIS = "analysis"      # static dependence verdict (instant)
+EV_PROFDB = "profdb"          # profile-DB record / warm-start (instant)
 
 #: Every kind, in documentation order.
 EVENT_KINDS = (EV_THREAD, EV_VIOLATION, EV_RESTART, EV_OVERFLOW,
                EV_HANDLER, EV_STL, EV_CACHE, EV_LOOP, EV_BANK, EV_GC,
-               EV_ADAPT, EV_ANALYSIS)
+               EV_ADAPT, EV_ANALYSIS, EV_PROFDB)
 
 #: Thread-attempt outcomes (EV_THREAD payloads).
 OUTCOME_COMMIT = "commit"

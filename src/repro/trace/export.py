@@ -19,8 +19,8 @@ kilocycles.
 import json
 
 from .events import (EV_ADAPT, EV_ANALYSIS, EV_BANK, EV_CACHE, EV_GC,
-                     EV_HANDLER, EV_LOOP, EV_OVERFLOW, EV_RESTART,
-                     EV_STL, EV_THREAD, EV_VIOLATION)
+                     EV_HANDLER, EV_LOOP, EV_OVERFLOW, EV_PROFDB,
+                     EV_RESTART, EV_STL, EV_THREAD, EV_VIOLATION)
 
 PID_PROFILE = 0
 PID_TLS = 1
@@ -138,6 +138,12 @@ def chrome_trace(collector, name="jrpm"):
                           "ordinal": ordinal,
                           "classification": classification,
                           "pruned": pruned}})
+        elif kind == EV_PROFDB:
+            outcome, name = event.data
+            add({"name": "profdb: %s %s" % (outcome, name),
+                 "cat": "profdb", "ph": "i", "ts": event.ts,
+                 "pid": PID_PROFILE, "tid": 0, "s": "g",
+                 "args": {"outcome": outcome, "workload": name}})
 
     metadata = [
         {"ph": "M", "pid": PID_PROFILE, "tid": 0, "name": "process_name",
@@ -303,4 +309,6 @@ def _timeline_line(event):
         return "%s analysis %s#%s -> %s%s" \
             % (prefix, data[0], data[1], data[2],
                " (pruned)" if data[3] else "")
+    if kind == EV_PROFDB:
+        return "%s profdb %s %s" % (prefix, data[0], data[1])
     return "%s %s %r" % (prefix, kind, data)

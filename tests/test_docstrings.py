@@ -1,9 +1,9 @@
 """Docstring coverage gate for the documented-API packages.
 
-`repro.analysis` and `repro.service` are the two packages whose docs
-pages promise a stable, navigable API — every public module, class,
-function and method in them must say what it is for.  Private names
-(leading underscore) and inherited/imported members are exempt.
+`repro.analysis`, `repro.service` and `repro.profdb` are the packages
+whose docs pages promise a stable, navigable API — every public module,
+class, function and method in them must say what it is for.  Private
+names (leading underscore) and inherited/imported members are exempt.
 """
 
 import importlib
@@ -12,7 +12,7 @@ import pkgutil
 
 import pytest
 
-PACKAGES = ("repro.analysis", "repro.service")
+PACKAGES = ("repro.analysis", "repro.service", "repro.profdb")
 
 
 def public_modules():

@@ -1,0 +1,148 @@
+"""Two-process stress tests for the shared on-disk stores.
+
+Both the report cache and the profile DB are designed to be shared by
+concurrent workers (suite processes, daemon workers, parallel bench
+scripts).  The cache relies on atomic tempfile+rename publishes and
+corrupt-entry eviction; the profile DB additionally serializes its
+read-merge-write cycle behind an ``fcntl`` file lock so that no
+recorded run is ever lost to a lost-update race.  These tests spawn
+real OS processes hammering one shared file and then check the
+invariants that matter: every write is accounted for, the final file is
+valid, and a reader racing a writer never sees a torn payload.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import Jrpm, compile_source
+from repro.profdb import ProfileDb, validate_profdb_dict
+from repro.runner.cache import ReportCache
+
+SOURCE = """
+class Main {
+    static int main() {
+        int sum = 0;
+        int i = 0;
+        while (i < 2000) {
+            sum = sum + i * 3 - (i / 2);
+            i = i + 1;
+        }
+        Sys.printInt(sum);
+        return sum;
+    }
+}
+"""
+
+RECORDS_PER_PROCESS = 12
+PROCESSES = 2
+
+
+def _record_worker(db_path, count, barrier):
+    """Run one cold pipeline, then fold the report into the shared DB
+    *count* times, racing the sibling process byte-for-byte."""
+    jrpm = Jrpm()
+    program = compile_source(SOURCE)
+    report = jrpm.run(program, name="stress")
+    db = ProfileDb(db_path)
+    barrier.wait()
+    for _ in range(count):
+        db.record(program, report, (), jrpm.config, jrpm.stl_options,
+                  jrpm.vm_options)
+
+
+def _cache_worker(root, keys, payload, rounds, barrier):
+    """Re-publish every key *rounds* times against a racing sibling."""
+    cache = ReportCache(root)
+    barrier.wait()
+    for _ in range(rounds):
+        for key in keys:
+            cache.put(key, payload)
+            got = cache.get(key)
+            # a racing reader must see a whole payload or a miss --
+            # never a torn one (atomic rename guarantees this)
+            assert got is None or got == payload
+
+
+def _spawn(target, args):
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=target, args=args)
+             for _ in range(PROCESSES)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+    for proc in procs:
+        assert proc.exitcode == 0
+    return procs
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+def test_concurrent_profdb_writers_lose_no_records(tmp_path):
+    db_path = str(tmp_path / "profdb.json")
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(PROCESSES)
+    _spawn(_record_worker, (db_path, RECORDS_PER_PROCESS, barrier))
+    db = ProfileDb(db_path)
+    payload = db.export()
+    # the file lock serializes read-merge-write: no update is lost
+    assert validate_profdb_dict(payload) == []
+    stats = db.stats_dict()
+    assert stats["programs"] == 1
+    assert stats["runs"] == PROCESSES * RECORDS_PER_PROCESS
+    # identical runs merge to a fixed point: one consensus input entry
+    assert stats["inputs"] == 1
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+def test_concurrent_cache_writers_never_tear(tmp_path):
+    root = str(tmp_path / "cache")
+    payload = {"report": {"name": "x", "cycles": [1] * 2048}}
+    keys = ["k%d" % i for i in range(8)]
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(PROCESSES)
+    _spawn(_cache_worker, (root, keys, payload, 40, barrier))
+    cache = ReportCache(root)
+    for key in keys:
+        assert cache.get(key) == payload
+    # no leaked tempfiles from the racing publishes
+    leftovers = [name for name in os.listdir(root)
+                 if name.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_truncated_cache_entry_reads_as_miss(tmp_path):
+    cache = ReportCache(str(tmp_path / "cache"))
+    cache.put("key", {"a": 1})
+    path = cache.path_for("key")
+    with open(path) as fh:
+        text = fh.read()
+    with open(path, "w") as fh:
+        fh.write(text[: len(text) // 2])
+    assert cache.get("key") is None
+    # the corrupt entry was evicted, not left to fail forever
+    assert not os.path.exists(path)
+    cache.put("key", {"a": 1})
+    assert cache.get("key") == {"a": 1}
+
+
+def test_truncated_profdb_recovers_on_next_record(tmp_path):
+    db_path = str(tmp_path / "profdb.json")
+    jrpm = Jrpm()
+    program = compile_source(SOURCE)
+    report = jrpm.run(program, name="stress")
+    db = ProfileDb(db_path)
+    db.record(program, report, (), jrpm.config, jrpm.stl_options,
+              jrpm.vm_options)
+    with open(db_path) as fh:
+        text = fh.read()
+    with open(db_path, "w") as fh:
+        fh.write(text[: len(text) // 2])
+    assert db.stats_dict()["programs"] == 0
+    db.record(program, report, (), jrpm.config, jrpm.stl_options,
+              jrpm.vm_options)
+    payload = db.export()
+    assert validate_profdb_dict(payload) == []
+    assert db.stats_dict()["runs"] == 1

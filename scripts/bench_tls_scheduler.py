@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""TLS scheduler throughput: event-driven vs stepwise vs legacy.
+
+Measures step 5 (the speculative TLS run) on the shared throughput
+kernel with profiling/selection staged out, under three executions:
+
+* ``event``    — the default event-driven scheduler (batched local
+  runs between memory/sync/commit events),
+* ``stepwise`` — the reference smallest-clock scan (the differential
+  oracle; one instruction per scheduler iteration),
+* ``legacy``   — stepwise scheduling over the pre-engine ``if/elif``
+  dispatch (``--no-fastpath``), the original baseline.
+
+All three must produce identical simulated cycle and instruction
+counts (asserted).  Rates are best-of-N wall-clock; the *same-run
+ratios* are the stable signal — absolute rates move with host load.
+Results go to ``benchmarks/results/throughput_tls.txt`` (the same file
+``benchmarks/bench_simulator_throughput.py`` refreshes under pytest).
+
+Usage: PYTHONPATH=src python scripts/bench_tls_scheduler.py [reps]
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "..", "benchmarks"))
+
+from repro.core.pipeline import Jrpm
+from repro.hydra.config import HydraConfig
+from repro.minijava import compile_source
+
+from bench_simulator_throughput import KERNEL
+from harness import write_result
+
+
+def stage(scheduler, fastpath=True):
+    """Compile/profile/select/recompile once; timing covers only the
+    speculative execution."""
+    jrpm = Jrpm(config=HydraConfig(scheduler=scheduler,
+                                   fastpath=fastpath))
+    program = compile_source(KERNEL)
+    baseline = jrpm.compile_baseline(program)
+    profile = jrpm.profile(program)
+    plans = jrpm.select(profile)
+    recompiled = jrpm.recompile(program, plans)
+    assert plans and recompiled is not None, \
+        "throughput kernel no longer selects an STL"
+    return jrpm, recompiled, plans, baseline
+
+
+def measure(scheduler, fastpath=True, reps=3):
+    jrpm, recompiled, plans, baseline = stage(scheduler, fastpath)
+    best = float("inf")
+    artifact = None
+    for __ in range(reps):
+        start = time.perf_counter()
+        artifact = jrpm.execute_tls(recompiled, plans,
+                                    fallback=baseline.measurement)
+        best = min(best, time.perf_counter() - start)
+    measurement = artifact.measurement
+    return (measurement.instructions / best, measurement.instructions,
+            measurement.cycles)
+
+
+def main(argv):
+    reps = int(argv[1]) if len(argv) > 1 else 3
+    event_rate, instructions, cycles = measure("event", reps=reps)
+    stepwise_rate, step_insns, step_cycles = measure("stepwise",
+                                                     reps=reps)
+    legacy_rate, leg_insns, leg_cycles = measure("stepwise",
+                                                 fastpath=False,
+                                                 reps=reps)
+    # observational exactness across all three executions
+    assert (instructions, cycles) == (step_insns, step_cycles) \
+        == (leg_insns, leg_cycles), "scheduler runs diverged"
+
+    write_result("throughput_tls", [
+        "TLS-mode simulator throughput (step-5 speculative run)",
+        "  %d simulated instructions / run" % instructions,
+        "  %d simulated cycles / run (identical across all three"
+        " executions)" % cycles,
+        "  event scheduler (default):  ~%.0f simulated instructions"
+        " / wall second" % event_rate,
+        "  stepwise scheduler:         ~%.0f simulated instructions"
+        " / wall second" % stepwise_rate,
+        "  legacy (--no-fastpath):     ~%.0f simulated instructions"
+        " / wall second" % legacy_rate,
+        "  event / stepwise: %.2fx    event / legacy: %.2fx"
+        % (event_rate / stepwise_rate, event_rate / legacy_rate),
+        "  (same-run ratio pairs are the stable signal; absolute"
+        " rates move with host load)",
+    ])
+    # the event scheduler must stay comfortably ahead of the scan
+    assert event_rate > 1.5 * stepwise_rate
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,7 +18,10 @@
 # 6. runs one workload under both execution engines — the predecoded
 #    fastpath (the default) and the legacy if/elif dispatch
 #    (--no-fastpath) — and diffs the serialized JSON reports: the two
-#    engines must be cycle-exact (see docs/performance.md);
+#    engines must be cycle-exact (see docs/performance.md); then does
+#    the same A/B across the two TLS schedulers — event-driven (the
+#    default) and the stepwise oracle (--scheduler stepwise) — which
+#    must be observationally identical, byte for byte;
 # 7. starts the persistent daemon (`jrpm serve`) on a unix socket,
 #    pushes a pipelined client burst through it (second identical
 #    request must be a store hit), drains it gracefully, and checks
@@ -95,6 +98,29 @@ PYEOF
 done
 diff "$CACHE_DIR/report-fastpath.json" "$CACHE_DIR/report-legacy.json" \
     && echo "engines agree: reports byte-identical"
+
+echo
+echo "== smoke: event vs stepwise TLS scheduler (cycle-exact A/B) =="
+for sched in event stepwise; do
+    python - "$sched" "$CACHE_DIR/report-$sched.json" <<'PYEOF'
+import json, sys
+from repro.core.pipeline import Jrpm
+from repro.hydra.config import HydraConfig
+from repro.minijava import compile_source
+from repro.workloads import lookup
+
+sched, out_path = sys.argv[1], sys.argv[2]
+source = lookup("BitOps").source("small")
+config = HydraConfig(scheduler=sched)
+report = Jrpm(config=config).run(compile_source(source), name="BitOps")
+payload = report.to_dict()
+payload.pop("config", None)   # differs by the scheduler field itself
+with open(out_path, "w") as fh:
+    json.dump(payload, fh, indent=1, sort_keys=True, default=str)
+PYEOF
+done
+diff "$CACHE_DIR/report-event.json" "$CACHE_DIR/report-stepwise.json" \
+    && echo "schedulers agree: reports byte-identical"
 
 echo
 echo "== smoke: serve -> client -> drain =="

@@ -64,6 +64,14 @@ def _add_hw_flags(parser):
                              "run the legacy if/elif interpreters "
                              "(cycle-identical, ~4x slower; for debugging "
                              "and A/B benchmarking — see docs/performance.md)")
+    parser.add_argument("--scheduler", default="event",
+                        choices=["event", "stepwise"],
+                        help="TLS scheduler: event = event-driven batched "
+                             "execution (default), stepwise = one "
+                             "instruction per scheduler scan "
+                             "(observationally identical, slower; the "
+                             "differential oracle — see "
+                             "docs/performance.md)")
 
 
 def _options_from(args):
@@ -74,6 +82,7 @@ def _options_from(args):
         cpus=args.cpus,
         old_handlers=getattr(args, "old_handlers", False),
         fastpath=not getattr(args, "no_fastpath", False),
+        scheduler=getattr(args, "scheduler", "event"),
         trace=bool(getattr(args, "trace", False)
                    or getattr(args, "trace_out", None)),
         adapt=bool(getattr(args, "adapt", False)),

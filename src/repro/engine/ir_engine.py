@@ -82,6 +82,20 @@ _COSTS = {
 _ANNOTATION_OPS = frozenset({IROp.SLOOP, IROp.EOI, IROp.ELOOP,
                              IROp.LWL, IROp.SWL})
 
+#: Ops the event-driven TLS scheduler may execute during *run-ahead*
+#: (see ``repro.tls.runtime``): instructions whose effects are confined
+#: to the executing CPU's architectural state (registers, frame stack,
+#: clock, instret, its own pending-output list) and are deterministic
+#: given that state.  Everything else — memory traffic, locks, TLS
+#: pseudo-ops, allocation, annotation/profiler hooks, TRAP — is a
+#: *scheduler event*: it can observe or mutate cross-CPU state, so it
+#: must execute in global smallest-clock order.  Branches and fused
+#: blocks are local; CALL/RET only touch the private frame stack;
+#: INTRIN either computes a pure function or appends to the thread's
+#: private output buffer (both replayable on truncation).
+TLS_LOCAL_IR_OPS = (BATCHABLE_IR_OPS | BRANCH_IR_OPS
+                    | frozenset({IROp.CALL, IROp.RET, IROp.INTRIN}))
+
 _INT_CMP_PY = {IROp.SEQ: "==", IROp.SNE: "!=", IROp.SLT: "<",
                IROp.SLE: "<=", IROp.SGT: ">", IROp.SGE: ">="}
 
@@ -133,6 +147,73 @@ def step_table(unit):
         except (AttributeError, TypeError):
             pass
     return table
+
+
+def tls_event_map(unit):
+    """Per-pc event map for the event-driven TLS scheduler, cached on
+    the unit: ``map[pc]`` is 0 when ``code[pc]`` is *local* (in
+    :data:`TLS_LOCAL_IR_OPS` — safe to execute during run-ahead), 1
+    when it is a *scheduler event* (the CPU must park and yield to the
+    global event loop before executing it), and 2 for ``STL_RUN``
+    specifically (an event the scheduler must never dispatch through a
+    handler: it transitions the thread to the multilevel-switch state
+    instead)."""
+    events = getattr(unit, "_tls_events", None)
+    if events is None:
+        local = TLS_LOCAL_IR_OPS
+        stl_run = IROp.STL_RUN
+        events = [0 if instr.op in local else (2 if instr.op is stl_run
+                                               else 1)
+                  for instr in unit.code]
+        try:
+            unit._tls_events = events
+        except (AttributeError, TypeError):
+            pass                        # uncacheable unit: rebuild per use
+    return events
+
+
+def tls_cost_map(unit, call_overhead_cycles):
+    """Per-pc upper bound on the cycle cost of a *single local
+    dispatch* at that pc, cached on the unit.  The event scheduler uses
+    it to run a CPU ahead without segment snapshots while every
+    dispatch provably completes below the runner-up CPU's position
+    (see ``repro.tls.runtime``).
+
+    Bounds are conservative: a batchable pc is costed to the end of its
+    maximal batchable run plus one cycle for a fused branch, even
+    though the built block may stop earlier at an interior leader.
+    Event pcs keep cost 0 — the scheduler checks the event map first
+    and never dispatches them from the run-ahead window.  The CALL
+    overhead is config-dependent; a unit only ever executes on one
+    machine, so folding the caller's value into the cache is safe."""
+    costs = getattr(unit, "_tls_costs", None)
+    if costs is None:
+        from ..vm import intrinsics
+        code = unit.code
+        n = len(code)
+        costs = [0] * n
+        run = 0
+        for pc in range(n - 1, -1, -1):
+            instr = code[pc]
+            op = instr.op
+            if op in BATCHABLE_IR_OPS:
+                run += _COSTS.get(op, 1)
+                costs[pc] = run + 1     # +1: possible fused branch
+                continue
+            run = 0
+            if op in BRANCH_IR_OPS:
+                costs[pc] = 1
+            elif op is IROp.CALL:
+                costs[pc] = call_overhead_cycles + len(instr.args or ())
+            elif op is IROp.RET:
+                costs[pc] = 2
+            elif op is IROp.INTRIN:
+                costs[pc] = intrinsics.lookup(instr.aux).cycles
+        try:
+            unit._tls_costs = costs
+        except (AttributeError, TypeError):
+            pass
+    return costs
 
 
 def build_table(code, unit_name, extra_leaders=(), stepwise=False):
@@ -246,6 +327,16 @@ def _const(value, consts):
     return "K%d" % (len(consts) - 1)
 
 
+def _wrap(expr):
+    """Inline Java 32-bit signed wrap of *expr* — the call-free form of
+    :func:`~repro.bytecode.instructions.i32`: for any int ``x``,
+    ``(x + 2**31) % 2**32 - 2**31`` equals ``i32(x)``.  Saves one
+    Python call per ALU op inside generated blocks (the hottest
+    generated code in both the sequential and event-driven TLS paths).
+    ``&`` binds looser than ``+``, so no inner parens are needed."""
+    return "(%s + 0x80000000 & 0xFFFFFFFF) - 0x80000000" % expr
+
+
 def _gen_block(code, start, leaders, consts):
     """Generate one block function's source.  Returns (name, lines)."""
     pcs, branch_pc = _block_span(code, start, leaders)
@@ -269,17 +360,19 @@ def _gen_block(code, start, leaders, consts):
         elif op == IROp.MOV:
             lines.append("    regs[%d] = regs[%d]" % (d, a))
         elif op == IROp.ADD:
-            lines.append("    regs[%d] = i32(regs[%d] + regs[%d])"
-                         % (d, a, b))
+            lines.append("    regs[%d] = %s"
+                         % (d, _wrap("regs[%d] + regs[%d]" % (a, b))))
         elif op == IROp.ADDI:
-            lines.append("    regs[%d] = i32(regs[%d] + %d)"
-                         % (d, a, instr.imm))
+            # The +0x80000000 bias of the wrap folds into the constant.
+            lines.append("    regs[%d] = (regs[%d] + %d & 0xFFFFFFFF)"
+                         " - 0x80000000"
+                         % (d, a, instr.imm + 0x80000000))
         elif op == IROp.SUB:
-            lines.append("    regs[%d] = i32(regs[%d] - regs[%d])"
-                         % (d, a, b))
+            lines.append("    regs[%d] = %s"
+                         % (d, _wrap("regs[%d] - regs[%d]" % (a, b))))
         elif op == IROp.MUL:
-            lines.append("    regs[%d] = i32(regs[%d] * regs[%d])"
-                         % (d, a, b))
+            lines.append("    regs[%d] = %s"
+                         % (d, _wrap("regs[%d] * regs[%d]" % (a, b))))
         elif op in (IROp.DIV, IROp.REM):
             t = fresh()
             fn, msg = (("idiv", "/ by zero") if op == IROp.DIV
@@ -291,29 +384,37 @@ def _gen_block(code, start, leaders, consts):
             lines.append("    regs[%d] = %s(regs[%d], %s)"
                          % (d, fn, a, t))
         elif op == IROp.NEG:
-            lines.append("    regs[%d] = i32(-regs[%d])" % (d, a))
+            lines.append("    regs[%d] = %s"
+                         % (d, _wrap("-regs[%d]" % a)))
         elif op == IROp.AND:
-            lines.append("    regs[%d] = i32(regs[%d] & regs[%d])"
+            # &, | and ^ of two in-range i32 values are closed under
+            # two's-complement sign extension — no wrap needed.
+            lines.append("    regs[%d] = regs[%d] & regs[%d]"
                          % (d, a, b))
         elif op == IROp.OR:
-            lines.append("    regs[%d] = i32(regs[%d] | regs[%d])"
+            lines.append("    regs[%d] = regs[%d] | regs[%d]"
                          % (d, a, b))
         elif op == IROp.XOR:
-            lines.append("    regs[%d] = i32(regs[%d] ^ regs[%d])"
+            lines.append("    regs[%d] = regs[%d] ^ regs[%d]"
                          % (d, a, b))
         elif op == IROp.SHL:
-            lines.append("    regs[%d] = i32(regs[%d] << (regs[%d] & 31))"
-                         % (d, a, b))
+            lines.append("    regs[%d] = %s"
+                         % (d, _wrap("(regs[%d] << (regs[%d] & 31))"
+                                     % (a, b))))
         elif op == IROp.SHR:
-            lines.append("    regs[%d] = i32(regs[%d] >> (regs[%d] & 31))"
+            # Arithmetic right shift of an in-range value stays in
+            # range — no wrap needed.
+            lines.append("    regs[%d] = regs[%d] >> (regs[%d] & 31)"
                          % (d, a, b))
         elif op == IROp.USHR:
             lines.append(
-                "    regs[%d] = i32(u32(regs[%d]) >> (regs[%d] & 31))"
-                % (d, a, b))
+                "    regs[%d] = %s"
+                % (d, _wrap("((regs[%d] & 0xFFFFFFFF) >> (regs[%d] & 31))"
+                            % (a, b))))
         elif op == IROp.SLLI:
-            lines.append("    regs[%d] = i32(regs[%d] << %d)"
-                         % (d, a, instr.imm & 31))
+            lines.append("    regs[%d] = %s"
+                         % (d, _wrap("(regs[%d] << %d)"
+                                     % (a, instr.imm & 31))))
         elif op == IROp.FADD:
             lines.append("    regs[%d] = regs[%d] + regs[%d]" % (d, a, b))
         elif op == IROp.FSUB:

@@ -92,22 +92,33 @@ class MemoryHierarchy:
 
     def load_latency(self, cpu, addr):
         line = addr >> CACHE_LINE_SHIFT
-        if self._memo == (cpu, line, "load"):
+        l1 = self.l1[cpu]
+        # Field-wise memo compare (no tuple allocation on the hot path).
+        memo = self._memo
+        if memo is not None and memo[1] == line and memo[0] == cpu \
+                and memo[2] == "load":
             # Repeat same-line load by the same CPU: guaranteed L1 hit.
-            l1 = self.l1[cpu]
             l1.tick += 1
             l1.hits += 1
             return self.config.l1_hit_cycles
         if self._memo_enabled:
             self._memo = (cpu, line, "load")
         config = self.config
-        if self.l1[cpu].lookup(line):
+        # L1 probe, inlined from SetAssociativeCache.lookup — loads
+        # dominate the hierarchy traffic and mostly hit here.
+        tick = l1.tick + 1
+        l1.tick = tick
+        cache_set = l1.sets[line % l1.num_sets]
+        if line in cache_set:
+            cache_set[line] = tick
+            l1.hits += 1
             return config.l1_hit_cycles
+        l1.misses += 1
         if self.l2.lookup(line):
-            self.l1[cpu].fill(line)
+            l1.fill(line)
             return config.l2_hit_cycles
         self.l2.fill(line)
-        self.l1[cpu].fill(line)
+        l1.fill(line)
         return config.memory_cycles
 
     def store_latency(self, cpu, addr):

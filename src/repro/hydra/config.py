@@ -67,6 +67,18 @@ class HydraConfig:
     #: ``--no-fastpath`` — for debugging or A/B benchmarking.
     fastpath: bool = True
 
+    #: TLS scheduling discipline (repro.tls.runtime): ``"event"`` (the
+    #: default) parks each speculative CPU at its next memory/sync/
+    #: commit event and executes the straight-line run in between as
+    #: batched superinstruction blocks, interleaving CPUs only at event
+    #: boundaries; ``"stepwise"`` is the original smallest-clock
+    #: per-instruction loop, kept as the differential oracle (CLI
+    #: ``--scheduler``).  Both are observationally cycle-exact
+    #: (tests/test_scheduler_differential.py); the event scheduler
+    #: requires ``fastpath`` and silently degrades to stepwise without
+    #: it, so ``--no-fastpath`` remains the unmodified reference path.
+    scheduler: str = "event"
+
     # -- memory hierarchy (paper Fig. 2) ---------------------------------------
     l1_size_bytes: int = 16 * 1024
     l1_assoc: int = 4

@@ -1,10 +1,14 @@
 """The Hydra machine: simulated CPUs executing microJIT IR.
 
-Execution is instruction-by-instruction with per-CPU clocks.  Sequential
-runs drive one :class:`CpuContext` to completion; the TLS runtime drives
-four of them with an event loop that always steps the CPU with the
-smallest local clock, which totally orders memory events and makes
-violation detection exact on the simulated clock.
+Execution advances per-CPU clocks.  Sequential runs drive one
+:class:`CpuContext` to completion through batched superinstruction
+blocks; the TLS runtime drives four of them under a scheduler that
+totally orders memory/sync/commit events on the simulated clock, which
+makes violation detection exact.  The reference (stepwise) scheduler
+realizes that order by always stepping the smallest-clock CPU one
+instruction at a time; the default event-driven scheduler batches the
+straight-line work between events and charges the identical cycles at
+event boundaries (``HydraConfig.scheduler``, docs/performance.md).
 """
 
 import math

@@ -20,7 +20,8 @@ class CompiledMethod:
     """Executable form of one method."""
 
     __slots__ = ("name", "code", "nregs", "ir", "owner", "simple_name",
-                 "stls", "_dispatch", "_dispatch_step")
+                 "stls", "_dispatch", "_dispatch_step", "_tls_events",
+                 "_tls_costs")
 
     def __init__(self, ir_method, owner, simple_name):
         self.ir = ir_method
@@ -35,6 +36,13 @@ class CompiledMethod:
         #: time" predecoding — rebuilt never, shared by every Frame)
         self._dispatch = None
         self._dispatch_step = None
+        #: per-pc scheduler-event bitmap for the event-driven TLS
+        #: scheduler (repro.engine.ir_engine.tls_event_map), same lazy
+        #: caching discipline as the dispatch tables
+        self._tls_events = None
+        #: per-pc worst-case single-dispatch cycle cost (see
+        #: tls_cost_map)
+        self._tls_costs = None
 
     def __repr__(self):
         return "<CompiledMethod %s (%d instrs)>" % (self.name, len(self.code))

@@ -31,11 +31,12 @@ from ..serialize import REPORT_SCHEMA_VERSION
 
 #: bump to invalidate every existing cache entry on *key-layout*
 #: changes (2: execution-engine identity — fastpath vs legacy dispatch
-#: — became explicit key material, see :func:`cache_key`).  The
-#: *report-payload* layout is keyed separately via
+#: — became explicit key material; 3: the TLS scheduler — event-driven
+#: vs stepwise — joined it for the same reason, see :func:`cache_key`).
+#: The *report-payload* layout is keyed separately via
 #: :data:`repro.serialize.REPORT_SCHEMA_VERSION`, so a report-schema
 #: bump invalidates entries without touching this constant.
-CACHE_FORMAT = 2
+CACHE_FORMAT = 3
 
 _CODE_FINGERPRINT = None
 
@@ -88,7 +89,12 @@ def cache_key(source, args, config, stl_options, vm_options, salt=None,
     (``--no-fastpath``, ``scripts/smoke.sh``) rely on both runs really
     happening.  ``fastpath`` is also part of ``config.to_dict()``, but
     the explicit key survives config serializations that drop unknown
-    fields.
+    fields.  The TLS **scheduler** (event-driven vs stepwise,
+    ``HydraConfig.scheduler``) participates for the same reason: the
+    schedulers are observationally identical by construction, and the
+    differential checks (``--scheduler stepwise``,
+    ``scripts/smoke.sh``) must never be short-circuited by a cached
+    report from the other one.
     """
     key_material = {
         "format": CACHE_FORMAT,
@@ -98,6 +104,7 @@ def cache_key(source, args, config, stl_options, vm_options, salt=None,
         "options": options_fingerprint(config, stl_options, vm_options),
         "engine": ("fastpath" if getattr(config, "fastpath", True)
                    else "legacy"),
+        "scheduler": getattr(config, "scheduler", "event"),
         "code": salt if salt is not None else code_fingerprint()}
     if extra:
         key_material["extra"] = extra

@@ -38,6 +38,7 @@ class RunOptions:
     cpus: int = 4
     old_handlers: bool = False           # paper Table 1 "Old" overheads
     fastpath: bool = True                # predecoded dispatch engine
+    scheduler: str = "event"             # TLS scheduler: event | stepwise
 
     # -- VM-level modifications (paper §5) -----------------------------------
     parallel_allocator: bool = True
@@ -67,7 +68,8 @@ class RunOptions:
     # -- projections to the per-subsystem option objects ---------------------
     def hydra_config(self):
         """The simulated-hardware configuration these options imply."""
-        config = HydraConfig(num_cpus=self.cpus, fastpath=self.fastpath)
+        config = HydraConfig(num_cpus=self.cpus, fastpath=self.fastpath,
+                             scheduler=self.scheduler)
         if self.old_handlers:
             config.overheads = SpeculationOverheads.old_handlers()
         return config

@@ -17,6 +17,10 @@ Models Hydra's TLS data path (paper §2):
 
 from ..hydra.config import CACHE_LINE_SHIFT
 
+#: store-buffer miss sentinel — lets the hot load path answer "does my
+#: buffer hold this word, and what value" with a single dict probe
+_MISSING = object()
+
 
 class SpecThreadState:
     """Speculative state of one thread attempt on one CPU."""
@@ -107,39 +111,70 @@ class SpecMemoryInterface:
         my = self.ctx.spec
         if addr in my.store_buffer:
             return my.store_buffer[addr], my.iteration, "own"
-        for thread in self.runtime.less_speculative(my):
-            if addr in thread.store_buffer:
-                return (thread.store_buffer[addr], thread.iteration,
-                        "forward")
+        # Nearest less-speculative forwarder == the highest iteration
+        # below ours holding the word: one pass over the (few) threads
+        # instead of sorting them per load (this is the hottest TLS
+        # memory path).
+        my_iteration = my.iteration
+        source = None
+        source_iteration = -1
+        for thread in self.runtime.threads:
+            iteration = thread.iteration
+            if iteration < my_iteration and iteration > source_iteration \
+                    and addr in thread.store_buffer:
+                source = thread
+                source_iteration = iteration
+        if source is not None:
+            return source.store_buffer[addr], source_iteration, "forward"
         if addr <= 0 or addr & 3:
             return 0, -1, "memory"
         return self.machine.memory.words.get(addr, 0), -1, "memory"
 
     def load(self, addr):
-        my = self.ctx.spec
-        value, version, source = self._find_version(addr)
-        if source == "own":
-            latency = 1
-        elif source == "forward":
-            latency = self.config.interprocessor_cycles
-        elif addr <= 0:
+        # The version search (== _find_version) is inlined here: this
+        # is the hottest TLS memory path, executed once per speculative
+        # load under both schedulers.
+        ctx = self.ctx
+        my = ctx.spec
+        value = my.store_buffer.get(addr, _MISSING)
+        own = value is not _MISSING
+        if own:
             latency = 1
         else:
-            latency = self.machine.hierarchy.load_latency(
-                self.ctx.cpu_id, addr)
+            my_iteration = my.iteration
+            source = None
+            source_iteration = -1
+            for thread in self.runtime.threads:
+                iteration = thread.iteration
+                if iteration < my_iteration \
+                        and iteration > source_iteration \
+                        and addr in thread.store_buffer:
+                    source = thread
+                    source_iteration = iteration
+            if source is not None:
+                value = source.store_buffer[addr]
+                latency = self.config.interprocessor_cycles
+            elif addr <= 0 or addr & 3:
+                value = 0
+                latency = 1 if addr <= 0 else \
+                    self.machine.hierarchy.load_latency(ctx.cpu_id, addr)
+            else:
+                value = self.machine.memory.words.get(addr, 0)
+                latency = self.machine.hierarchy.load_latency(
+                    ctx.cpu_id, addr)
         # Set the speculative-read tag.  Hydra's L1 tag bits cannot tell
         # *which* version a read consumed, so any later store by a
         # less-speculative thread to a tagged address violates — except
         # when the thread wrote the word itself before reading (the
         # store buffer renames it; True means "vulnerable").
         if addr not in my.read_versions:
-            my.read_versions[addr] = source != "own"
+            my.read_versions[addr] = not own
             if self.trace is not None:
                 # Remember *which load* consumed the value so a later
                 # violation can report the arc's sink PC (paper Fig. 10
                 # wants arcs, not just counts).  Tracing-only: costs one
                 # dict store per first-read of an address.
-                my.read_sites[addr] = self.ctx.current_site
+                my.read_sites[addr] = ctx.current_site
             line = addr >> CACHE_LINE_SHIFT
             my.read_lines.add(line)
             if (len(my.read_lines) > self.config.load_buffer_lines

@@ -7,11 +7,36 @@ happen in order, RAW violations restart the violated thread and every
 more-speculative thread, and the exiting thread — once it is the head —
 runs STL_SHUTDOWN and hands control back to the master.
 
-The event loop always advances the runnable CPU with the smallest local
-clock, so memory events are totally ordered on the simulated clock and
-violation detection is exact.
+Two observationally-identical schedulers drive the speculative CPUs:
+
+* **stepwise** — the original loop: always advance the runnable CPU
+  with the smallest local clock by *one instruction*, so memory events
+  are totally ordered on the simulated clock and violation detection
+  is exact.  Kept as the differential oracle (``--scheduler
+  stepwise``).
+* **event-driven** (the default, requires ``fastpath``) — each CPU
+  *runs ahead* through its straight-line local work (ALU blocks,
+  branches, calls — the fused superinstructions
+  :mod:`repro.engine.ir_engine` builds) and *parks* at its next
+  scheduler event: any memory/sync/TLS op that can observe or mutate
+  cross-CPU state.  The scheduler then executes parked events in the
+  same lexicographic ``(clock, cpu-index)`` order the stepwise loop
+  would, so every cross-CPU observable — violation arcs, commits,
+  forwarding, lock acquires, cache counters, trace events — is
+  bit-identical.  Run-ahead is speculative *simulator* state only:
+  when an earlier event restarts/squashes/reads a CPU that ran ahead,
+  the scheduler rewinds it to its segment snapshot and replays
+  per-instruction up to the cut, reproducing the exact stepwise
+  architectural state (registers, clock, instret, pending output).
+  Local ops never touch memory, caches, buffers or the profiler, so
+  phantom run-ahead work leaks nothing observable.
+
+The equivalence is enforced end-to-end by
+``tests/test_scheduler_differential.py`` (byte-identical reports and
+trace streams across the workload registry).
 """
 
+from ..engine.ir_engine import step_table, tls_cost_map, tls_event_map
 from ..errors import GuestException, VMError
 from ..jit.ir import IROp
 from ..jit.patterns import merge_reduction
@@ -33,7 +58,8 @@ class _ThreadCodeUnit:
     """Adapts an StlDescriptor to the Frame interface (code/nregs/name)."""
 
     __slots__ = ("code", "nregs", "name", "stls", "_dispatch",
-                 "_dispatch_step", "warm_entries")
+                 "_dispatch_step", "_tls_events", "_tls_costs",
+                 "warm_entries")
 
     def __init__(self, descriptor):
         self.code = descriptor.thread_code
@@ -41,10 +67,13 @@ class _ThreadCodeUnit:
         self.name = "%s$stl%d" % (descriptor.method_name, descriptor.stl_id)
         self.stls = {}
         #: predecoded handler table caches (repro.engine.ir_engine):
-        #: block-fused for sequential dispatch, stepwise for the TLS
-        #: event loop's per-instruction smallest-clock scheduling
+        #: block-fused for run-ahead / sequential dispatch, stepwise
+        #: for the per-instruction oracle scheduler and truncation
+        #: replay, plus the scheduler-event bitmap
         self._dispatch = None
         self._dispatch_step = None
+        self._tls_events = None
+        self._tls_costs = None
         #: every commit re-enters the thread code at warm_entry, so the
         #: predecoder must treat it as a block leader of its own
         self.warm_entries = (descriptor.warm_entry,)
@@ -95,8 +124,31 @@ class _StlExecution:
         self.fp_addr = None
         self.entry_reductions = {}
         self.unit = _ThreadCodeUnit(descriptor)
+        #: runaway guard: *simulated instructions* executed inside this
+        #: STL entry (not scheduler iterations), so the budget fires at
+        #: the same point under stepwise, event-driven and legacy
+        #: dispatch — commits, polls and restarts don't consume it,
+        #: instructions (including raising ones) do.
         self.steps = 0
         self.max_steps = 200_000_000
+        # -- event-driven scheduler state (None => stepwise mode) ------
+        #: per-CPU segment snapshot for run-ahead truncation:
+        #: (time, instret, compute_cycles, acc_compute, pending-output
+        #: length, [(frame, pc, regs-copy), ...])
+        self._seg = None
+        self._park_kind = None       # "op" | "exc" | "poll" | "run"
+        self._park_time = None
+        self._park_payload = None
+        self._counted = None         # instret watermark per CPU
+        #: position (time, cpu-index) of the event being executed — the
+        #: truncation cut: stepwise would have executed exactly the
+        #: instructions lexicographically before it
+        self._cut_t = 0.0
+        self._cut_i = -1
+        #: bumped whenever an event mutates another CPU's schedule
+        #: (restart/squash) — invalidates the event loop's cached
+        #: second-best park position, ending the current event chain
+        self._gen = 0
         #: master clock at STL entry — _shutdown charges the elapsed
         #: wall cycles to StlRunStats.wall_cycles (realized-speedup
         #: denominator for the adapt controller)
@@ -152,6 +204,13 @@ class _StlExecution:
                                      cause=cause)
 
     def _restart_thread(self, cpu, now, primary, cause):
+        if self._seg is not None:
+            # Event mode: the victim may have run ahead of the cut —
+            # rewind to the exact stepwise state before reading its
+            # clock/accounting below.
+            self._truncate(cpu)
+            self._park_kind[cpu] = None
+            self._gen += 1
         thread = self.threads[cpu]
         ctx = self.ctxs[cpu]
         # Account the discarded attempt.
@@ -191,6 +250,18 @@ class _StlExecution:
 
     # ------------------------------------------------------------------
     def run(self):
+        """Simulate this STL entry with the configured scheduler.
+
+        The event-driven scheduler needs the predecoded engine's block
+        functions and per-instruction step tables, so ``--no-fastpath``
+        always runs stepwise (keeping the legacy engine an unmodified
+        reference path, like the hierarchy memo)."""
+        if (getattr(self.config, "scheduler", "event") == "event"
+                and getattr(self.config, "fastpath", True)):
+            return self._run_event()
+        return self._run_stepwise()
+
+    def _run_stepwise(self):
         self._startup()
         config = self.config
         threads = self.threads
@@ -240,6 +311,7 @@ class _StlExecution:
                 signal = ctx.step()
             except GuestException as exc:
                 spec.acc_compute += ctx.time - before
+                self.steps += 1          # the raising instruction counts
                 spec.state = _EXCEPTION
                 spec.pending_exception = exc
                 spec.block_time = ctx.time
@@ -248,6 +320,7 @@ class _StlExecution:
                 # Wild speculative execution; real only if it reaches
                 # the head.
                 spec.acc_compute += ctx.time - before
+                self.steps += 1
                 spec.state = _EXCEPTION
                 spec.pending_exception = exc
                 spec.block_time = ctx.time
@@ -298,6 +371,575 @@ class _StlExecution:
                 self._begin_lock_wait(ctx)
             elif signal == "done":
                 raise VMError("thread code returned unexpectedly")
+
+    # ------------------------------------------------------------------
+    # event-driven scheduler
+    # ------------------------------------------------------------------
+    #: run-ahead chunk: dispatches before yielding back to the
+    #: scheduler, so a wild (doomed-to-restart) thread spinning in a
+    #: pure-ALU loop cannot starve the event loop or the step budget
+    _CHUNK = 4096
+
+    def _run_event(self):
+        """Event-driven main loop: park every runnable CPU at its next
+        scheduler event, then execute parked events in stepwise
+        ``(clock, cpu-index)`` order.  Head-of-queue services (commit,
+        resume, shutdown, switch) run after each event, exactly where
+        the stepwise loop re-checks them.  The event execution body is
+        inlined here (it is the per-event hot path) and mirrors the
+        stepwise loop body statement for statement."""
+        self._startup()
+        n = self.n
+        self._seg = seg = [None] * n
+        self._park_kind = park_kind = [None] * n
+        self._park_time = park_time = [0.0] * n
+        self._park_payload = [None] * n
+        self._counted = counted = [0] * n
+        threads = self.threads
+        ctxs = self.ctxs
+        config = self.config
+        call_pad = config.call_overhead_cycles
+        while True:
+            head = threads[self.head_iteration % n]
+            hstate = head.state
+            if hstate is not _RUN:       # state strings are interned
+                if hstate is _WAIT_HEAD:
+                    self._commit(head)
+                    continue
+                if hstate is _STALLED:
+                    self._resume_blocked(head)
+                    continue
+                if hstate is _EXITED:
+                    return self._shutdown(head)
+                if hstate is _EXCEPTION:
+                    self._shutdown_exception(head)
+                if hstate is _SWITCH:
+                    self._do_switch(head)
+                    continue
+                # _WAIT_LOCK head falls through to the event scan.
+
+            # Park every running CPU, then pick the earliest position —
+            # tracking the runner-up too, so a chain of events on the
+            # same CPU can keep executing without rescanning while it
+            # stays ahead of every other CPU.
+            best = -1
+            best_t = 0.0
+            second = -1
+            second_t = 0.0
+            for cpu in range(n):
+                tstate = threads[cpu].state
+                if tstate is _RUN:
+                    if park_kind[cpu] is None:
+                        self._advance(cpu)
+                elif tstate is not _WAIT_LOCK:
+                    continue
+                t = park_time[cpu]
+                if best < 0 or t < best_t:
+                    second = best
+                    second_t = best_t
+                    best = cpu
+                    best_t = t
+                elif second < 0 or t < second_t:
+                    second = cpu
+                    second_t = t
+            if best < 0:
+                raise VMError("TLS deadlock in STL %d" % self.desc.stl_id)
+
+            kind = park_kind[best]
+            if kind == "op":
+                ctx = ctxs[best]
+                spec = ctx.spec
+                gen = self._gen
+                # Event chain: execute this CPU's parked event, and as
+                # long as the event completes without a state change, a
+                # signal or a cross-CPU restart (which would invalidate
+                # the cached runner-up position or require a head
+                # service), run ahead and execute its next event too
+                # while that event still precedes the runner-up park.
+                # The handler/event/cost tables are hoisted across the
+                # whole chain: event handlers never touch the frame
+                # stack (CALL/RET are *local* ops), so the tables only
+                # change in the run-ahead loop's frame-switch arm.
+                frames = ctx.frames
+                frame = frames[-1]
+                unit = frame.compiled
+                events = unit._tls_events
+                if events is None:
+                    events = tls_event_map(unit)
+                costs = unit._tls_costs
+                if costs is None:
+                    costs = tls_cost_map(unit, call_pad)
+                handlers = frame.handlers
+                # Consume the scan-selected park.  (Chained events are
+                # never parked, so the clears live here and on the
+                # park-consuming continue paths, not in the loop body.)
+                park_kind[best] = None
+                seg[best] = None         # the segment becomes history
+                while True:
+                    # -- one parked instruction-event (stepwise body) --
+                    # ("op" parks are never STL_RUN: the event map
+                    # classifies those separately and they park as
+                    # "stl" — see the dispatcher below.)
+                    self._cut_t = best_t
+                    self._cut_i = best
+                    pc = frame.pc
+                    before = ctx.time
+                    try:
+                        signal = handlers[pc](ctx, frame)
+                    except (GuestException, VMError) as exc:
+                        # Wild speculative execution; real only if it
+                        # reaches the head.
+                        spec.acc_compute += ctx.time - before
+                        self._account(best)
+                        spec.state = _EXCEPTION
+                        spec.pending_exception = exc
+                        spec.block_time = ctx.time
+                        break
+                    spec.acc_compute += ctx.time - before
+
+                    if spec.overflowed and not self.is_head(spec) \
+                            and spec.state is _RUN:
+                        spec.state = _STALLED
+                        spec.block_time = ctx.time
+                        self.breakdown.overflow_stalls += 1
+                        self.runtime.stats_for(
+                            self.desc.stl_id).overflow_stalls += 1
+                        if self.trace is not None:
+                            load_lines = len(spec.read_lines)
+                            if load_lines > config.load_buffer_lines:
+                                buffer, lines = "load", load_lines
+                            else:
+                                buffer, lines = ("store",
+                                                 len(spec.store_lines))
+                            self.trace.overflow(
+                                ctx.time, spec.cpu_id, self.desc.stl_id,
+                                spec.iteration, buffer, lines)
+                        break
+
+                    if signal is not None:
+                        if signal == "eoi":
+                            overhead = config.overheads.eoi
+                            ctx.time += overhead
+                            spec.acc_overhead += overhead
+                            spec.acc_compute -= 1  # STL_EOI_END's cycle
+                            spec.acc_overhead += 1
+                            if self.trace is not None:
+                                self.trace.handler(
+                                    ctx.time - overhead - 1, spec.cpu_id,
+                                    self.desc.stl_id, "eoi",
+                                    overhead + 1)
+                            spec.state = _WAIT_HEAD
+                            spec.block_time = ctx.time
+                        elif signal == "exit":
+                            exit_instr = frame.code[frame.pc - 1]
+                            spec.exit_id = exit_instr.aux
+                            spec.state = _EXITED
+                            spec.block_time = ctx.time
+                        elif signal == "wait":
+                            self._begin_lock_wait(ctx)
+                            if spec.state is _WAIT_LOCK:
+                                park_kind[best] = "poll"
+                                park_time[best] = ctx.time
+                        elif signal == "done":
+                            raise VMError(
+                                "thread code returned unexpectedly")
+                        break
+
+                    # Clean completion, thread still running: chain.
+                    if self._gen != gen:
+                        break            # a restart moved other CPUs
+                    top = frames[-1]
+                    if top is not frame:
+                        # CALLV is an event *and* pushes a frame:
+                        # refresh the hoisted tables.
+                        frame = top
+                        unit = frame.compiled
+                        events = unit._tls_events
+                        if events is None:
+                            events = tls_event_map(unit)
+                        costs = unit._tls_costs
+                        if costs is None:
+                            costs = tls_cost_map(unit, call_pad)
+                        handlers = frame.handlers
+                    if second < 0:
+                        # No runner-up: fall back to the generic
+                        # advance (chunked against runaway threads).
+                        self._advance(best)
+                        if park_kind[best] != "op":
+                            break
+                        best_t = park_time[best]
+                        park_kind[best] = None
+                        seg[best] = None
+                        # _advance may have moved the frame stack:
+                        # refresh the hoisted tables.
+                        frame = frames[-1]
+                        unit = frame.compiled
+                        events = unit._tls_events
+                        costs = unit._tls_costs
+                        if costs is None:
+                            costs = tls_cost_map(unit, call_pad)
+                        handlers = frame.handlers
+                        continue         # sole active CPU: always next
+
+                    # Merged run-ahead.  While every dispatch provably
+                    # completes below the runner-up park position, each
+                    # instruction this CPU executes — local *or* event
+                    # — is immediately the global minimum: no future
+                    # cut can order before it, so it runs with no
+                    # segment snapshot, no park and no rescan.  The
+                    # first dispatch that *might* cross the runner-up
+                    # takes the snapshot, and the loop continues under
+                    # rewind protection exactly like _advance.
+                    acc0 = spec.acc_compute
+                    t0 = ctx.time
+                    exit_kind = 0        # 0 = parked, 1 = event, 2 = exc
+                    cur_seg = None
+                    budget = 0
+                    while True:
+                        pc = frame.pc
+                        ev = events[pc]
+                        if ev:
+                            t = ctx.time
+                            if cur_seg is None and \
+                                    (t < second_t
+                                     or (t == second_t and best < second)):
+                                if ev == 1:
+                                    exit_kind = 1
+                                    break
+                                # STL_RUN ahead of every other CPU:
+                                # transition to the multilevel switch
+                                # immediately.
+                                self._cut_t = t
+                                self._cut_i = best
+                                spec.state = _SWITCH
+                                spec.block_time = t
+                                break
+                            park_kind[best] = "op" if ev == 1 else "stl"
+                            park_time[best] = t
+                            break
+                        if cur_seg is None:
+                            if ctx.time + costs[pc] > second_t:
+                                # This dispatch may cross the runner-up:
+                                # snapshot, then continue protected.
+                                if len(frames) == 1:
+                                    cur_seg = (
+                                        ctx.time, ctx.instret,
+                                        ctx.compute_cycles, acc0
+                                        + (ctx.time - t0),
+                                        len(spec.pending_output),
+                                        frame, pc, frame.regs[:])
+                                else:
+                                    cur_seg = (
+                                        ctx.time, ctx.instret,
+                                        ctx.compute_cycles, acc0
+                                        + (ctx.time - t0),
+                                        len(spec.pending_output),
+                                        [(f, f.pc, f.regs[:])
+                                         for f in frames])
+                                seg[best] = cur_seg
+                                budget = self._CHUNK
+                        else:
+                            budget -= 1
+                            if budget == 0:
+                                park_kind[best] = "run"
+                                park_time[best] = ctx.time
+                                break
+                        try:
+                            signal = handlers[pc](ctx, frame)
+                        except (GuestException, VMError) as exc:
+                            if cur_seg is None:
+                                # Raise-flush left ctx.time at the
+                                # raising instruction's pre-step clock
+                                # — provably ahead of every other CPU,
+                                # so transition immediately.
+                                pending = exc
+                                exit_kind = 2
+                            else:
+                                self._park_payload[best] = exc
+                                park_kind[best] = "exc"
+                                park_time[best] = ctx.time
+                            break
+                        if signal is not None:
+                            # RET drained the frame stack.
+                            if cur_seg is None:
+                                # Nothing can precede it: raise at
+                                # once, exactly like stepwise.
+                                raise VMError(
+                                    "thread code returned unexpectedly")
+                            # Under the snapshot an earlier event may
+                            # legitimately restart this thread first:
+                            # undo the step and park *before* it.
+                            frame.pc = pc
+                            frames.append(frame)
+                            ctx.status = "running"
+                            ctx.return_value = None
+                            ctx.time -= 1
+                            ctx.instret -= 1
+                            ctx.compute_cycles -= 1
+                            park_kind[best] = "op"
+                            park_time[best] = ctx.time
+                            break
+                        top = frames[-1]
+                        if top is not frame:     # CALL/RET moved frames
+                            frame = top
+                            unit = frame.compiled
+                            events = unit._tls_events
+                            if events is None:
+                                events = tls_event_map(unit)
+                            costs = unit._tls_costs
+                            if costs is None:
+                                costs = tls_cost_map(unit, call_pad)
+                            handlers = frame.handlers
+                    spec.acc_compute = acc0 + (ctx.time - t0)
+                    instret = ctx.instret
+                    delta = instret - counted[best]
+                    if delta:
+                        counted[best] = instret
+                        self.steps += delta
+                        if delta > 0 and self.steps > self.max_steps:
+                            raise VMError("STL %d exceeded step budget"
+                                          % self.desc.stl_id)
+                    if exit_kind == 1:
+                        best_t = ctx.time
+                        continue         # chain: this event is next too
+                    if exit_kind == 2:
+                        self._cut_t = ctx.time
+                        self._cut_i = best
+                        spec.state = _EXCEPTION
+                        spec.pending_exception = pending
+                        spec.block_time = ctx.time
+                        break
+                    if park_kind[best] != "op":
+                        break            # transitioned or parked non-op
+                    t = park_time[best]
+                    if t < second_t or (t == second_t and best < second):
+                        best_t = t
+                        park_kind[best] = None
+                        seg[best] = None
+                        continue         # still globally minimal
+                    break                # overtaken: full rescan
+            elif kind == "run":          # chunk-yield: resume run-ahead
+                self._advance(best)
+            elif kind == "poll":
+                self._poll_event(best)
+            elif kind == "stl":
+                # Nested STL_RUN while speculating: multilevel switch.
+                self._cut_t = best_t
+                self._cut_i = best
+                spec = threads[best]
+                spec.state = _SWITCH
+                spec.block_time = ctxs[best].time
+                park_kind[best] = None
+                seg[best] = None
+            else:                        # "exc": parked guest/VM error
+                self._cut_t = best_t
+                self._cut_i = best
+                spec = threads[best]
+                spec.state = _EXCEPTION
+                spec.pending_exception = self._park_payload[best]
+                spec.block_time = ctxs[best].time
+                self._park_payload[best] = None
+                park_kind[best] = None
+                seg[best] = None
+
+    def _clear(self, cpu):
+        """The CPU's parked event executed (or its thread left the RUN
+        state at it): the segment becomes immutable history — every
+        later cut orders after this position — so drop it."""
+        self._park_kind[cpu] = None
+        self._seg[cpu] = None
+
+    def _account(self, cpu):
+        """Fold the CPU's new instructions into the step budget (the
+        watermark makes this idempotent and truncation-aware)."""
+        ctx = self.ctxs[cpu]
+        delta = ctx.instret - self._counted[cpu]
+        if delta:
+            self._counted[cpu] = ctx.instret
+            self.steps += delta
+            if delta > 0 and self.steps > self.max_steps:
+                raise VMError("STL %d exceeded step budget"
+                              % self.desc.stl_id)
+
+    def _advance(self, cpu):
+        """Run *cpu* ahead through local instructions (block dispatch)
+        until it parks at its next scheduler event, raises, or exhausts
+        the run-ahead chunk.  The handler and event tables are hoisted
+        per frame (they only change on CALL/RET)."""
+        ctx = self.ctxs[cpu]
+        spec = ctx.spec
+        frames = ctx.frames
+        seg = self._seg[cpu]
+        if seg is None:                  # fresh segment (not a resume)
+            if len(frames) == 1:
+                frame = frames[0]
+                seg = (ctx.time, ctx.instret, ctx.compute_cycles,
+                       spec.acc_compute, len(spec.pending_output),
+                       frame, frame.pc, frame.regs[:])
+            else:
+                seg = (ctx.time, ctx.instret, ctx.compute_cycles,
+                       spec.acc_compute, len(spec.pending_output),
+                       [(f, f.pc, f.regs[:]) for f in frames])
+            self._seg[cpu] = seg
+        frame = frames[-1]
+        events = frame.compiled._tls_events
+        if events is None:
+            events = tls_event_map(frame.compiled)
+        handlers = frame.handlers
+        budget = self._CHUNK
+        while True:
+            pc = frame.pc
+            ev = events[pc]
+            if ev:
+                kind = "op" if ev == 1 else "stl"
+                break
+            try:
+                signal = handlers[pc](ctx, frame)
+            except (GuestException, VMError) as exc:
+                # Raise-flush left ctx.time at the raising
+                # instruction's pre-step clock — exactly its stepwise
+                # scheduling position.
+                self._park_payload[cpu] = exc
+                kind = "exc"
+                break
+            if signal is not None:
+                # RET drained the frame stack ("thread code returned").
+                # Undo the step and park *before* it so the event loop
+                # raises at the exact stepwise position — an earlier
+                # event may legitimately restart this thread first.
+                frame.pc = pc
+                frames.append(frame)
+                ctx.status = "running"
+                ctx.return_value = None
+                ctx.time -= 1
+                ctx.instret -= 1
+                ctx.compute_cycles -= 1
+                kind = "op"
+                break
+            top = frames[-1]
+            if top is not frame:         # CALL/RET changed frames
+                frame = top
+                events = frame.compiled._tls_events
+                if events is None:
+                    events = tls_event_map(frame.compiled)
+                handlers = frame.handlers
+            budget -= 1
+            if budget == 0:
+                kind = "run"
+                break
+        self._park_kind[cpu] = kind
+        self._park_time[cpu] = ctx.time
+        if kind != "run":
+            # Settle the local run's compute cycles (assignment from
+            # the snapshot: idempotent under later truncation).
+            spec.acc_compute = seg[3] + (ctx.time - seg[0])
+        # _account, inlined (this is the per-event hot path)
+        instret = ctx.instret
+        delta = instret - self._counted[cpu]
+        if delta:
+            self._counted[cpu] = instret
+            self.steps += delta
+            if delta > 0 and self.steps > self.max_steps:
+                raise VMError("STL %d exceeded step budget"
+                              % self.desc.stl_id)
+
+    def _poll_event(self, cpu):
+        """One lock poll at its stepwise position, plus wake-at-release
+        fast-forward: the lock word can only change at a scheduler
+        event (stores publish at events; forwarding sources mutate at
+        events), so every further poll scheduled before the earliest
+        other pending position must also fail — charge those polls in
+        bulk without re-entering the scheduler.  Cycle charges and
+        cache counters stay identical to the polled model: in the
+        skipped window only this CPU touches the hierarchy, so each
+        elided ``lwnv`` is a memoized repeat same-line load
+        (tick/hits advance by exactly one — see
+        :class:`repro.hydra.cache.MemoryHierarchy`)."""
+        ctx = self.ctxs[cpu]
+        spec = ctx.spec
+        frame = ctx.frames[-1]
+        instr = frame.code[frame.pc]
+        addr = self.fp_addr + instr.imm
+        value, __ = ctx.mem.lwnv(addr)
+        if value == spec.iteration:
+            spec.acc_wait += max(0.0, ctx.time - spec.block_time)
+            spec.state = _RUN
+            frame.pc += 1               # consume the WAITLOCK
+            ctx.time += 1
+            self._park_kind[cpu] = None
+            return
+        ctx.time += _LOCK_POLL_CYCLES
+
+        # earliest possible position of any other CPU's next event
+        bound_t = None
+        bound_i = -1
+        threads = self.threads
+        for other in range(self.n):
+            if other == cpu:
+                continue
+            state = threads[other].state
+            if state == _RUN or state == _WAIT_LOCK:
+                if self._park_kind[other] is not None:
+                    t = self._park_time[other]
+                else:
+                    t = self.ctxs[other].time
+                if bound_t is None or t < bound_t:
+                    bound_t = t
+                    bound_i = other
+        if bound_t is not None:
+            extra = 0
+            t = ctx.time
+            while t < bound_t or (t == bound_t and cpu < bound_i):
+                extra += 1
+                t += _LOCK_POLL_CYCLES
+            if extra:
+                __, __, source = ctx.mem._find_version(addr)
+                if source == "memory" and addr > 0:
+                    l1 = self.machine.hierarchy.l1[cpu]
+                    l1.tick += extra
+                    l1.hits += extra
+                ctx.time = t
+        self._park_kind[cpu] = "poll"
+        self._park_time[cpu] = ctx.time
+
+    def _truncate(self, cpu):
+        """Rewind a run-ahead CPU to the stepwise cut: restore the
+        segment snapshot, then replay per-instruction every local op
+        whose pre-step clock orders before ``self._cut``.  Replay only
+        re-executes deterministic register-local work, so the resulting
+        architectural state is bit-identical to the stepwise
+        scheduler's at this point."""
+        seg = self._seg[cpu]
+        if seg is None:
+            return
+        ctx = self.ctxs[cpu]
+        spec = ctx.spec
+        if len(seg) == 8:                # flat single-frame snapshot
+            t0, i0, c0, acc0, out0, f, pc, regs = seg
+            f.pc = pc
+            f.regs[:] = regs
+            ctx.frames = [f]
+        else:
+            t0, i0, c0, acc0, out0, frames0 = seg
+            restored = []
+            for f, pc, regs in frames0:
+                f.pc = pc
+                f.regs[:] = regs
+                restored.append(f)
+            ctx.frames = restored
+        ctx.status = "running"
+        ctx.time = t0
+        ctx.instret = i0
+        ctx.compute_cycles = c0
+        del spec.pending_output[out0:]
+        cut_t = self._cut_t
+        cut_i = self._cut_i
+        while ctx.time < cut_t or (ctx.time == cut_t and cpu < cut_i):
+            frame = ctx.frames[-1]
+            step_table(frame.compiled)[frame.pc](ctx, frame)
+        spec.acc_compute = acc0 + (ctx.time - t0)
+        self._seg[cpu] = None
+        self._account(cpu)
 
     # ------------------------------------------------------------------
     def _startup(self):
@@ -486,6 +1128,13 @@ class _StlExecution:
     # ------------------------------------------------------------------
     def _shutdown(self, thread):
         """The exiting thread is the head: end speculation (Fig. 4 #3)."""
+        if self._seg is not None:
+            # Event mode: the squash accounting and instret attribution
+            # below read every CPU — rewind run-ahead work past the
+            # exit event's position first.
+            for other_cpu in range(self.n):
+                if other_cpu != thread.cpu_id:
+                    self._truncate(other_cpu)
         config = self.config
         ctx = self.ctxs[thread.cpu_id]
         now = max(ctx.time, self.last_commit_time)
@@ -592,6 +1241,16 @@ class _StlExecution:
         thread.acc_wait += max(0.0, now - thread.block_time)
         ctx.time = now
         thread.state = _RUN
+        if self._seg is not None:
+            # Event mode: the squash accounting below reads the
+            # more-speculative CPUs — rewind their run-ahead work to
+            # the STL_RUN event's position first.  Their parks become
+            # stale here (the restart loop at the bottom resets them to
+            # pc 0), so drop those too.
+            for other_cpu, other in enumerate(self.threads):
+                if other.iteration > thread.iteration:
+                    self._truncate(other_cpu)
+                    self._park_kind[other_cpu] = None
 
         # As the head our buffered work is correct: commit it so the
         # inner STL (running non-speculatively under us) sees it.

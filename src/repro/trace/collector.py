@@ -10,7 +10,14 @@ cost is one attribute load + identity check on *control* events only
 
 Emission itself is one namedtuple construction + one ring append plus
 cheap aggregate counter bumps, so enabled tracing stays inside the
-<5 % budget enforced by ``benchmarks/bench_trace_overhead.py``.
+budget enforced by ``benchmarks/bench_trace_overhead.py``.
+
+Event *order* is part of the simulator's observational contract:
+every emission site fires at a simulated timestamp determined by the
+total order of scheduler events, which both TLS schedulers reproduce
+identically — a trace recorded under ``--scheduler event`` is
+byte-for-byte the trace recorded under ``--scheduler stepwise``
+(enforced by ``tests/test_scheduler_differential.py``).
 """
 
 from dataclasses import dataclass

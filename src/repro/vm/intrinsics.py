@@ -6,6 +6,17 @@ reference interpreter and the Hydra machine, so both agree exactly.
 
 Intrinsic cycle costs approximate a software library on a single-issue
 MIPS core; they only matter for the simulated clock, not correctness.
+
+Purity contract: every non-output intrinsic must be a pure function of
+its arguments (no machine, memory or scheduler side effects), and
+output intrinsics may only append to the speculative
+``pending_output`` buffer.  The event-driven TLS scheduler
+(:mod:`repro.tls.runtime`) relies on this — ``INTRIN`` is classified
+as a *local* op (:data:`repro.engine.ir_engine.TLS_LOCAL_IR_OPS`), so
+it executes inside run-ahead batches that can be rolled back by
+restoring registers plus a ``pending_output`` length watermark.  An
+intrinsic with hidden global state would survive the rollback and
+diverge from the stepwise oracle.
 """
 
 import math

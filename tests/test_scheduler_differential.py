@@ -1,0 +1,213 @@
+"""Differential oracle: event-driven TLS scheduler vs stepwise scan.
+
+The tentpole invariant of the event-driven scheduler
+(:meth:`repro.tls.runtime.TlsRuntime._run_event`) is **observational
+cycle exactness**: for any guest program, batching straight-line
+non-memory runs between scheduler events must reproduce the stepwise
+smallest-clock interleaving bit-for-bit —
+
+* printed output, return value and guest-exception behaviour,
+* total simulated cycles and instructions of the TLS run,
+* per-STL statistics: commits, violations, squashes, restarts and the
+  cycle-breakdown accounting,
+* the full serialized pipeline report, and
+* the cycle-level trace event stream (timestamps, CPUs, durations,
+  payloads — byte-identical Chrome-trace JSON).
+
+This file enforces that over randomized MiniJava workloads plus
+targeted programs forcing every speculative control path: RAW
+violations, buffer-overflow stalls, deferred guest exceptions and
+lock-contention (WAITLOCK/SIGNAL) scheduling.  A subset runs in the
+default tier; the full 26-workload registry sweep is marked ``slow``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import Jrpm
+from repro.hydra.config import HydraConfig
+from repro.minijava import compile_source
+
+from conftest import wrap_main
+from test_engine_differential import random_workload
+
+SCHEDULERS = ("event", "stepwise")
+
+
+# ---------------------------------------------------------------------------
+# observables
+# ---------------------------------------------------------------------------
+
+def report_observables(source, scheduler, config=None, **kwargs):
+    """Canonical JSON of the full pipeline report, minus the config
+    (whose ``scheduler`` field differs by construction)."""
+    config = config or HydraConfig()
+    config.scheduler = scheduler
+    report = Jrpm(config=config, **kwargs).run(compile_source(source))
+    payload = report.to_dict()
+    payload.pop("config", None)
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def assert_identical(source, label, config_factory=None, **kwargs):
+    observed = {}
+    for scheduler in SCHEDULERS:
+        config = config_factory() if config_factory else None
+        observed[scheduler] = report_observables(
+            source, scheduler, config=config, **kwargs)
+    assert observed["event"] == observed["stepwise"], (
+        "schedulers diverged: %s\nsrc=%s" % (label, source))
+
+
+# ---------------------------------------------------------------------------
+# default tier: randomized workloads (same generator as the engine
+# differential — chain/carried variants force violations and restarts)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(6))
+def test_scheduler_differential_random(seed):
+    assert_identical(random_workload(seed), "seed %d" % seed)
+
+
+# ---------------------------------------------------------------------------
+# targeted speculative control paths
+# ---------------------------------------------------------------------------
+
+FORCED_VIOLATIONS = wrap_main("""
+    int[] b = new int[500];
+    b[0] = 1;
+    int t = 0;
+    for (int i = 1; i < 500; i++) {
+        b[i] = b[i-1] * 3 + 1;
+        t ^= b[i] & 255;
+    }
+    Sys.printInt(t);
+    return t;
+""")
+
+
+def test_forced_violation_path():
+    """A loop-carried heap chain admitted by a zero speedup threshold:
+    every thread restarts at least once, exercising _restart_thread's
+    chain invalidation (the ``_gen`` bump) under run-ahead."""
+    assert_identical(
+        FORCED_VIOLATIONS, "forced violations",
+        config_factory=lambda: HydraConfig(min_predicted_speedup=0.0))
+
+
+OVERFLOW = wrap_main("""
+    int[] a = new int[8000];
+    int s = 0;
+    for (int i = 0; i < 120; i++) {
+        int b = i * 48;
+        a[b] = i; a[b + 8] = i + 1; a[b + 16] = i + 2;
+        a[b + 24] = i + 3; a[b + 32] = i + 4; a[b + 40] = i + 5;
+        s += a[b];
+    }
+    Sys.printInt(s);
+    return s;
+""")
+
+
+def test_buffer_overflow_path():
+    """Six distinct store lines per iteration against a 2-line store
+    buffer: overflow stalls park the thread until it becomes head."""
+    assert_identical(
+        OVERFLOW, "overflow stalls",
+        config_factory=lambda: HydraConfig(
+            load_buffer_lines=2, store_buffer_lines=2,
+            max_overflow_frequency=2.0, min_predicted_speedup=0.0))
+
+
+SPECULATIVE_EXCEPTION = wrap_main("""
+    int[] a = new int[100];
+    int n = 200;     // out of bounds at i == 100
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += a[i] + i;
+    }
+    Sys.printInt(s);
+    return s;
+""")
+
+
+def test_speculative_exception_path():
+    """A guest exception inside a speculated region is deferred until
+    the thread is head; both schedulers must raise it at the same
+    simulated cycle with identical flushed output."""
+    assert_identical(SPECULATIVE_EXCEPTION, "speculative exception")
+
+
+LOCK_CONTENTION = wrap_main("""
+    int seed = 3;
+    int acc = 0;
+    for (int i = 0; i < 700; i++) {
+        seed = (seed * 48271 + 11) & 0x7FFFFFFF;
+        int w = seed % 64;
+        int v = (w * w + w) % 101;
+        acc = (acc + v) & 0xFFFF;
+    }
+    Sys.printInt(acc);
+    Sys.printInt(seed);
+    return acc;
+""")
+
+
+def test_lock_contention_path():
+    """The synchronizing-lock decomposition (paper's WAITLOCK/SIGNAL):
+    threads block in WAIT_LOCK and are woken at release — the
+    wake-at-release fast-forward must charge identical poll cycles."""
+    assert_identical(LOCK_CONTENTION, "lock contention")
+
+
+def test_lock_contention_trace_stream():
+    """Byte-identical Chrome-trace event streams (timestamps, CPUs,
+    durations, violation arcs) on the lock-contention workload."""
+    from repro.trace import TraceOptions, chrome_trace
+    streams = {}
+    for scheduler in SCHEDULERS:
+        config = HydraConfig(scheduler=scheduler)
+        report = Jrpm(config=config, trace=TraceOptions()).run(
+            compile_source(LOCK_CONTENTION))
+        streams[scheduler] = json.dumps(
+            chrome_trace(report.trace, name="diff"), sort_keys=True)
+    assert streams["event"] == streams["stepwise"]
+
+
+def test_violation_trace_stream():
+    """Same, on the forced-violation workload: restart/violation events
+    carry exact cycle stamps through truncation-and-replay."""
+    from repro.trace import TraceOptions, chrome_trace
+    streams = {}
+    for scheduler in SCHEDULERS:
+        config = HydraConfig(scheduler=scheduler,
+                             min_predicted_speedup=0.0)
+        report = Jrpm(config=config, trace=TraceOptions()).run(
+            compile_source(FORCED_VIOLATIONS))
+        streams[scheduler] = json.dumps(
+            chrome_trace(report.trace, name="diff"), sort_keys=True)
+    assert streams["event"] == streams["stepwise"]
+
+
+# ---------------------------------------------------------------------------
+# slow tier: every registry workload, full-report comparison
+# ---------------------------------------------------------------------------
+
+def _workload_names():
+    from repro.workloads.registry import all_workloads
+    return [w.name for w in all_workloads()]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", _workload_names())
+def test_scheduler_differential_registry(name):
+    from repro.workloads.registry import lookup
+    source = lookup(name).source("small")
+    assert_identical(source, name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(6, 20))
+def test_scheduler_differential_random_sweep(seed):
+    assert_identical(random_workload(seed), "seed %d" % seed)

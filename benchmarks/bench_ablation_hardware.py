@@ -30,7 +30,12 @@ def test_cpu_count_sweep(benchmark):
     means = benchmark.pedantic(experiment, rounds=1, iterations=1)
     assert means[2] < means[4] < means[8]
     assert means[8] > 4.0
-    write_result("ablation_cpus", rows)
+    write_result(
+        "ablation_cpus", rows,
+        metrics={"geomean_%dcpus" % c: m for c, m in means.items()},
+        config={"benchmarks": SWEEP_BENCHMARKS},
+        regression={"geomean_4cpus": "higher_is_better",
+                    "geomean_8cpus": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="ablation")
@@ -57,7 +62,11 @@ def test_store_buffer_sizing(benchmark):
     # With tiny buffers either the selector avoids the loops (fewer
     # STLs -> less speedup) or stalls eat the gain.
     assert tiny_speedup <= default_speedup + 0.05
-    write_result("ablation_buffers", rows)
+    write_result("ablation_buffers", rows,
+                 metrics={"default_speedup": default_speedup,
+                          "tiny_buffer_speedup": tiny_speedup},
+                 config={"workload": "euler"},
+                 regression={"default_speedup": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="ablation")
@@ -78,7 +87,11 @@ def test_interprocessor_latency_matters_for_sync(benchmark):
     fast_speedup, slow_speedup = benchmark.pedantic(
         experiment, rounds=1, iterations=1)
     assert slow_speedup < fast_speedup
-    write_result("ablation_interprocessor", rows)
+    write_result("ablation_interprocessor", rows,
+                 metrics={"fast_bus_speedup": fast_speedup,
+                          "slow_bus_speedup": slow_speedup},
+                 config={"workload": "monteCarlo"},
+                 regression={"fast_bus_speedup": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="ablation")
@@ -103,7 +116,12 @@ def test_profile_iteration_target(benchmark):
     totals = benchmark.pedantic(experiment, rounds=1, iterations=1)
     # Less profiling -> less time spent in the slow annotated run.
     assert totals[100] >= totals[10000]
-    write_result("ablation_profile_target", rows)
+    write_result(
+        "ablation_profile_target", rows,
+        metrics={"total_speedup_target%d" % t: s
+                 for t, s in totals.items()},
+        config={"workload": "raytrace"},
+        regression={"total_speedup_target1000": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="ablation")
@@ -132,5 +150,7 @@ def test_dataset_sensitivity(benchmark):
                         % (name, small_sel, large_sel))
         return changed
 
-    benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("ablation_dataset", rows)
+    changed = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    write_result("ablation_dataset", rows,
+                 metrics={"selection_changed": changed},
+                 config={"workloads": ["LuFactor", "euler", "shallow"]})

@@ -68,6 +68,7 @@ def test_adapt_converges_within_epoch_budget(benchmark):
             "  %-10s %8s %10s %10s %10s %9s" % (
                 "workload", "epochs", "converged", "one-shot", "adaptive",
                 "decisions")]
+    metrics = {}
 
     def experiment():
         for name in WORKLOADS:
@@ -88,16 +89,24 @@ def test_adapt_converges_within_epoch_budget(benchmark):
                         % (name, log.epochs_run, log.converged_epoch,
                            one_shot.tls_speedup, report.tls_speedup,
                            len(log.applied_decisions())))
+            metrics["converged_epoch_%s" % name] = log.converged_epoch
+            metrics["adaptive_speedup_%s" % name] = report.tls_speedup
         return True
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("adapt_convergence", rows)
+    write_result(
+        "adapt_convergence", rows, metrics=metrics,
+        config={"workloads": list(WORKLOADS),
+                "epoch_budget": EPOCH_BUDGET},
+        regression={"converged_epoch_%s" % name: "lower_is_better"
+                    for name in WORKLOADS})
 
 
 @pytest.mark.benchmark(group="adapt")
 def test_adapt_recovers_from_misprediction(benchmark):
     rows = ["misprediction recovery (permissive admission, "
             "serial-dependence loop)"]
+    metrics = {}
 
     def experiment():
         program = compile_source(SERIAL_DEP)
@@ -123,7 +132,15 @@ def test_adapt_recovers_from_misprediction(benchmark):
                     % log.net_cycles_saved)
         for decision in decisions:
             rows.append("  applied: %s" % decision.describe())
+        metrics.update(steady_state_gain=gain,
+                       initial_cycles=log.initial_cycles,
+                       final_cycles=log.final_cycles,
+                       decisions_applied=len(decisions))
         return gain
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("adapt_misprediction", rows)
+    write_result(
+        "adapt_misprediction", rows, metrics=metrics,
+        config={"loop": "serialDep", "epoch_budget": EPOCH_BUDGET},
+        regression={"steady_state_gain": "higher_is_better",
+                    "final_cycles": "lower_is_better"})

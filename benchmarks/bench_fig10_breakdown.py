@@ -15,6 +15,7 @@ _COLUMNS = ("serial", "run_used", "wait_used", "overhead",
 @pytest.mark.benchmark(group="fig10")
 def test_fig10_state_breakdown(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         reports = baseline_reports()
@@ -32,16 +33,22 @@ def test_fig10_state_breakdown(benchmark):
                             % ((workload.name,)
                                + tuple(100 * fractions[c]
                                        for c in _COLUMNS)))
+        for column in _COLUMNS:
+            metrics["mean_%s" % column] = (
+                sum(r.breakdown.fractions()[column]
+                    for r in reports.values()) / len(reports))
         return len(reports)
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("fig10_breakdown", rows)
+    write_result("fig10_breakdown", rows, metrics=metrics,
+                 regression={"mean_run_used": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="fig10")
 def test_fig10_shape_checks(benchmark):
     """The qualitative observations of §6.2 must hold."""
     rows = []
+    metrics = {}
 
     def experiment():
         reports = baseline_reports()
@@ -70,7 +77,10 @@ def test_fig10_shape_checks(benchmark):
         serial_heavy = [n for n, f in fr.items() if f["serial"] > 0.02]
         rows.append("benchmarks with visible serial sections: %s"
                     % ", ".join(sorted(serial_heavy)))
+        metrics.update(violated_benchmarks=len(violated),
+                       clean_fp_benchmarks=len(clean_fp),
+                       serial_heavy_benchmarks=len(serial_heavy))
         return len(violated)
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("fig10_shape", rows)
+    write_result("fig10_shape", rows, metrics=metrics)

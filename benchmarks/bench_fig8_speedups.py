@@ -8,12 +8,13 @@ import pytest
 from repro.workloads import (CATEGORY_SPEEDUP_BANDS, FLOATING, INTEGER,
                              MULTIMEDIA, by_category)
 
-from harness import baseline_reports, geomean, write_result
+from harness import SIZE, baseline_reports, geomean, write_result
 
 
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_normalized_execution(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         reports = benchmark_reports[0]
@@ -33,6 +34,11 @@ def test_fig8_normalized_execution(benchmark):
                             % (workload.name, report.profiling_slowdown,
                                predicted_norm, actual_norm,
                                report.tls_speedup))
+        metrics["workloads"] = len(reports)
+        metrics["geomean_tls_speedup"] = geomean(
+            [r.tls_speedup for r in reports.values()])
+        metrics["geomean_predicted_speedup"] = geomean(
+            [r.predicted_speedup for r in reports.values() if r.plans])
         return len(reports)
 
     benchmark_reports = [None]
@@ -42,12 +48,15 @@ def test_fig8_normalized_execution(benchmark):
         return experiment()
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
-    write_result("fig8_speedups", rows)
+    write_result("fig8_speedups", rows, metrics=metrics,
+                 config={"size": SIZE, "variant": "base"},
+                 regression={"geomean_tls_speedup": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_profiling_slowdown_band(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         reports = baseline_reports()
@@ -62,15 +71,21 @@ def test_fig8_profiling_slowdown_band(benchmark):
         # Shape: profiling is cheap — the whole point of TEST hardware.
         assert average < 1.5
         assert worst < 2.0
+        metrics["avg_profiling_slowdown"] = average
+        metrics["worst_profiling_slowdown"] = worst
         return average
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("fig8_profiling_band", rows)
+    write_result(
+        "fig8_profiling_band", rows, metrics=metrics,
+        config={"size": SIZE},
+        regression={"avg_profiling_slowdown": "lower_is_better"})
 
 
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_category_speedup_bands(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         reports = baseline_reports()
@@ -91,15 +106,22 @@ def test_fig8_category_speedup_bands(benchmark):
         assert means[FLOATING] > 2.3
         assert means[MULTIMEDIA] > 1.8
         assert 1.2 < means[INTEGER]
+        for category, mean in means.items():
+            metrics["geomean_%s" % category.replace(" ", "_")] = mean
         return means[FLOATING]
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("fig8_category_bands", rows)
+    write_result(
+        "fig8_category_bands", rows, metrics=metrics,
+        config={"size": SIZE},
+        regression={"geomean_%s" % c.replace(" ", "_"): "higher_is_better"
+                    for c in (INTEGER, FLOATING, MULTIMEDIA)})
 
 
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_prediction_tracks_actual(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         reports = baseline_reports()
@@ -123,7 +145,13 @@ def test_fig8_prediction_tracks_actual(benchmark):
         assert close >= total * 0.8
         # Predictions skew optimistic, as §6.2 reports.
         assert optimistic >= total * 0.5
+        metrics.update(predictions_close=close,
+                       predictions_optimistic=optimistic,
+                       predictions_total=total)
         return close
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("fig8_prediction_quality", rows)
+    write_result(
+        "fig8_prediction_quality", rows, metrics=metrics,
+        config={"size": SIZE},
+        regression={"predictions_close": "higher_is_better"})

@@ -5,12 +5,13 @@ import pytest
 
 from repro.workloads import FLOATING, INTEGER, MULTIMEDIA, by_category
 
-from harness import baseline_reports, geomean, write_result
+from harness import SIZE, baseline_reports, geomean, write_result
 
 
 @pytest.mark.benchmark(group="fig9")
 def test_fig9_total_program_speedup(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         reports = baseline_reports()
@@ -30,10 +31,17 @@ def test_fig9_total_program_speedup(benchmark):
                 rows.append("%-14s %7.2fx %7.2fx   %s"
                             % (workload.name, report.tls_speedup,
                                report.total_speedup, split))
+        metrics["geomean_total_speedup"] = geomean(
+            [r.total_speedup for r in reports.values()])
+        metrics["geomean_tls_speedup"] = geomean(
+            [r.tls_speedup for r in reports.values()])
         return len(reports)
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("fig9_total_speedup", rows)
+    write_result(
+        "fig9_total_speedup", rows, metrics=metrics,
+        config={"size": SIZE},
+        regression={"geomean_total_speedup": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="fig9")
@@ -41,6 +49,7 @@ def test_fig9_overheads_are_small(benchmark):
     """Paper §6.2: 'overheads for profiling and dynamic recompilation
     [are] small, even for the shorter running benchmarks'."""
     rows = []
+    metrics = {}
 
     def experiment():
         reports = baseline_reports()
@@ -59,7 +68,12 @@ def test_fig9_overheads_are_small(benchmark):
         # sets, overheads must stay modest (paper: 'small, even for the
         # shorter running benchmarks').
         assert mean > 0.70
+        metrics["geomean_retention"] = mean
+        metrics["worst_retention"] = worst[1]
         return mean
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("fig9_overhead_retention", rows)
+    write_result(
+        "fig9_overhead_retention", rows, metrics=metrics,
+        config={"size": SIZE},
+        regression={"geomean_retention": "higher_is_better"})

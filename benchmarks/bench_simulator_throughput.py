@@ -71,7 +71,12 @@ def test_sequential_simulation_throughput(benchmark):
         "  --no-fastpath: ~%.0f simulated instructions / wall second"
         % legacy_rate,
         "  engine speedup: %.2fx" % (rate / legacy_rate),
-    ])
+    ], metrics={"instructions": result.instructions,
+                "fastpath_insn_per_sec": rate,
+                "legacy_insn_per_sec": legacy_rate,
+                "engine_speedup": rate / legacy_rate},
+       config={"kernel": "throughput", "mode": "sequential"},
+       regression={"instructions": "lower_is_better"})
     assert result.guest_exception is None
     assert rate > 10_000     # sanity floor for pure-Python simulation
     # the predecoded engine must stay comfortably ahead of the legacy
@@ -138,7 +143,14 @@ def test_tls_simulation_throughput(benchmark):
         % (rate / stepwise_rate, rate / legacy_rate),
         "  (same-run ratio pairs are the stable signal; absolute"
         " rates move with host load)",
-    ])
+    ], metrics={"instructions": instructions,
+                "cycles": artifact.measurement.cycles,
+                "event_insn_per_sec": rate,
+                "stepwise_insn_per_sec": stepwise_rate,
+                "legacy_insn_per_sec": legacy_rate,
+                "event_vs_stepwise": rate / stepwise_rate},
+       config={"kernel": "throughput", "mode": "tls"},
+       regression={"cycles": "lower_is_better"})
     assert rate > 10_000
     # the event scheduler must stay comfortably ahead of the scan
     assert rate > 1.5 * stepwise_rate
@@ -172,5 +184,10 @@ def test_full_pipeline_throughput(benchmark):
         "  fastpath wall: %.2fs   --no-fastpath wall: %.2fs (%.2fx)"
         % (benchmark.stats["mean"], legacy_elapsed,
            legacy_elapsed / benchmark.stats["mean"]),
-    ])
+    ], metrics={"total_simulated_instructions": simulated,
+                "tls_speedup": report.tls_speedup,
+                "fastpath_wall_seconds": benchmark.stats["mean"],
+                "legacy_wall_seconds": legacy_elapsed},
+       config={"kernel": "throughput", "mode": "pipeline"},
+       regression={"tls_speedup": "higher_is_better"})
     assert report.outputs_match()

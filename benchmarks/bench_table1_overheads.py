@@ -42,6 +42,7 @@ def _measure_overheads(overheads):
 @pytest.mark.benchmark(group="table1")
 def test_table1_handler_overheads(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         new = SpeculationOverheads.new_handlers()
@@ -69,15 +70,24 @@ def test_table1_handler_overheads(benchmark):
         assert report_old.tls.cycles > report_new.tls.cycles
         # EOI dominates the per-commit overhead for a tight loop.
         assert per_commit_new >= new.eoi
+        metrics.update(per_commit_new=per_commit_new,
+                       per_commit_old=per_commit_old,
+                       tls_cycles_new=report_new.tls.cycles,
+                       tls_cycles_old=report_old.tls.cycles)
         return per_commit_new
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("table1_overheads", rows)
+    write_result(
+        "table1_overheads", rows, metrics=metrics,
+        config={"loop": "empty-body"},
+        regression={"per_commit_new": "lower_is_better",
+                    "tls_cycles_new": "lower_is_better"})
 
 
 @pytest.mark.benchmark(group="table1")
 def test_fig2_hardware_constants(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         config = HydraConfig()
@@ -103,7 +113,12 @@ def test_fig2_hardware_constants(benchmark):
         assert config.store_buffer_lines * config.line_bytes == 2 * 1024
         assert (config.l2_hit_cycles, config.interprocessor_cycles,
                 config.memory_cycles) == (5, 10, 50)
+        metrics.update(num_cpus=config.num_cpus,
+                       l1_size_bytes=config.l1_size_bytes,
+                       l2_size_bytes=config.l2_size_bytes,
+                       load_buffer_lines=config.load_buffer_lines,
+                       store_buffer_lines=config.store_buffer_lines)
         return config.num_cpus
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("fig2_hardware", rows)
+    write_result("fig2_hardware", rows, metrics=metrics)

@@ -80,12 +80,20 @@ def test_table3_characteristics(benchmark):
     # mp3/db/jess have visible serial fractions (column i).
     assert collected["db"][9] > 0 or collected["mp3"][9] > 0 \
         or collected["jess"][9] > 0
-    write_result("table3_characteristics", rows)
+    write_result(
+        "table3_characteristics", rows,
+        metrics={"workloads": len(collected),
+                 "analyzable": analyzable,
+                 "selected_any_stl": selected,
+                 "total_selected_stls": sum(row[5] for row in
+                                            collected.values())},
+        regression={"selected_any_stl": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="table3")
 def test_table3_buffer_usage_within_hardware_limits(benchmark):
     rows = []
+    metrics = {}
 
     def experiment():
         reports = baseline_reports()
@@ -105,7 +113,10 @@ def test_table3_buffer_usage_within_hardware_limits(benchmark):
         # threads stay within the buffers on average.
         assert worst_load <= config.load_buffer_lines
         assert worst_store <= config.store_buffer_lines
+        metrics.update(worst_avg_load_lines=worst_load,
+                       worst_avg_store_lines=worst_store)
         return worst_load
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("table3_buffers", rows)
+    write_result("table3_buffers", rows, metrics=metrics,
+                 regression={"worst_avg_store_lines": "lower_is_better"})

@@ -84,7 +84,10 @@ def test_table3_optimization_column(benchmark, label, toggles, names):
     assert max(deltas.values()) > 1.0, (label, deltas)
     write_result("table3_opt_%s" %
                  label.split(" - ")[1].split(" (")[0].replace(" ", "_")
-                 .lower(), rows)
+                 .lower(), rows,
+                 metrics={"delta_pct_%s" % name: delta
+                          for name, delta in deltas.items()},
+                 config={"column": label})
 
 
 @pytest.mark.benchmark(group="table3-opt")
@@ -105,7 +108,9 @@ def test_table3_hoisting_has_little_effect(benchmark):
     deltas = benchmark.pedantic(experiment, rounds=1, iterations=1)
     # Small either way — hoisting must neither be load-bearing nor harmful.
     assert all(-5.0 < delta < 8.0 for delta in deltas.values()), deltas
-    write_result("table3_opt_hoisting", rows)
+    write_result("table3_opt_hoisting", rows,
+                 metrics={"delta_pct_%s" % name: delta
+                          for name, delta in deltas.items()})
 
 
 @pytest.mark.benchmark(group="table3-opt")
@@ -124,4 +129,6 @@ def test_table3_inductor_optimization_is_critical(benchmark):
 
     worst = benchmark.pedantic(experiment, rounds=1, iterations=1)
     assert worst > 25.0, "inductor communication should be crippling"
-    write_result("table3_opt_inductors", rows)
+    write_result("table3_opt_inductors", rows,
+                 metrics={"worst_delta_pct": worst},
+                 regression={"worst_delta_pct": "higher_is_better"})

@@ -52,7 +52,10 @@ def test_table4_manual_transformations(benchmark):
     assert helped >= 3, improvements
     # And they never destroy performance outright.
     assert all(gain > 0.45 for gain in improvements.values()), improvements
-    write_result("table4_manual", rows)
+    write_result("table4_manual", rows,
+                 metrics={"gain_%s" % name: gain
+                          for name, gain in improvements.items()},
+                 regression={"gain_Huffman": "higher_is_better"})
 
 
 @pytest.mark.benchmark(group="table4")
@@ -74,4 +77,6 @@ def test_table4_manual_variants_do_not_slow_sequential(benchmark):
 
     worst = benchmark.pedantic(experiment, rounds=1, iterations=1)
     assert worst < 2.0
-    write_result("table4_sequential_cost", rows)
+    write_result("table4_sequential_cost", rows,
+                 metrics={"worst_sequential_ratio": worst},
+                 regression={"worst_sequential_ratio": "lower_is_better"})

@@ -35,6 +35,11 @@ cost is unchanged, but it is divided by a smaller denominator.
 The measured run-to-run noise of two untraced runs is added to the
 bound at assert time, so transient host load cannot fail the guard
 spuriously (nor mask a real regression larger than the noise).
+
+The same file guards the metrics registry (``repro.metrics``): a run
+folded into an enabled registry must stay within 5% of the identical
+run with ``set_enabled(False)`` — per-run report folding is the only
+metrics cost, never per-instruction work.
 """
 
 import time
@@ -42,6 +47,8 @@ import time
 import pytest
 
 from repro.core.pipeline import Jrpm
+from repro.metrics import (get_registry, observe_report, reset_registry,
+                           set_enabled)
 from repro.minijava import compile_source
 from repro.workloads import lookup
 
@@ -50,6 +57,7 @@ from harness import write_result
 ROUNDS = 3
 DISABLED_BUDGET = 1.01      # untraced vs untraced re-run (noise bound)
 ENABLED_BUDGET = 1.20       # traced vs untraced (see module docstring)
+METRICS_BUDGET = 1.05       # metrics-on vs metrics-off (ISSUE bound)
 
 
 def _time_run(program, name, trace, rounds=ROUNDS):
@@ -69,6 +77,7 @@ def _time_run(program, name, trace, rounds=ROUNDS):
 @pytest.mark.benchmark(group="trace")
 def test_trace_overhead_within_budget(benchmark):
     rows = []
+    metrics = {}
     workload = lookup("BitOps")
     program = compile_source(workload.source("small"))
 
@@ -106,7 +115,78 @@ def test_trace_overhead_within_budget(benchmark):
             % ((overhead - 1.0) * 100.0,
                (ENABLED_BUDGET - 1.0) * 100.0,
                (max(0.0, noise - 1.0)) * 100.0))
+        metrics.update(trace_overhead=overhead, noise=noise,
+                       events_recorded=aggregates.events_recorded)
         return overhead
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
-    write_result("trace_overhead", rows)
+    write_result("trace_overhead", rows, metrics=metrics,
+                 config={"workload": "BitOps", "size": "small",
+                         "rounds": ROUNDS})
+
+
+def _one_metrics_run(program, name):
+    """Wall-clock seconds of one pipeline run folded into the metrics
+    registry (the daemon-side per-run cost)."""
+    start = time.perf_counter()
+    report = Jrpm().run(program, name=name)
+    observe_report(report, wall_seconds=time.perf_counter() - start)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="trace")
+def test_metrics_overhead_within_budget(benchmark):
+    """The metrics registry must be effectively free: folding a run's
+    report into the registry (the only per-run metrics work — the hot
+    simulator loop is never instrumented) stays within 5% of the same
+    run with the registry globally disabled via ``set_enabled``."""
+    rows = []
+    metrics = {}
+    workload = lookup("BitOps")
+    program = compile_source(workload.source("small"))
+
+    def experiment():
+        Jrpm().run(program, name="warmup")
+        reset_registry()
+        # Interleave the three arms (off / off-again / on) so a host
+        # load spike lands on all of them rather than one sequential
+        # block; min-of-N per arm then cancels the noise.
+        off = off_again = on = None
+        try:
+            for _ in range(2 * ROUNDS):
+                set_enabled(False)
+                sample = _one_metrics_run(program, "BitOps")
+                off = sample if off is None else min(off, sample)
+                sample = _one_metrics_run(program, "BitOps")
+                off_again = (sample if off_again is None
+                             else min(off_again, sample))
+                set_enabled(True)
+                sample = _one_metrics_run(program, "BitOps")
+                on = sample if on is None else min(on, sample)
+        finally:
+            set_enabled(True)
+        # The enabled pass really recorded something.
+        assert get_registry().get("jrpm_runs") is not None
+
+        noise = off_again / off
+        overhead = on / off
+        rows.append("metrics overhead guard (BitOps small, min of %d)"
+                    % ROUNDS)
+        rows.append("  metrics off:    %.3fs" % off)
+        rows.append("  metrics off(2): %.3fs  (%.1f%% vs baseline)"
+                    % (off_again, (noise - 1.0) * 100.0))
+        rows.append("  metrics on:     %.3fs  (%.1f%% vs baseline)"
+                    % (on, (overhead - 1.0) * 100.0))
+        assert overhead < METRICS_BUDGET + max(0.0, noise - 1.0), (
+            "metrics-enabled run %.1f%% over metrics-off (budget %.0f%% "
+            "+ %.1f%% measured noise)"
+            % ((overhead - 1.0) * 100.0,
+               (METRICS_BUDGET - 1.0) * 100.0,
+               (max(0.0, noise - 1.0)) * 100.0))
+        metrics.update(metrics_overhead=overhead, noise=noise)
+        return overhead
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    write_result("metrics_overhead", rows, metrics=metrics,
+                 config={"workload": "BitOps", "size": "small",
+                         "rounds": ROUNDS})

@@ -1,0 +1,159 @@
+"""Machine-readable benchmark telemetry (``BENCH_<name>.json``).
+
+Every ``bench_*.py`` (and ``scripts/bench_*.py``) routes its headline
+numbers through :func:`emit` — usually via the ``metrics=`` parameter
+of :func:`harness.write_result` — which writes a versioned JSON
+document next to the free-text ``.txt``:
+
+.. code-block:: json
+
+    {"schema": 1, "name": "trace_overhead", "generated_at": ...,
+     "git": {"commit": "abc123", "dirty": false},
+     "config": {"workload": "BitOps", "size": "small"},
+     "metrics": {"overhead_enabled": 1.08, ...},
+     "regression": {"overhead_enabled": "lower_is_better"}}
+
+* ``metrics`` is flat ``str -> number`` — the machine-readable
+  trajectory the repo is judged against;
+* ``regression`` marks the subset of metrics that
+  ``scripts/check_bench_regression.py`` diffs against the committed
+  baseline (``benchmarks/baseline/``), with the direction that counts
+  as a regression.  Wall-clock-noisy metrics are deliberately left
+  out; simulated cycles/speedups are deterministic and CI-stable.
+
+:func:`validate_bench_dict` is the schema gate used by the tests,
+``scripts/check_bench_schema.py`` and CI.
+"""
+
+import json
+import os
+import subprocess
+import time
+
+#: Version of the BENCH_*.json document layout.
+BENCH_SCHEMA_VERSION = 1
+
+#: Where the documents land (same directory as the .txt results).
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+_DIRECTIONS = ("higher_is_better", "lower_is_better")
+
+
+def bench_path(name, results_dir=None):
+    """Path of the telemetry document for one experiment name."""
+    return os.path.join(results_dir or RESULTS_DIR,
+                        "BENCH_%s.json" % name)
+
+
+def git_fingerprint(cwd=None):
+    """Best-effort ``{"commit": hex|None, "dirty": bool|None}``.
+
+    Tolerates missing git / not-a-repo (both fields None) so telemetry
+    still emits from exported tarballs.
+    """
+    cwd = cwd or os.path.dirname(os.path.abspath(__file__))
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd,
+            capture_output=True, text=True, timeout=10, check=True)
+        return {"commit": commit, "dirty": bool(status.stdout.strip())}
+    except (OSError, subprocess.SubprocessError):
+        return {"commit": None, "dirty": None}
+
+
+def emit(name, metrics, config=None, regression=None, results_dir=None):
+    """Write ``BENCH_<name>.json``; returns the document dict.
+
+    *metrics* must be a flat ``str -> int|float`` mapping; *regression*
+    (optional) maps a subset of those names to a direction string
+    (``higher_is_better`` / ``lower_is_better``).  The document is
+    validated before it is written — a benchmark can never publish a
+    payload the schema gate would reject.
+    """
+    document = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "generated_at": time.time(),
+        "git": git_fingerprint(),
+        "config": dict(config or {}),
+        "metrics": dict(metrics),
+        "regression": dict(regression or {}),
+    }
+    problems = validate_bench_dict(document)
+    if problems:
+        raise ValueError("refusing to emit invalid telemetry for %s: %s"
+                         % (name, "; ".join(problems)))
+    results_dir = results_dir or RESULTS_DIR
+    os.makedirs(results_dir, exist_ok=True)
+    path = bench_path(name, results_dir)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return document
+
+
+def load(name, results_dir=None):
+    """Read one telemetry document (no validation); raises on absence."""
+    with open(bench_path(name, results_dir)) as fh:
+        return json.load(fh)
+
+
+def validate_bench_dict(document):
+    """Structural check of one telemetry document.
+
+    Returns a list of problem strings — empty when the document is a
+    valid schema-1 payload.
+    """
+    problems = []
+    if not isinstance(document, dict):
+        return ["document must be a JSON object"]
+    if document.get("schema") != BENCH_SCHEMA_VERSION:
+        problems.append("schema must be %d, got %r"
+                        % (BENCH_SCHEMA_VERSION,
+                           document.get("schema")))
+    name = document.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("name must be a non-empty string")
+    generated = document.get("generated_at")
+    if not isinstance(generated, (int, float)) or generated <= 0:
+        problems.append("generated_at must be a positive epoch number")
+    git = document.get("git")
+    if (not isinstance(git, dict) or "commit" not in git
+            or "dirty" not in git):
+        problems.append("git must be an object with commit and dirty")
+    else:
+        if git["commit"] is not None and not isinstance(git["commit"],
+                                                        str):
+            problems.append("git.commit must be a string or null")
+        if git["dirty"] is not None and not isinstance(git["dirty"],
+                                                       bool):
+            problems.append("git.dirty must be a bool or null")
+    config = document.get("config")
+    if not isinstance(config, dict):
+        problems.append("config must be an object")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics must be a non-empty object")
+        metrics = {}
+    for key, value in metrics.items():
+        if not isinstance(key, str):
+            problems.append("metric name %r is not a string" % (key,))
+        if isinstance(value, bool) or not isinstance(value,
+                                                     (int, float)):
+            problems.append("metric %r is not numeric (%r)"
+                            % (key, value))
+    regression = document.get("regression")
+    if not isinstance(regression, dict):
+        problems.append("regression must be an object")
+        regression = {}
+    for key, direction in regression.items():
+        if key not in metrics:
+            problems.append("regression key %r has no metric" % (key,))
+        if direction not in _DIRECTIONS:
+            problems.append("regression %r: direction must be one of %s"
+                            % (key, "/".join(_DIRECTIONS)))
+    return problems

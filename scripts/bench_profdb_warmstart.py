@@ -31,7 +31,9 @@ import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
+import telemetry  # noqa: E402
 from repro.service import JrpmClient  # noqa: E402
 
 
@@ -141,6 +143,14 @@ def main():
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
     with open(args.out, "w") as fh:
         fh.write(text)
+    telemetry.emit(
+        "profdb_warmstart",
+        {"mean_warm_speedup": mean_ratio,
+         "workloads": len(workloads)},
+        config={"workloads": workloads, "size": args.size,
+                "jobs": args.jobs},
+        regression={"mean_warm_speedup": "higher_is_better"},
+        results_dir=os.path.dirname(args.out))
     print("wrote %s" % os.path.relpath(args.out, REPO_ROOT))
     return 0 if mean_ratio >= 2.0 else 1
 

@@ -29,7 +29,9 @@ import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
+import telemetry  # noqa: E402
 from repro.service import JrpmClient  # noqa: E402
 
 
@@ -181,6 +183,16 @@ def main():
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
     with open(args.out, "w") as fh:
         fh.write(text)
+    telemetry.emit(
+        "service_throughput",
+        {"one_shot_req_per_sec": one_shot_rate,
+         "daemon_req_per_sec": daemon_rate,
+         "daemon_speedup": ratio,
+         "mixed_req_per_sec": len(mixed) / mixed_wall},
+        config={"workload": args.workload, "size": args.size,
+                "burst": args.burst, "jobs": args.jobs},
+        regression={"daemon_speedup": "higher_is_better"},
+        results_dir=os.path.dirname(args.out))
     print("wrote %s" % os.path.relpath(args.out, REPO_ROOT))
     return 0 if ratio >= 2.0 else 1
 

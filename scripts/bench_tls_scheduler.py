@@ -91,7 +91,14 @@ def main(argv):
         % (event_rate / stepwise_rate, event_rate / legacy_rate),
         "  (same-run ratio pairs are the stable signal; absolute"
         " rates move with host load)",
-    ])
+    ], metrics={"instructions": instructions,
+                "cycles": cycles,
+                "event_insn_per_sec": event_rate,
+                "stepwise_insn_per_sec": stepwise_rate,
+                "legacy_insn_per_sec": legacy_rate,
+                "event_vs_stepwise": event_rate / stepwise_rate},
+       config={"kernel": "throughput", "mode": "tls", "reps": reps},
+       regression={"cycles": "lower_is_better"})
     # the event scheduler must stay comfortably ahead of the scan
     assert event_rate > 1.5 * stepwise_rate
     return 0

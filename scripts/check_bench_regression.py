@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Diff fresh benchmark telemetry against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        [--results benchmarks/results] \
+        [--baseline benchmarks/baseline] \
+        [--tolerance 10]
+
+For every ``BENCH_*.json`` present in *both* directories, each metric
+the baseline flags in its ``regression`` map is compared:
+
+* ``higher_is_better`` — fresh value must not fall more than
+  ``--tolerance`` percent below the baseline;
+* ``lower_is_better``  — fresh value must not rise more than
+  ``--tolerance`` percent above the baseline.
+
+Improvements never fail; a baseline value of exactly 0 is compared for
+degradation by sign only.  Baseline documents with no fresh
+counterpart are reported (the benchmark silently disappearing is
+itself a regression signal) but only metric regressions fail the run.
+
+Refreshing the baseline after an accepted perf change is one copy:
+``cp benchmarks/results/BENCH_<name>.json benchmarks/baseline/``.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_documents(directory):
+    documents = {}
+    for path in sorted(glob.glob(os.path.join(directory,
+                                              "BENCH_*.json"))):
+        with open(path) as fh:
+            document = json.load(fh)
+        documents[document["name"]] = document
+    return documents
+
+
+def compare(baseline, fresh, tolerance):
+    """Regression strings for one (baseline, fresh) document pair."""
+    regressions = []
+    for metric, direction in sorted(baseline.get("regression",
+                                                 {}).items()):
+        if metric not in fresh.get("metrics", {}):
+            regressions.append(
+                "%s: metric %r vanished from fresh telemetry"
+                % (baseline["name"], metric))
+            continue
+        base = float(baseline["metrics"][metric])
+        new = float(fresh["metrics"][metric])
+        if base == 0.0:
+            bad = new < 0.0 if direction == "higher_is_better" \
+                else new > 0.0
+            delta_pct = float("inf") if bad else 0.0
+        elif direction == "higher_is_better":
+            delta_pct = 100.0 * (base - new) / abs(base)
+            bad = delta_pct > tolerance
+        else:
+            delta_pct = 100.0 * (new - base) / abs(base)
+            bad = delta_pct > tolerance
+        if bad:
+            regressions.append(
+                "%s: %s %s %.4g -> %.4g (%.1f%% worse, tolerance %.0f%%)"
+                % (baseline["name"], metric, direction, base, new,
+                   delta_pct, tolerance))
+    return regressions
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default=os.path.join(
+        REPO_ROOT, "benchmarks", "results"))
+    parser.add_argument("--baseline", default=os.path.join(
+        REPO_ROOT, "benchmarks", "baseline"))
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="percent degradation allowed per metric")
+    args = parser.parse_args(argv[1:])
+
+    baselines = load_documents(args.baseline)
+    fresh = load_documents(args.results)
+    if not baselines:
+        print("REGRESSION no baseline documents in %s" % args.baseline)
+        return 1
+
+    regressions = []
+    compared = 0
+    for name, baseline in sorted(baselines.items()):
+        if name not in fresh:
+            print("note: baseline %s has no fresh telemetry "
+                  "(benchmark not run?)" % name)
+            continue
+        compared += 1
+        regressions.extend(compare(baseline, fresh[name],
+                                   args.tolerance))
+    for regression in regressions:
+        print("REGRESSION %s" % regression)
+    print("compared %d benchmark(s) against baseline: %s"
+          % (compared, "FAIL (%d regression(s))" % len(regressions)
+             if regressions else "ok"))
+    if not compared:
+        return 1
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

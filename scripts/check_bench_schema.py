@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Validate every ``benchmarks/results/BENCH_*.json`` telemetry
+document against the schema in :mod:`benchmarks.telemetry`.
+
+Usage: python scripts/check_bench_schema.py [dir ...]
+
+With no arguments, checks ``benchmarks/results/``.  Exits non-zero if
+any document fails validation (or none exist at all), printing one
+line per problem — the CI gate behind the machine-readable benchmark
+trajectory.
+"""
+
+import glob
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+import telemetry  # noqa: E402
+
+
+def check_dir(directory):
+    """Validate all BENCH_*.json under *directory*; returns (checked,
+    list of problem strings)."""
+    problems = []
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    for path in paths:
+        rel = os.path.relpath(path, REPO_ROOT)
+        try:
+            with open(path) as fh:
+                document = json.load(fh)
+        except ValueError as error:
+            problems.append("%s: unparseable JSON (%s)" % (rel, error))
+            continue
+        for problem in telemetry.validate_bench_dict(document):
+            problems.append("%s: %s" % (rel, problem))
+        expected = "BENCH_%s.json" % document.get("name")
+        if (isinstance(document, dict)
+                and os.path.basename(path) != expected):
+            problems.append("%s: name %r does not match filename"
+                            % (rel, document.get("name")))
+    return len(paths), problems
+
+
+def main(argv):
+    directories = argv[1:] or [os.path.join(REPO_ROOT, "benchmarks",
+                                            "results")]
+    total = 0
+    failures = []
+    for directory in directories:
+        checked, problems = check_dir(directory)
+        total += checked
+        failures.extend(problems)
+    for problem in failures:
+        print("SCHEMA %s" % problem)
+    if not total:
+        print("SCHEMA no BENCH_*.json documents found in %s"
+              % ", ".join(directories))
+        return 1
+    print("checked %d telemetry document(s): %s"
+          % (total, "FAIL (%d problem(s))" % len(failures)
+             if failures else "all valid"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -32,7 +32,12 @@
 #    it (skipping the baseline and TEST executions) with an identical
 #    plan and TLS cycle count, and the exported DB must pass the
 #    repro.profdb schema gate (see docs/profdb.md);
-# 9. runs the fast test tier (everything not marked `slow`), which
+# 9. re-runs the fast overhead benchmark so it emits fresh
+#    machine-readable telemetry (BENCH_*.json), validates every
+#    telemetry document against the schema, and diffs the
+#    direction-flagged metrics against the committed baseline
+#    (see docs/metrics.md);
+# 10. runs the fast test tier (everything not marked `slow`), which
 #    includes the docs link lint (tests/test_docs_links.py).  The
 #    exhaustive engine-differential sweep in
 #    tests/test_engine_differential.py is `slow`-marked and runs in
@@ -171,6 +176,13 @@ print("profdb: warm start plan-equivalent (tls %d cycles, %d plan(s))"
 PYEOF
 python -m repro profdb export --path "$CACHE_DIR/profdb.json" \
     | python scripts/check_profdb.py -
+
+echo
+echo "== smoke: benchmark telemetry schema + regression gate =="
+python -m pytest -q benchmarks/bench_trace_overhead.py
+python scripts/check_bench_schema.py benchmarks/results \
+    benchmarks/baseline
+python scripts/check_bench_regression.py
 
 echo
 echo "== smoke: fast test tier (pytest -m 'not slow') =="

@@ -25,10 +25,15 @@ Commands:
 * ``profdb [stats|export|gc]`` — inspect or maintain the persistent
   profile DB that ``--profdb`` runs record into and warm-start from
   (see docs/profdb.md)
+* ``metrics [--socket PATH | --port N] [--json]`` — dump a running
+  daemon's metrics registry (OpenMetrics text by default; the same
+  document ``GET /metrics`` serves — see docs/metrics.md)
 
 Every subcommand builds one :class:`repro.service.RunOptions` from its
 flags — the single options dataclass shared with the ``Session`` API
-and the wire protocol.
+and the wire protocol.  The global ``--log-level`` flag (or the
+``JRPM_LOG`` environment variable) turns on structured logging for
+every ``repro.*`` logger.
 """
 
 import argparse
@@ -420,8 +425,26 @@ def cmd_serve(args):
         jobs=args.jobs, queue_limit=args.queue_limit,
         timeout=args.timeout, batch_max=args.batch_max,
         cache_dir=args.cache_dir, use_cache=not args.no_cache,
-        profdb_path=args.profdb)
+        profdb_path=args.profdb, metrics_port=args.metrics_port)
     return run_server(server)
+
+
+def cmd_metrics(args):
+    """Dump a daemon's metrics registry (docs/metrics.md)."""
+    from .service import Session
+    fmt = "json" if args.json else "openmetrics"
+    if args.socket is None and args.port is None:
+        print("metrics: need --socket or --port of a running daemon",
+              file=sys.stderr)
+        return 2
+    with Session.connect(socket_path=args.socket, host=args.host,
+                         port=args.port) as session:
+        result = session.metrics(format=fmt)
+    if args.json:
+        print(json.dumps(result["metrics"], indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(result["openmetrics"])
+    return 0
 
 
 def main(argv=None):
@@ -429,6 +452,10 @@ def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--version", action="version",
                         version="jrpm %s" % package_version())
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        help="enable structured logging for repro.* "
+                             "loggers (debug, info, warning, error; "
+                             "default: $JRPM_LOG or warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run the pipeline on a MiniJava file")
@@ -610,7 +637,25 @@ def main(argv=None):
                               "run_adaptive jobs record profiles and "
                               "warm-start from stored consensus "
                               "(docs/profdb.md)")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="N",
+                         help="also serve OpenMetrics text on "
+                              "http://127.0.0.1:N/metrics (0 picks a "
+                              "free port; see docs/metrics.md)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="dump a running daemon's metrics registry")
+    p_metrics.add_argument("--socket", default=None, metavar="PATH",
+                           help="daemon unix socket")
+    p_metrics.add_argument("--port", type=int, default=None,
+                           help="daemon TCP port")
+    p_metrics.add_argument("--host", default="127.0.0.1",
+                           help="daemon TCP host (default 127.0.0.1)")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="lossless registry dict instead of "
+                                "OpenMetrics text")
+    p_metrics.set_defaults(fn=cmd_metrics)
 
     p_profdb = sub.add_parser(
         "profdb", help="inspect/maintain a persistent profile DB")
@@ -632,6 +677,9 @@ def main(argv=None):
     p_profdb.set_defaults(fn=cmd_profdb)
 
     args = parser.parse_args(argv)
+    if args.log_level is not None or os.environ.get("JRPM_LOG"):
+        from .log import configure
+        configure(args.log_level)
     return args.fn(args)
 
 

@@ -1,0 +1,80 @@
+"""Structured logging for the ``repro.*`` tree.
+
+Every module logs through ``logging.getLogger("repro.<area>")`` (the
+stdlib hierarchy — ``repro.service``, ``repro.runner``,
+``repro.profdb``...).  Nothing is emitted unless :func:`configure` has
+installed a handler, so library use stays silent by default; the CLI
+and daemon call it at startup:
+
+* ``jrpm --log-level debug ...`` wires the flag through;
+* the ``JRPM_LOG`` environment variable supplies a default level when
+  the flag is absent (useful for the daemon under a supervisor and for
+  worker processes, which inherit the environment).
+
+The format is one line per record with an ISO-ish timestamp, level,
+logger name and message — grep-able, and stable enough to ship to a
+collector.
+"""
+
+import logging
+import os
+
+#: Environment variable consulted when no explicit level is passed.
+ENV_VAR = "JRPM_LOG"
+
+#: Log line layout installed by :func:`configure`.
+FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_configured = False
+
+
+def get_logger(name):
+    """``logging.getLogger`` under the ``repro`` hierarchy.
+
+    ``get_logger("service.daemon")`` returns the ``repro.service.daemon``
+    logger; a fully-qualified ``repro.*`` name passes through as-is.
+    """
+    if not name.startswith("repro"):
+        name = "repro." + name
+    return logging.getLogger(name)
+
+
+def configure(level=None, stream=None, force=False):
+    """Install one stderr handler on the ``repro`` root logger.
+
+    *level* may be a name (``"debug"``), a numeric level, or None — in
+    which case :data:`ENV_VAR` is consulted and, failing that, WARNING
+    is used.  Idempotent: repeat calls only adjust the level unless
+    *force* re-installs the handler (tests use this with a fresh
+    *stream*).  Returns the effective numeric level.
+    """
+    global _configured
+    resolved = _resolve_level(level)
+    root = logging.getLogger("repro")
+    if force:
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        _configured = False
+    if not _configured:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(FORMAT))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(resolved)
+    return resolved
+
+
+def _resolve_level(level):
+    """Numeric logging level from a name / number / None."""
+    if level is None:
+        level = os.environ.get(ENV_VAR) or "warning"
+    if isinstance(level, int):
+        return level
+    name = str(level).strip().upper()
+    if name.isdigit():
+        return int(name)
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        raise ValueError("unknown log level: %r" % (level,))
+    return resolved

@@ -1,0 +1,97 @@
+"""Minimal asyncio HTTP exposition endpoint (``GET /metrics``).
+
+The daemon (``jrpm serve --metrics-port N``) starts one
+:class:`MetricsHttpServer` next to its JSON-protocol listener.  It
+speaks just enough HTTP/1.1 for ``curl`` and a Prometheus scraper:
+``GET /metrics`` returns the OpenMetrics rendering of the registry
+(Content-Type per the spec), ``GET /healthz`` returns ``ok``, anything
+else is 404.  Connections are closed after one response — scrapers
+re-connect per scrape and the daemon's real protocol lives on the JSON
+socket, so keep-alive complexity buys nothing here.
+
+No third-party HTTP stack is used (the container must not grow
+dependencies); the request parser reads header lines and ignores any
+body, which is all a scrape needs.
+"""
+
+import asyncio
+
+from .openmetrics import CONTENT_TYPE, render
+
+
+class MetricsHttpServer:
+    """One-endpoint HTTP server exposing a registry as OpenMetrics."""
+
+    def __init__(self, registry_fn, host="127.0.0.1", port=0):
+        self._registry_fn = registry_fn
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self):
+        """Bind and start serving; resolves ``self.port`` when 0."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self):
+        """Stop accepting and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer):
+        """Serve one request on a fresh connection, then close."""
+        try:
+            request_line = await reader.readline()
+            # Drain headers until the blank line; a scrape has no body.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            try:
+                method, path, _ = (request_line.decode("ascii", "replace")
+                                   .split(None, 2))
+            except ValueError:
+                writer.write(_response(400, "text/plain; charset=utf-8",
+                                       "bad request\n"))
+                return
+            if method != "GET":
+                writer.write(_response(405, "text/plain; charset=utf-8",
+                                       "method not allowed\n"))
+            elif path.split("?", 1)[0] == "/metrics":
+                body = render(self._registry_fn())
+                writer.write(_response(200, CONTENT_TYPE, body))
+            elif path.split("?", 1)[0] == "/healthz":
+                writer.write(_response(200, "text/plain; charset=utf-8",
+                                       "ok\n"))
+            else:
+                writer.write(_response(404, "text/plain; charset=utf-8",
+                                       "not found\n"))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed"}
+
+
+def _response(status, content_type, body):
+    """Serialize one HTTP/1.1 response (connection: close)."""
+    payload = body.encode("utf-8")
+    head = ("HTTP/1.1 %d %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n"
+            "\r\n" % (status, _REASONS[status], content_type,
+                      len(payload)))
+    return head.encode("ascii") + payload

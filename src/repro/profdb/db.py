@@ -37,6 +37,8 @@ except ImportError:          # non-POSIX: single-process use still works
     fcntl = None
 
 from ..analysis.fingerprint import method_fingerprints, program_fingerprint
+from ..log import get_logger
+from ..metrics import get_registry
 from ..runner.cache import options_fingerprint
 from .merge import DEFAULT_DECAY, MIN_CONFIDENCE, merge_input_profile
 from .records import (InputProfile, LoopProfile, PROFDB_SCHEMA_VERSION,
@@ -46,6 +48,16 @@ from .records import (InputProfile, LoopProfile, PROFDB_SCHEMA_VERSION,
 #: GC caps: at most this many program entries, and inputs per program.
 DEFAULT_MAX_PROGRAMS = 64
 DEFAULT_MAX_INPUTS = 8
+
+_log = get_logger("profdb")
+
+
+def _profdb_counter(name, help_text, amount=1, **labels):
+    """One increment against the global metrics registry."""
+    if amount:
+        family = get_registry().counter(name, help_text,
+                                        labels=tuple(sorted(labels)))
+        (family.labels(**labels) if labels else family).inc(amount)
 
 
 def default_profdb_path():
@@ -235,6 +247,12 @@ class ProfileDb:
                 input_entry.loops = keep
                 input_entry.weight = 0.0
         entry.methods = fresh_methods
+        _profdb_counter("jrpm_profdb_invalidated_loops",
+                        "Loop entries dropped on stale method "
+                        "fingerprints", amount=dropped)
+        if dropped:
+            _log.info("invalidated %d stale loop entries for %s",
+                      dropped, entry.name)
         return dropped
 
     def record(self, program, report, args, config, stl_options,
@@ -275,6 +293,12 @@ class ProfileDb:
             entry.updated = now
             self._gc_data(data)
             self._store(data)
+        _profdb_counter("jrpm_profdb_records",
+                        "Cold-run folds into the consensus DB",
+                        provenance=provenance)
+        _profdb_counter("jrpm_profdb_merges",
+                        "Consensus merges (existing input re-observed)",
+                        amount=1 if previous is not None else 0)
         return provenance
 
     def record_warm(self, program, report, args, config, stl_options,
@@ -306,6 +330,8 @@ class ProfileDb:
                                                run_stats.max_store_lines)
             entry.updated = now
             self._store(data)
+        _profdb_counter("jrpm_profdb_warm_runs",
+                        "Warm-start hits booked against the DB")
 
     # ------------------------------------------------------------ query
 
@@ -345,6 +371,9 @@ class ProfileDb:
             oldest = min(data, key=lambda key: data[key].updated)
             del data[oldest]
             evicted += 1
+        _profdb_counter("jrpm_profdb_gc_evictions",
+                        "Entries evicted by the LRU size caps",
+                        amount=evicted)
         return evicted
 
     def gc(self, max_programs=None, max_inputs=None):

@@ -27,6 +27,7 @@ import json
 import os
 import tempfile
 
+from ..metrics import get_registry
 from ..serialize import REPORT_SCHEMA_VERSION
 
 #: bump to invalidate every existing cache entry on *key-layout*
@@ -133,6 +134,7 @@ class ReportCache:
                 payload = json.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            self._count(hit=False)
             return None
         except (OSError, ValueError):
             try:
@@ -140,9 +142,19 @@ class ReportCache:
             except OSError:
                 pass
             self.misses += 1
+            self._count(hit=False)
             return None
         self.hits += 1
+        self._count(hit=True)
         return payload
+
+    def _count(self, hit):
+        """Mirror the hit/miss into the global metrics registry."""
+        get_registry().counter(
+            "jrpm_report_cache_lookups",
+            "Persistent report-cache lookups by outcome",
+            labels=("outcome",)).labels(
+                outcome="hit" if hit else "miss").inc()
 
     def put(self, key, payload):
         """Atomically persist *payload* (tempfile + rename, safe for

@@ -28,10 +28,36 @@ import multiprocessing
 import queue as queue_module
 from dataclasses import dataclass
 
+from ..log import get_logger
+from ..metrics import get_registry
+
 #: how often the parent polls results / liveness (seconds)
 _POLL_INTERVAL = 0.05
 #: grace period for worker shutdown before termination (seconds)
 _JOIN_TIMEOUT = 2.0
+
+_log = get_logger("runner.pool")
+
+
+def _pool_metrics():
+    """The pool's registry families (resolved per map() call so tests
+    that swap the global registry see fresh counters)."""
+    registry = get_registry()
+    return {
+        "tasks": registry.counter(
+            "jrpm_pool_tasks", "Pool task outcomes",
+            labels=("status",)),
+        "retries": registry.counter(
+            "jrpm_pool_retries", "Tasks re-queued after a worker crash"),
+        "workers": registry.counter(
+            "jrpm_pool_workers_spawned", "Worker processes started"),
+        "occupancy": registry.gauge(
+            "jrpm_pool_busy_workers",
+            "Busy pool workers (high-water within the last map)"),
+        "task_seconds": registry.histogram(
+            "jrpm_pool_task_seconds",
+            "In-worker wall seconds per task", labels=("status",)),
+    }
 
 
 @dataclass
@@ -156,9 +182,17 @@ class ProcessPool:
         attempts = {task_id: 0 for task_id, _ in tasks}
         workers = [_Worker(ctx, self.fn, result_queue)
                    for _ in range(min(self.jobs, len(tasks)))]
+        metrics = _pool_metrics()
+        metrics["workers"].inc(len(workers))
 
         def settle(outcome):
             outcomes[outcome.task_id] = outcome
+            metrics["tasks"].labels(status=outcome.status).inc()
+            metrics["task_seconds"].labels(
+                status=outcome.status).record(outcome.wall_time)
+            if outcome.status != "ok":
+                _log.warning("task %s %s: %s", outcome.task_id,
+                             outcome.status, outcome.error)
             if on_outcome is not None:
                 on_outcome(outcome)
 
@@ -170,6 +204,10 @@ class ProcessPool:
                         task_id = pending.pop(0)
                         attempts[task_id] += 1
                         worker.assign(task_id, payloads[task_id])
+                busy = sum(1 for worker in workers if not worker.idle)
+                occupancy = metrics["occupancy"]
+                if busy > occupancy.value:
+                    occupancy.set(busy)
 
                 # 2. drain finished results (before liveness checks, so a
                 #    worker that finished then exited is not miscounted
@@ -204,6 +242,12 @@ class ProcessPool:
                         wall = now - worker.started_at
                         worker.release()
                         if attempts[task_id] <= self.retries:
+                            metrics["retries"].inc()
+                            _log.warning(
+                                "worker pid %s died running task %s "
+                                "(exitcode %s); retrying",
+                                worker.process.pid, task_id,
+                                worker.process.exitcode)
                             pending.append(task_id)   # retry once
                         else:
                             settle(TaskOutcome(
@@ -215,6 +259,7 @@ class ProcessPool:
                                 pid=worker.process.pid))
                         workers[index] = _Worker(ctx, self.fn,
                                                  result_queue)
+                        metrics["workers"].inc()
                     elif (self.timeout is not None
                             and now - worker.started_at > self.timeout):
                         worker.kill()
@@ -228,6 +273,7 @@ class ProcessPool:
                         worker.release()
                         workers[index] = _Worker(ctx, self.fn,
                                                  result_queue)
+                        metrics["workers"].inc()
         finally:
             for worker in workers:
                 worker.stop()

@@ -117,6 +117,13 @@ class Session:
         tightened via ``max_programs=``/``max_inputs=``)."""
         raise NotImplementedError
 
+    def metrics(self, format="json"):
+        """The executing side's metrics registry: ``format="json"``
+        returns the lossless ``MetricsRegistry.to_dict`` payload under
+        ``"metrics"``; ``format="openmetrics"`` returns the Prometheus
+        text exposition under ``"openmetrics"``."""
+        raise NotImplementedError
+
     @staticmethod
     def _report_of(result):
         return JrpmReport.from_dict(result["report"])
@@ -187,6 +194,18 @@ class LocalSession(Session):
                 "protocol": protocol.PROTOCOL_VERSION,
                 "report_schema": REPORT_SCHEMA_VERSION,
                 "profdb_schema": PROFDB_SCHEMA_VERSION}
+
+    def metrics(self, format="json"):
+        """This process's global metrics registry (the same families a
+        daemon would expose — LocalSession jobs fold into it too)."""
+        from ..metrics import get_registry, render
+        registry = get_registry()
+        if format == "openmetrics":
+            return {"openmetrics": render(registry)}
+        if format == "json":
+            return {"metrics": registry.to_dict()}
+        raise ValueError("unknown metrics format %r (json, openmetrics)"
+                         % (format,))
 
     def profdb(self, op="stats", path=None, **payload):
         """Operate on the profile DB at *path* (default location when
@@ -327,6 +346,10 @@ class JrpmClient(Session):
     def version(self):
         """The daemon's package/protocol/schema versions."""
         return self.request("version")
+
+    def metrics(self, format="json"):
+        """The daemon's metrics registry (see :class:`Session`)."""
+        return self.request("metrics", {"format": format})
 
     def profdb(self, op="stats", path=None, **payload):
         """Operate on the daemon's shared profile DB (or the one at

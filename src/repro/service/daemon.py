@@ -21,6 +21,8 @@ import os
 import signal
 import time
 
+from ..log import get_logger
+from ..metrics import MetricsHttpServer, get_registry, render
 from ..serialize import REPORT_SCHEMA_VERSION
 from ..runner.cache import NullCache, ReportCache
 from ..runner.suite import default_cache_dir
@@ -32,6 +34,8 @@ from .scheduler import JobScheduler, ServiceError
 from .stats import ServiceStats
 from .store import ArtifactStore
 
+_log = get_logger("service.daemon")
+
 
 class JrpmServer:
     """One daemon instance: listener + store + scheduler + stats."""
@@ -39,7 +43,8 @@ class JrpmServer:
     def __init__(self, socket_path=None, host="127.0.0.1", port=None,
                  jobs=2, queue_limit=64, timeout=300.0, batch_max=16,
                  cache_dir=None, use_cache=True, store_entries=512,
-                 start_method=None, profdb_path=None):
+                 start_method=None, profdb_path=None,
+                 metrics_port=None, metrics_host="127.0.0.1"):
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path/port required")
         self.socket_path = socket_path
@@ -62,6 +67,12 @@ class JrpmServer:
         #: Worker processes open it by path; the flock discipline makes
         #: their concurrent write-backs safe.
         self.profdb = ProfileDb(profdb_path) if profdb_path else None
+        #: OpenMetrics HTTP endpoint (``--metrics-port``; 0 = pick a
+        #: free port, resolved on start).  None disables it — the
+        #: ``metrics`` verb on the JSON socket is always available.
+        self.metrics_port = metrics_port
+        self.metrics_host = metrics_host
+        self.metrics_server = None
         self._server = None
         self._tasks = set()
         self._connections = set()      # live connection-handler tasks
@@ -79,6 +90,13 @@ class JrpmServer:
             self._server = await asyncio.start_server(
                 self._handle_connection, host=self.host, port=self.port)
             self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self.metrics_server = MetricsHttpServer(
+                get_registry, host=self.metrics_host,
+                port=self.metrics_port)
+            await self.metrics_server.start()
+            self.metrics_port = self.metrics_server.port
+        _log.info("listening on %s", self.endpoint)
         return self
 
     @property
@@ -100,6 +118,9 @@ class JrpmServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.metrics_server is not None:
+            await self.metrics_server.close()
+            self.metrics_server = None
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -173,6 +194,7 @@ class JrpmServer:
             response = protocol.make_error(request_id, "protocol",
                                            str(error))
         except Exception as error:       # last-resort: never drop a frame
+            _log.exception("request %s (%s) failed", request_id, verb)
             response = protocol.make_error(
                 request_id, "error",
                 "%s: %s" % (type(error).__name__, error))
@@ -197,6 +219,24 @@ class JrpmServer:
         if verb == "stats":
             return protocol.make_response(
                 request_id, self.stats_snapshot(),
+                elapsed=time.perf_counter() - started)
+        if verb == "metrics":
+            registry = get_registry()
+            fmt = (payload or {}).get("format", "json")
+            if fmt == "openmetrics":
+                result = {"openmetrics": render(registry)}
+            elif fmt == "json":
+                result = {"metrics": registry.to_dict()}
+            else:
+                return protocol.make_error(
+                    request_id, "bad-request",
+                    "unknown metrics format %r (json, openmetrics)"
+                    % (fmt,))
+            if self.metrics_server is not None:
+                result["http_endpoint"] = "%s:%d" % (
+                    self.metrics_host, self.metrics_port)
+            return protocol.make_response(
+                request_id, result,
                 elapsed=time.perf_counter() - started)
         if verb == "version":
             from .. import package_version
@@ -231,7 +271,7 @@ class JrpmServer:
                 % (verb, ", ".join(VERBS),
                    ", ".join(protocol.CONTROL_VERBS)))
         try:
-            spec = self._spec_of(verb, payload)
+            spec = self._spec_of(verb, payload, request_id=request_id)
         except (KeyError, TypeError, ValueError) as error:
             return protocol.make_error(request_id, "bad-request",
                                        str(error))
@@ -245,6 +285,15 @@ class JrpmServer:
         except ServiceError as error:
             return protocol.make_error(request_id, error.kind,
                                        str(error))
+        # Fold the worker's metric delta exactly once: the pop mutates
+        # the store-resident dict, so replays of this result (store
+        # hits, coalesced futures) never double-count.
+        metrics_delta = result.pop("metrics", None)
+        if metrics_delta:
+            try:
+                get_registry().merge(metrics_delta)
+            except ValueError as error:     # schema drift across builds
+                _log.warning("dropping worker metrics: %s", error)
         if isinstance(result.get("report"), dict):
             self.stats.absorb_report(result["report"])
         return protocol.make_response(
@@ -273,7 +322,7 @@ class JrpmServer:
         raise ValueError("unknown profdb op %r (stats, export, gc)"
                          % (op,))
 
-    def _spec_of(self, verb, payload):
+    def _spec_of(self, verb, payload, request_id=None):
         """Build the JobSpec for one request; source may be inline or a
         registry workload reference.  The daemon's shared profile DB is
         injected into run/run_adaptive jobs that did not bring their
@@ -305,7 +354,9 @@ class JrpmServer:
                        name=name or "program", options=options,
                        crash_marker=payload.get("crash_marker"),
                        delay=payload.get("delay", 0.0),
-                       exec_log=payload.get("exec_log"))
+                       exec_log=payload.get("exec_log"),
+                       request_id=(str(request_id)
+                                   if request_id is not None else None))
 
     def stats_snapshot(self):
         """One JSON-safe dict of every live counter (the `stats` verb)."""
@@ -330,6 +381,10 @@ def run_server(server, quiet=False):
                   % (server.endpoint, protocol.PROTOCOL_VERSION,
                      server.scheduler.jobs, server.scheduler.queue_limit),
                   file=sys.stderr, flush=True)
+            if server.metrics_server is not None:
+                print("jrpm serve: metrics on http://%s:%d/metrics"
+                      % (server.metrics_host, server.metrics_port),
+                      file=sys.stderr, flush=True)
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:

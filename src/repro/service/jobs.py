@@ -14,6 +14,8 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from ..metrics import MetricsRegistry, observe_report_dict
+from ..metrics.registry import swap_registry
 from ..minijava import compile_source
 from ..runner.cache import cache_key
 from .options import RunOptions
@@ -35,6 +37,11 @@ class JobSpec:
     #: test hook — append one ``pid`` line here per actual execution,
     #: so tests can prove store hits / coalescing skipped recompute
     exec_log: str = None
+    #: daemon request correlation: the protocol frame id of the request
+    #: that caused this execution.  Deliberately *not* fingerprint
+    #: material — identical jobs coalesce across requests, and a reused
+    #: result carries the id of the request that actually executed.
+    request_id: str = None
 
     def fingerprint(self, salt=None):
         """Content-addressed key (see :func:`job_fingerprint`)."""
@@ -73,6 +80,13 @@ def execute_job(spec):
 
     Raises on bad verbs and on output-verification failure so the pool
     reports status ``error`` with the traceback.
+
+    Metric capture: the job runs against a fresh scoped registry so the
+    counters it produces (TLS folds, profdb activity) can be shipped
+    back to the daemon as ``result["metrics"]`` without inheriting the
+    parent's fork-time values.  The delta is also merged into this
+    process's own registry, so in-process callers
+    (:class:`~repro.service.client.LocalSession`) account exactly once.
     """
     if spec.crash_marker is not None:
         if not os.path.exists(spec.crash_marker):
@@ -87,9 +101,20 @@ def execute_job(spec):
     if spec.verb not in VERBS:
         raise ValueError("unknown verb %r (expected one of %s)"
                          % (spec.verb, ", ".join(VERBS)))
-    start = time.perf_counter()
-    result = _VERB_TABLE[spec.verb](spec)
-    result["wall_time"] = time.perf_counter() - start
+    scoped = MetricsRegistry()
+    previous = swap_registry(scoped)
+    try:
+        start = time.perf_counter()
+        result = _VERB_TABLE[spec.verb](spec)
+        result["wall_time"] = time.perf_counter() - start
+        if isinstance(result.get("report"), dict):
+            observe_report_dict(result["report"],
+                                wall_seconds=result["wall_time"],
+                                registry=scoped)
+    finally:
+        swap_registry(previous)
+        previous.merge(scoped.to_dict())
+    result["metrics"] = scoped.to_dict()
     return result
 
 
@@ -167,17 +192,33 @@ def _finish_run(spec, report):
         raise AssertionError(
             "%s: speculative output diverged from sequential"
             % spec.name)
-    return {"report": report.to_dict()}
+    result = {"report": report.to_dict()}
+    if report.trace is not None and spec.request_id is not None:
+        # The live collector never crosses the wire; export it here so
+        # a daemon-served traced run hands the client a Perfetto-ready
+        # document with the request span already stitched in.
+        from ..trace.export import chrome_trace
+        result["chrome_trace"] = chrome_trace(report.trace,
+                                              name=spec.name)
+    return result
+
+
+def _stamp_request(jrpm, spec):
+    """Correlate the run's trace (if any) with the daemon request."""
+    if jrpm.trace is not None and spec.request_id is not None:
+        jrpm.trace.request_id = spec.request_id
 
 
 def _do_run(spec):
     jrpm, program = _jrpm_of(spec)
+    _stamp_request(jrpm, spec)
     report = jrpm.run(program, name=spec.name, args=spec.options.args)
     return _finish_run(spec, report)
 
 
 def _do_run_adaptive(spec):
     jrpm, program = _jrpm_of(spec)
+    _stamp_request(jrpm, spec)
     report = jrpm.run_adaptive(program, name=spec.name,
                                args=spec.options.args,
                                policy=spec.options.policy,

@@ -40,7 +40,8 @@ PROTOCOL_VERSION = 1
 
 #: verbs that execute pipeline work (scheduled), plus the control verbs
 #: the daemon answers inline
-CONTROL_VERBS = ("ping", "stats", "drain", "version", "profdb")
+CONTROL_VERBS = ("ping", "stats", "drain", "version", "profdb",
+                 "metrics")
 
 #: hard cap on one request line (a 64 MiB line is a bug, not a job)
 MAX_LINE_BYTES = 64 * 1024 * 1024

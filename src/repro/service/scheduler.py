@@ -31,8 +31,30 @@ import time
 from collections import deque
 from concurrent.futures import Future
 
+from ..log import get_logger
+from ..metrics import get_registry
 from ..runner.pool import ProcessPool
 from .jobs import execute_job
+
+_log = get_logger("service.scheduler")
+
+
+def _sched_counter(name, help_text, **labels):
+    """One increment against the global registry (resolved per call so
+    registry swaps in tests take effect)."""
+    family = get_registry().counter(name, help_text,
+                                    labels=tuple(sorted(labels)))
+    (family.labels(**labels) if labels else family).inc()
+
+
+def _sched_gauges(queue_depth, in_flight):
+    """Refresh the scheduler's two depth gauges."""
+    registry = get_registry()
+    registry.gauge("jrpm_scheduler_queue_depth",
+                   "Jobs waiting in the bounded queue").set(queue_depth)
+    registry.gauge("jrpm_scheduler_in_flight",
+                   "Jobs dispatched to the pool, not yet settled").set(
+                       in_flight)
 
 
 class ServiceError(RuntimeError):
@@ -115,20 +137,34 @@ class JobScheduler:
             with self._lock:
                 self.accepted += 1
                 self.completed += 1
+            _sched_counter("jrpm_scheduler_submits",
+                           "Submissions by admission outcome",
+                           outcome="store_hit")
             return ScheduledJob(spec, future, cached=True)
         with self._lock:
             if not self._accepting:
                 self.rejected += 1
+                _sched_counter("jrpm_scheduler_submits",
+                               "Submissions by admission outcome",
+                               outcome="rejected_draining")
                 raise Draining("scheduler is draining; submit rejected")
             if len(self._queue) >= self.queue_limit:
                 self.rejected += 1
+                _sched_counter("jrpm_scheduler_submits",
+                               "Submissions by admission outcome",
+                               outcome="rejected_overloaded")
                 raise QueueFull(
                     "queue full (%d jobs pending); retry later"
                     % len(self._queue))
             future = Future()
             self._queue.append((spec, future))
             self.accepted += 1
+            depth = len(self._queue)
             self._wake.notify()
+        _sched_counter("jrpm_scheduler_submits",
+                       "Submissions by admission outcome",
+                       outcome="accepted")
+        _sched_gauges(depth, self._in_flight)
         return ScheduledJob(spec, future, cached=False)
 
     # -- lifecycle ---------------------------------------------------------
@@ -179,13 +215,19 @@ class JobScheduler:
                 while self._queue and len(batch) < self.batch_max:
                     batch.append(self._queue.popleft())
                 self._in_flight += len(batch)
+                depth = len(self._queue)
+                in_flight = self._in_flight
+            _sched_gauges(depth, in_flight)
             try:
                 self._run_batch(batch)
             finally:
                 with self._lock:
                     self._in_flight -= len(batch)
+                    depth = len(self._queue)
+                    in_flight = self._in_flight
                     if not self._queue and not self._in_flight:
                         self._idle.notify_all()
+                _sched_gauges(depth, in_flight)
 
     def _run_batch(self, batch):
         """Execute one batch: re-check the store (an earlier batch may
@@ -193,6 +235,8 @@ class JobScheduler:
         pool grouped by effective timeout."""
         with self._lock:
             self.batches += 1
+        _sched_counter("jrpm_scheduler_batches", "Batches dispatched")
+        _log.debug("dispatching batch of %d", len(batch))
         unique = {}                     # fingerprint -> (spec, [futures])
         for spec, future in batch:
             cached = self.store.get(spec, count=False)
@@ -204,6 +248,8 @@ class JobScheduler:
                 unique[key][1].append(future)
                 with self._lock:
                     self.coalesced += 1
+                _sched_counter("jrpm_scheduler_coalesced",
+                               "Duplicate in-batch jobs coalesced")
             else:
                 unique[key] = (spec, [future])
         if not unique:
@@ -234,11 +280,17 @@ class JobScheduler:
     def _settle_ok(self, future, value):
         with self._lock:
             self.completed += 1
+        _sched_counter("jrpm_scheduler_settled",
+                       "Settled jobs by terminal result", result="ok")
         future.set_result(value)
 
     def _settle_error(self, future, error):
         with self._lock:
             self.failed += 1
+        _sched_counter("jrpm_scheduler_settled",
+                       "Settled jobs by terminal result",
+                       result=error.kind)
+        _log.warning("job failed (%s): %s", error.kind, error)
         future.set_exception(error)
 
     # -- introspection -----------------------------------------------------

@@ -6,67 +6,51 @@ artifact store, per-verb latency percentiles from
 :class:`LatencyHistogram`, and a roll-up of the PR-2
 :class:`~repro.trace.TraceAggregates` counters accumulated across every
 traced report the daemon served.
+
+Since PR-10 the histogram implementation lives in
+:class:`repro.metrics.registry.Histogram` (deque reservoir — O(1)
+wrap where the old list used ``pop(0)``); :class:`LatencyHistogram`
+is the service-facing subclass that keeps the original wire shape.
+:meth:`ServiceStats.observe` additionally mirrors every request into
+the process-global metrics registry so the ``metrics`` verb and the
+``/metrics`` endpoint expose ``jrpm_service_*`` families.
 """
 
-import bisect
 import threading
 import time
 
+from ..metrics import get_registry
+from ..metrics.registry import Histogram
 
-class LatencyHistogram:
+
+class LatencyHistogram(Histogram):
     """Log-bucketed latency histogram (seconds) with exact percentiles
     for small populations.
 
     Buckets double from 100µs to ~200s; the raw samples are also kept
-    (bounded reservoir, newest-wins) so p50/p95 stay exact for the
-    population sizes a daemon realistically sees between restarts.
+    (bounded deque reservoir, newest-wins) so p50/p95 stay exact for
+    the population sizes a daemon realistically sees between restarts.
     """
 
     BOUNDS = tuple(0.0001 * (2 ** i) for i in range(22))
     MAX_SAMPLES = 4096
 
     def __init__(self):
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-        self.buckets = [0] * (len(self.BOUNDS) + 1)
-        self._samples = []
-
-    def record(self, seconds):
-        """Fold one latency sample into the histogram."""
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-        self.buckets[bisect.bisect_right(self.BOUNDS, seconds)] += 1
-        if len(self._samples) >= self.MAX_SAMPLES:
-            self._samples.pop(0)
-        self._samples.append(seconds)
-
-    def percentile(self, fraction):
-        """Latency at the given fraction (0..1) of the sample window."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        index = min(len(ordered) - 1,
-                    max(0, int(round(fraction * (len(ordered) - 1)))))
-        return ordered[index]
-
-    @property
-    def mean(self):
-        """Average latency over every recorded sample."""
-        return self.total / self.count if self.count else 0.0
+        super().__init__(threading.RLock(), bounds=self.BOUNDS,
+                         max_samples=self.MAX_SAMPLES)
 
     def to_dict(self):
-        """JSON-safe summary (count, mean, max, p50/p90/p99)."""
-        return {
-            "count": self.count,
-            "mean": round(self.mean, 6),
-            "p50": round(self.percentile(0.50), 6),
-            "p95": round(self.percentile(0.95), 6),
-            "max": round(self.max, 6),
-            "buckets": list(self.buckets),
-        }
+        """JSON-safe summary (count, mean, max, p50/p95) — the PR-6
+        ``stats``-verb wire shape, unchanged."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "mean": round(self.mean, 6),
+                "p50": round(self.percentile_unlocked(0.50), 6),
+                "p95": round(self.percentile_unlocked(0.95), 6),
+                "max": round(self.max, 6),
+                "buckets": list(self.buckets),
+            }
 
 
 class ServiceStats:
@@ -92,6 +76,15 @@ class ServiceStats:
             if histogram is None:
                 histogram = self.by_verb[verb] = LatencyHistogram()
             histogram.record(seconds)
+        registry = get_registry()
+        registry.counter(
+            "jrpm_service_requests", "Service requests by verb/outcome",
+            labels=("verb", "outcome")).labels(
+                verb=verb, outcome="ok" if ok else "error").inc()
+        registry.histogram(
+            "jrpm_service_request_seconds",
+            "Request wall-clock latency by verb",
+            labels=("verb",)).labels(verb=verb).record(seconds)
 
     def absorb_report(self, report_dict):
         """Fold a served report's trace aggregates into the daemon-wide

@@ -21,6 +21,7 @@ Thread-safe: the scheduler thread writes while asyncio handlers read.
 import threading
 from collections import OrderedDict
 
+from ..metrics import get_registry
 from ..runner.cache import code_fingerprint
 
 #: verbs whose results carry a full JrpmReport dict and therefore may
@@ -123,6 +124,13 @@ class ArtifactStore:
             self.misses += 1
             self.misses_by_verb[verb] = \
                 self.misses_by_verb.get(verb, 0) + 1
+        get_registry().counter(
+            "jrpm_store_lookups", "Artifact-store lookups by outcome",
+            labels=("verb", "outcome")).labels(
+                verb=verb, outcome="hit" if hit else "miss").inc()
+        get_registry().gauge(
+            "jrpm_store_entries", "Artifact-store resident entries").set(
+                len(self._entries))
 
     # -- introspection -----------------------------------------------------
     @property

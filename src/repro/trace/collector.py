@@ -55,7 +55,7 @@ class TraceCollector:
     """Ring buffer + aggregates for one traced pipeline run."""
 
     __slots__ = ("options", "ring", "aggregates", "phase",
-                 "_commits_since_snapshot")
+                 "_commits_since_snapshot", "request_id")
 
     def __init__(self, options=None):
         self.options = options or TraceOptions()
@@ -64,6 +64,11 @@ class TraceCollector:
             enabled=True, capacity=self.options.capacity)
         self.phase = "tls"          # "profile" during the TEST run
         self._commits_since_snapshot = 0
+        #: daemon request correlation (PR-10): set by the service layer
+        #: before the run; exported traces then stamp every event with
+        #: the id and add an enclosing request span.  None for local
+        #: runs — the export is byte-identical to pre-PR-10 output.
+        self.request_id = None
 
     # -- plumbing -----------------------------------------------------------
     def set_phase(self, phase):

@@ -24,6 +24,10 @@ from .events import (EV_ADAPT, EV_ANALYSIS, EV_BANK, EV_CACHE, EV_GC,
 
 PID_PROFILE = 0
 PID_TLS = 1
+#: daemon request-correlation track (PR-10): present only when the
+#: collector carries a ``request_id`` — local exports are byte-
+#: identical to pre-PR-10 output (the scheduler-differential contract).
+PID_REQUEST = 2
 
 _OUTCOME_NAMES = {
     "commit": "iter %d",
@@ -158,8 +162,31 @@ def chrome_trace(collector, name="jrpm"):
                          "name": "thread_name",
                          "args": {"name": "CPU %d" % cpu}})
 
+    request_id = getattr(collector, "request_id", None)
+    if request_id is not None and events:
+        # Correlate: every pipeline/TLS event carries the id, and one
+        # span on its own track visually encloses the whole request in
+        # Perfetto (sorted above the TLS/profile tracks).
+        start = min(event["ts"] for event in events)
+        end = max(event["ts"] + event.get("dur", 0.0)
+                  for event in events)
+        for event in events:
+            if event["ph"] != "C":     # counter args must stay numeric
+                event.setdefault("args", {})["request_id"] = request_id
+        events.insert(0, {
+            "name": "request %s" % request_id, "cat": "request",
+            "ph": "X", "ts": start, "dur": max(end - start, 0.001),
+            "pid": PID_REQUEST, "tid": 0,
+            "args": {"request_id": request_id}})
+        metadata.append({"ph": "M", "pid": PID_REQUEST, "tid": 0,
+                         "name": "process_name",
+                         "args": {"name": "daemon request"}})
+        metadata.append({"ph": "M", "pid": PID_REQUEST, "tid": 0,
+                         "name": "process_sort_index",
+                         "args": {"sort_index": -1}})
+
     aggregates = collector.finish()
-    return {
+    payload = {
         "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
         "otherData": {
@@ -170,6 +197,9 @@ def chrome_trace(collector, name="jrpm"):
             "events_dropped": aggregates.events_dropped,
         },
     }
+    if request_id is not None:
+        payload["otherData"]["request_id"] = request_id
+    return payload
 
 
 def write_chrome_trace(collector, path, name="jrpm"):

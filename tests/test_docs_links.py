@@ -64,7 +64,7 @@ def test_docs_are_linked_from_readme():
                 "docs/adaptation.md", "docs/minijava.md",
                 "docs/performance.md", "docs/service.md",
                 "docs/analysis.md", "docs/profdb.md",
-                "docs/index.md"):
+                "docs/metrics.md", "docs/index.md"):
         assert doc in readme, "%s not linked from README" % doc
 
 

@@ -424,3 +424,94 @@ def test_cache_key_depends_on_report_schema(monkeypatch):
                         REPORT_SCHEMA_VERSION + 1)
     after = cache_module.cache_key(*key_args, salt="s")
     assert before != after
+
+
+# ---------------------------------------------------------------------------
+# metrics verb + request-correlated tracing (ISSUE 10)
+# ---------------------------------------------------------------------------
+
+def test_metrics_verb_round_trip(service):
+    """The ``metrics`` control verb returns the daemon's registry in
+    both formats, and worker-side metric deltas (the job executed in a
+    pool process) are merged into it exactly once."""
+    from repro.metrics import MetricsRegistry, lint, reset_registry
+
+    reset_registry()    # other tests in this process fold metrics too
+    with service.client() as client:
+        client.run(TINY, name="tiny")
+
+        result = client.metrics()
+        registry = MetricsRegistry.from_dict(result["metrics"])
+        runs = registry.get("jrpm_runs")
+        assert runs is not None
+        assert sum(child.value for _, child in runs.series()) == 1
+        # scheduler + TLS fold families came along
+        assert registry.get("jrpm_scheduler_submits") is not None
+        assert registry.get("jrpm_tls_threads") is not None
+
+        text = client.metrics(format="openmetrics")["openmetrics"]
+        assert lint(text) == []
+        assert "jrpm_runs_total" in text
+
+        with pytest.raises(JrpmServiceError) as excinfo:
+            client.metrics(format="nope")
+        assert excinfo.value.kind == "bad-request"
+
+        # a second identical run is a store hit: the run counter must
+        # NOT double-count the stored result's delta
+        client.run(TINY, name="tiny")
+        registry = MetricsRegistry.from_dict(
+            client.metrics()["metrics"])
+        runs = registry.get("jrpm_runs")
+        assert sum(child.value for _, child in runs.series()) == 1
+
+
+def test_metrics_http_endpoint_serves_openmetrics(tmp_path):
+    """``--metrics-port 0`` exposes a curl-able /metrics endpoint."""
+    import http.client
+
+    from repro.metrics import CONTENT_TYPE, lint, reset_registry
+
+    reset_registry()
+    fixture = ServiceFixture(tmp_path, metrics_port=0)
+    try:
+        with fixture.client() as client:
+            client.run(TINY, name="tiny")
+            result = client.metrics()
+            endpoint = result["http_endpoint"]     # "host:port"
+        host, port = endpoint.rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        conn.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == CONTENT_TYPE
+        assert lint(body) == []
+        assert "jrpm_runs_total" in body
+        assert "jrpm_pool_tasks_total" in body
+    finally:
+        fixture.stop()
+
+
+def test_traced_daemon_run_correlates_request_id(service):
+    """A traced run through the daemon exports a chrome trace whose
+    request span carries the wire request id."""
+    from repro.trace import validate_chrome_trace
+
+    with service.client() as client:
+        payload = client.job_payload(TINY, name="tiny")
+        payload["options"]["trace"] = True
+        result = client.request("run", payload)
+        data = result["chrome_trace"]
+        assert validate_chrome_trace(data) == []
+        request_id = data["otherData"]["request_id"]
+        spans = [e for e in data["traceEvents"]
+                 if e.get("cat") == "request"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "request %s" % request_id
+        stamped = [e for e in data["traceEvents"]
+                   if e["ph"] not in ("M", "C") and e is not spans[0]]
+        assert stamped
+        assert all(e["args"]["request_id"] == request_id
+                   for e in stamped)

@@ -314,3 +314,52 @@ def test_cli_bench_trace_flag(capsys):
     captured = capsys.readouterr()
     assert "trace:" in captured.err
     assert "events recorded" in captured.err
+
+
+# ---------------------------------------------------------------------------
+# request-correlated tracing (ISSUE 10)
+# ---------------------------------------------------------------------------
+
+def test_chrome_trace_stamps_request_id_and_encloses_pipeline():
+    """When a collector carries a daemon request id, the export gains
+    one enclosing request span and stamps the id on every
+    non-counter event's args."""
+    report = traced_report()
+    report.trace.request_id = "r42"
+    data = chrome_trace(report.trace, name="traced")
+    assert validate_chrome_trace(data) == []
+    assert data["otherData"]["request_id"] == "r42"
+
+    spans = [e for e in data["traceEvents"]
+             if e.get("cat") == "request"]
+    assert len(spans) == 1
+    request_span = spans[0]
+    assert request_span["ph"] == "X"
+    assert request_span["name"] == "request r42"
+
+    start = request_span["ts"]
+    end = start + request_span["dur"]
+    for event in data["traceEvents"]:
+        if event["ph"] == "M" or event is request_span:
+            continue
+        if event["ph"] != "C":
+            assert event["args"]["request_id"] == "r42"
+            # the request span encloses every pipeline event
+            assert start <= event["ts"] \
+                <= event["ts"] + event.get("dur", 0) <= end
+        else:
+            # counter args must stay all-numeric for trace viewers
+            assert "request_id" not in event.get("args", {})
+
+
+def test_chrome_trace_without_request_id_is_byte_identical():
+    """request_id=None must leave the export untouched (the scheduler
+    differential suite depends on byte-identical traces)."""
+    report = traced_report()
+    assert report.trace.request_id is None
+    plain = chrome_trace(report.trace, name="traced")
+    assert not any(e.get("cat") == "request"
+                   for e in plain["traceEvents"])
+    assert "request_id" not in plain["otherData"]
+    assert not any("request_id" in e.get("args", {})
+                   for e in plain["traceEvents"] if e["ph"] != "M")
